@@ -1,0 +1,463 @@
+//! Timing model of the baseline dual-socket Ice Lake CPU server (Table 1).
+//!
+//! The paper measures a real 56-core machine running MKL
+//! Inspector-Executor SpMM and TACO SDDMM. Here the CPU is simulated on the
+//! *same* memory-hierarchy substrate as SPADE (48 KiB L1D, 1.25 MiB private
+//! L2 per core, 84 MiB LLC, 304 GB/s DRAM), so speedup ratios are
+//! self-consistent. Each core is an out-of-order engine with a bounded
+//! memory-level-parallelism window (the load-queue/line-fill-buffer limit)
+//! processing a contiguous, nnz-balanced chunk of CSR rows; cores advance
+//! through the shared memory system in global time order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use spade_matrix::{reference, Coo, Csr, DenseMatrix, FLOATS_PER_LINE};
+use spade_sim::{AccessPath, Cycle, DataClass, MemConfig, MemorySystem, PE_GHZ};
+
+use crate::BaselineReport;
+
+/// CPU-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Core clock in GHz (2.6 base for Ice Lake).
+    pub ghz: f64,
+    /// Outstanding L1 misses per core (line-fill buffers).
+    pub mlp: usize,
+    /// Dense elements processed per core cycle by the SIMD units
+    /// (3×512-bit FMA ⇒ 48 single-precision lanes; ~32 sustained).
+    pub flops_per_cycle: f64,
+}
+
+impl CpuConfig {
+    /// The Table 1 Ice Lake server.
+    pub fn ice_lake() -> Self {
+        CpuConfig {
+            cores: 56,
+            ghz: 2.6,
+            mlp: 12,
+            flops_per_cycle: 32.0,
+        }
+    }
+
+    /// A smaller machine for tests.
+    pub fn small_test(cores: usize) -> Self {
+        CpuConfig {
+            cores,
+            ghz: 2.6,
+            mlp: 4,
+            flops_per_cycle: 32.0,
+        }
+    }
+}
+
+/// Result of one simulated CPU SpMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuRun {
+    /// The functional output.
+    pub output: DenseMatrix,
+    /// Timing summary.
+    pub report: BaselineReport,
+}
+
+/// Result of one simulated CPU SDDMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSddmmRun {
+    /// Output values in the input's non-zero order.
+    pub output: Vec<f32>,
+    /// Timing summary.
+    pub report: BaselineReport,
+}
+
+/// One memory access of a core's instruction stream, preceded by
+/// `pre_compute_x1024` cycles (×1024 fixed point, PE-cycle base) of SIMD
+/// work.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    line: u64,
+    class: DataClass,
+    write: bool,
+    pre_compute_x1024: u64,
+}
+
+/// The simulated CPU machine.
+#[derive(Debug)]
+pub struct CpuModel {
+    config: CpuConfig,
+    mem_config: MemConfig,
+}
+
+impl CpuModel {
+    /// Creates the model; the memory hierarchy follows
+    /// [`MemConfig::cpu_ice_lake`] for the configured core count.
+    pub fn new(config: CpuConfig) -> Self {
+        Self::with_mem(config, MemConfig::cpu_ice_lake(config.cores))
+    }
+
+    /// Creates the model with an explicit memory hierarchy (used by the
+    /// benchmark harness, which scales cache capacities together with the
+    /// benchmark suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy has fewer agents than the CPU has cores.
+    pub fn with_mem(config: CpuConfig, mem_config: MemConfig) -> Self {
+        assert!(
+            mem_config.num_agents >= config.cores,
+            "memory hierarchy has {} agents for {} cores",
+            mem_config.num_agents,
+            config.cores
+        );
+        CpuModel { mem_config, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Partitions rows into contiguous, nnz-balanced chunks.
+    fn partition(csr: &Csr, parts: usize) -> Vec<(usize, usize)> {
+        let total = csr.nnz().max(1);
+        let per_part = total.div_ceil(parts);
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for r in 0..csr.num_rows() {
+            acc += csr.row_nnz(r);
+            if acc >= per_part {
+                ranges.push((start, r + 1));
+                start = r + 1;
+                acc = 0;
+            }
+        }
+        if start < csr.num_rows() {
+            ranges.push((start, csr.num_rows()));
+        }
+        ranges
+    }
+
+    /// Simulates all cores' op streams, interleaved in global time order
+    /// so shared-bandwidth contention is fair. Returns the finish cycle.
+    fn simulate(&self, mem: &mut MemorySystem, ops: &[Vec<Op>]) -> Cycle {
+        // One issue per CPU cycle, in PE cycles (×1024).
+        let issue_step = ((1024.0 * PE_GHZ / self.config.ghz).round() as u64).max(1);
+        struct CoreState {
+            t_x1024: u64,
+            slots: Vec<Cycle>,
+            cursor: usize,
+            last_completion: Cycle,
+        }
+        let mut cores: Vec<CoreState> = ops
+            .iter()
+            .map(|_| CoreState {
+                t_x1024: 0,
+                slots: vec![0; self.config.mlp.max(1)],
+                cursor: 0,
+                last_completion: 0,
+            })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..ops.len())
+            .filter(|&c| !ops[c].is_empty())
+            .map(|c| Reverse((0u64, c)))
+            .collect();
+
+        let mut finish: Cycle = 0;
+        while let Some(Reverse((_, c))) = heap.pop() {
+            let state = &mut cores[c];
+            let op = ops[c][state.cursor];
+            state.cursor += 1;
+            state.t_x1024 += op.pre_compute_x1024;
+            // MLP window: wait for the earliest-free slot.
+            let (slot_idx, &slot_free) = state
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("mlp >= 1");
+            let now = (state.t_x1024 / 1024).max(slot_free);
+            let done = if op.write {
+                mem.write(c, op.line, AccessPath::Cached, op.class, now)
+            } else {
+                mem.read(c, op.line, AccessPath::Cached, op.class, now)
+            };
+            state.slots[slot_idx] = done;
+            state.last_completion = state.last_completion.max(done);
+            state.t_x1024 = state.t_x1024.max(now * 1024) + issue_step;
+            if state.cursor < ops[c].len() {
+                heap.push(Reverse((state.t_x1024, c)));
+            } else {
+                finish = finish.max(state.last_completion.max(state.t_x1024 / 1024));
+            }
+        }
+        finish
+    }
+
+    /// Builds the per-core op streams for CSR SpMM.
+    fn spmm_ops(&self, csr: &Csr, k: usize) -> Vec<Vec<Op>> {
+        let lines_per_row = k.div_ceil(FLOATS_PER_LINE) as u64;
+        let nnz = csr.nnz() as u64;
+        let cols_base = 0u64;
+        let vals_base = (nnz * 4).div_ceil(64) + 16;
+        let b_base = vals_base + (nnz * 4).div_ceil(64) + 16;
+        let b_lines = csr.num_cols() as u64 * lines_per_row;
+        let d_base = b_base + b_lines + 16;
+        let compute_x1024 =
+            (1024.0 * (k as f64 / self.config.flops_per_cycle) * PE_GHZ / self.config.ghz) as u64;
+
+        Self::partition(csr, self.config.cores)
+            .iter()
+            .map(|&(row_start, row_end)| {
+                let mut ops = Vec::new();
+                for row in row_start..row_end {
+                    let (cols, _) = csr.row_entries(row);
+                    let base_idx = csr.row_ptr()[row] as u64;
+                    for (j, &c) in cols.iter().enumerate() {
+                        let idx = base_idx + j as u64;
+                        if idx % FLOATS_PER_LINE as u64 == 0 || j == 0 {
+                            ops.push(Op {
+                                line: cols_base + idx * 4 / 64,
+                                class: DataClass::SparseIn,
+                                write: false,
+                                pre_compute_x1024: 0,
+                            });
+                            ops.push(Op {
+                                line: vals_base + idx * 4 / 64,
+                                class: DataClass::SparseIn,
+                                write: false,
+                                pre_compute_x1024: 0,
+                            });
+                        }
+                        for l in 0..lines_per_row {
+                            ops.push(Op {
+                                line: b_base + c as u64 * lines_per_row + l,
+                                class: DataClass::CMatrix,
+                                write: false,
+                                pre_compute_x1024: if l == 0 { compute_x1024 } else { 0 },
+                            });
+                        }
+                    }
+                    if !cols.is_empty() {
+                        for l in 0..lines_per_row {
+                            ops.push(Op {
+                                line: d_base + row as u64 * lines_per_row + l,
+                                class: DataClass::RMatrix,
+                                write: true,
+                                pre_compute_x1024: 0,
+                            });
+                        }
+                    }
+                }
+                ops
+            })
+            .collect()
+    }
+
+    /// Builds the per-core op streams for SDDMM.
+    fn sddmm_ops(&self, csr: &Csr, k: usize) -> Vec<Vec<Op>> {
+        let lines_per_row = k.div_ceil(FLOATS_PER_LINE) as u64;
+        let nnz = csr.nnz() as u64;
+        let cols_base = 0u64;
+        let vals_base = (nnz * 4).div_ceil(64) + 16;
+        let b_base = vals_base + (nnz * 4).div_ceil(64) + 16;
+        let b_lines = csr.num_rows() as u64 * lines_per_row;
+        let c_base = b_base + b_lines + 16;
+        let c_lines = csr.num_cols() as u64 * lines_per_row;
+        let out_base = c_base + c_lines + 16;
+        let compute_x1024 =
+            (1024.0 * (k as f64 / self.config.flops_per_cycle) * PE_GHZ / self.config.ghz) as u64;
+
+        Self::partition(csr, self.config.cores)
+            .iter()
+            .map(|&(row_start, row_end)| {
+                let mut ops = Vec::new();
+                for row in row_start..row_end {
+                    let (cols, _) = csr.row_entries(row);
+                    if cols.is_empty() {
+                        continue;
+                    }
+                    // B row stays in registers for the whole row.
+                    for l in 0..lines_per_row {
+                        ops.push(Op {
+                            line: b_base + row as u64 * lines_per_row + l,
+                            class: DataClass::RMatrix,
+                            write: false,
+                            pre_compute_x1024: 0,
+                        });
+                    }
+                    let base_idx = csr.row_ptr()[row] as u64;
+                    for (j, &c) in cols.iter().enumerate() {
+                        let idx = base_idx + j as u64;
+                        if idx % FLOATS_PER_LINE as u64 == 0 || j == 0 {
+                            ops.push(Op {
+                                line: cols_base + idx * 4 / 64,
+                                class: DataClass::SparseIn,
+                                write: false,
+                                pre_compute_x1024: 0,
+                            });
+                            ops.push(Op {
+                                line: vals_base + idx * 4 / 64,
+                                class: DataClass::SparseIn,
+                                write: false,
+                                pre_compute_x1024: 0,
+                            });
+                            ops.push(Op {
+                                line: out_base + idx * 4 / 64,
+                                class: DataClass::SparseOut,
+                                write: true,
+                                pre_compute_x1024: 0,
+                            });
+                        }
+                        for l in 0..lines_per_row {
+                            ops.push(Op {
+                                line: c_base + c as u64 * lines_per_row + l,
+                                class: DataClass::CMatrix,
+                                write: false,
+                                pre_compute_x1024: if l == 0 { compute_x1024 } else { 0 },
+                            });
+                        }
+                    }
+                }
+                ops
+            })
+            .collect()
+    }
+
+    /// Runs SpMM (`D = A × B`) on the simulated CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `B` has fewer rows than `A` has columns.
+    pub fn run_spmm(&self, a: &Coo, b: &DenseMatrix) -> CpuRun {
+        let csr = a.to_csr();
+        let mut mem = MemorySystem::new(self.mem_config.clone());
+        let ops = self.spmm_ops(&csr, b.num_cols());
+        let finish = self.simulate(&mut mem, &ops);
+        let output = reference::spmm(a, b);
+        let report = BaselineReport::from_traffic(
+            mem.stats().dram_accesses(),
+            finish as f64 / PE_GHZ,
+            self.mem_config.dram.bandwidth_gbps,
+        );
+        CpuRun { output, report }
+    }
+
+    /// Runs SDDMM (`D = A ∘ (B × Cᵀ)`) on the simulated CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics on operand shape mismatches (see [`reference::sddmm`]).
+    pub fn run_sddmm(&self, a: &Coo, b: &DenseMatrix, c_t: &DenseMatrix) -> CpuSddmmRun {
+        let csr = a.to_csr();
+        let mut mem = MemorySystem::new(self.mem_config.clone());
+        let ops = self.sddmm_ops(&csr, b.num_cols());
+        let finish = self.simulate(&mut mem, &ops);
+        let output = reference::sddmm(a, b, c_t);
+        let report = BaselineReport::from_traffic(
+            mem.stats().dram_accesses(),
+            finish as f64 / PE_GHZ,
+            self.mem_config.dram.bandwidth_gbps,
+        );
+        CpuSddmmRun { output, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_matrix::generators::{Benchmark, Scale};
+
+    fn dense(rows: usize, k: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, k, |r, c| ((r + c) % 7) as f32 * 0.25)
+    }
+
+    #[test]
+    fn spmm_output_matches_reference() {
+        let a = Benchmark::Del.generate(Scale::Tiny);
+        let b = dense(a.num_cols(), 32);
+        let model = CpuModel::new(CpuConfig::small_test(4));
+        let run = model.run_spmm(&a, &b);
+        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-5));
+        assert!(run.report.kernel_ns > 0.0);
+        assert!(run.report.dram_accesses > 0);
+    }
+
+    #[test]
+    fn sddmm_output_matches_reference() {
+        let a = Benchmark::Pap.generate(Scale::Tiny);
+        let b = dense(a.num_rows(), 32);
+        let c_t = dense(a.num_cols(), 32);
+        let model = CpuModel::new(CpuConfig::small_test(4));
+        let run = model.run_sddmm(&a, &b, &c_t);
+        let gold = reference::sddmm(&a, &b, &c_t);
+        assert!(reference::first_mismatch(&run.output, &gold, 1e-5).is_none());
+    }
+
+    #[test]
+    fn more_cores_run_faster() {
+        let a = Benchmark::Pac.generate(Scale::Tiny);
+        let b = dense(a.num_cols(), 32);
+        let slow = CpuModel::new(CpuConfig::small_test(1)).run_spmm(&a, &b);
+        let fast = CpuModel::new(CpuConfig::small_test(8)).run_spmm(&a, &b);
+        assert!(
+            fast.report.kernel_ns * 2.0 < slow.report.kernel_ns,
+            "8 cores {} vs 1 core {}",
+            fast.report.kernel_ns,
+            slow.report.kernel_ns
+        );
+    }
+
+    #[test]
+    fn larger_k_takes_longer() {
+        let a = Benchmark::Del.generate(Scale::Tiny);
+        let model = CpuModel::new(CpuConfig::small_test(4));
+        let t32 = model.run_spmm(&a, &dense(a.num_cols(), 32)).report.kernel_ns;
+        let t128 = model.run_spmm(&a, &dense(a.num_cols(), 128)).report.kernel_ns;
+        assert!(t128 > t32 * 1.5);
+    }
+
+    #[test]
+    fn partition_balances_nnz() {
+        let a = Benchmark::Kro.generate(Scale::Tiny);
+        let csr = a.to_csr();
+        let ranges = CpuModel::partition(&csr, 4);
+        assert!(ranges.len() <= 4);
+        let covered: usize = ranges.iter().map(|&(s, e)| e - s).sum();
+        assert_eq!(covered, csr.num_rows());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_instant() {
+        let a = Coo::from_triplets(64, 64, &[]).unwrap();
+        let b = dense(64, 32);
+        let run = CpuModel::new(CpuConfig::small_test(2)).run_spmm(&a, &b);
+        assert_eq!(run.report.dram_accesses, 0);
+    }
+
+    #[test]
+    fn mlp_improves_latency_tolerance() {
+        let a = Benchmark::Roa.generate(Scale::Tiny);
+        let b = dense(a.num_cols(), 32);
+        let narrow = CpuModel::new(CpuConfig {
+            mlp: 1,
+            ..CpuConfig::small_test(2)
+        })
+        .run_spmm(&a, &b);
+        let wide = CpuModel::new(CpuConfig {
+            mlp: 16,
+            ..CpuConfig::small_test(2)
+        })
+        .run_spmm(&a, &b);
+        assert!(
+            wide.report.kernel_ns < narrow.report.kernel_ns,
+            "wide {} vs narrow {}",
+            wide.report.kernel_ns,
+            narrow.report.kernel_ns
+        );
+    }
+}

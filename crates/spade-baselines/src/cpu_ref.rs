@@ -1,0 +1,207 @@
+//! Real multi-threaded CPU kernels.
+//!
+//! These run on the host machine and serve two purposes: a fast functional
+//! oracle for large inputs, and a genuine hardware reference point (the
+//! paper's CPU baseline is real silicon). SpMM parallelizes over row
+//! chunks — each output row is owned by exactly one thread, the same
+//! race-freedom argument as SPADE's row-panel constraint (§4.3).
+
+use std::time::Instant;
+
+use spade_matrix::{Coo, Csr, DenseMatrix};
+
+/// Output and wall-clock time of a threaded kernel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefRun<T> {
+    /// The computed output.
+    pub output: T,
+    /// Host wall-clock time in nanoseconds.
+    pub wall_ns: f64,
+}
+
+/// Multi-threaded CSR SpMM on the host CPU.
+///
+/// # Panics
+///
+/// Panics if `B` has fewer rows than `A` has columns or `threads == 0`.
+pub fn spmm_threaded(a: &Coo, b: &DenseMatrix, threads: usize) -> RefRun<DenseMatrix> {
+    assert!(threads > 0, "need at least one thread");
+    assert!(b.num_rows() >= a.num_cols(), "B too small for A");
+    let csr = a.to_csr();
+    let k = b.num_cols();
+    let mut d = DenseMatrix::zeros(a.num_rows(), k);
+    let stride = d.row_stride();
+    let start = Instant::now();
+
+    // Partition rows into contiguous nnz-balanced chunks and hand each
+    // thread a disjoint slice of D's backing storage.
+    let ranges = balance(&csr, threads);
+    let mut slices: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
+    let mut rest = d.as_mut_slice();
+    for &(s, e) in &ranges {
+        let (head, tail) = rest.split_at_mut((e - s) * stride);
+        slices.push(head);
+        rest = tail;
+    }
+
+    crossbeam::scope(|scope| {
+        for (&(row_start, row_end), chunk) in ranges.iter().zip(slices) {
+            let csr = &csr;
+            scope.spawn(move |_| {
+                for row in row_start..row_end {
+                    let (cols, vals) = csr.row_entries(row);
+                    let off = (row - row_start) * stride;
+                    let out = &mut chunk[off..off + k];
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let src = b.row(c as usize);
+                        for (o, i) in out.iter_mut().zip(src) {
+                            *o += v * i;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    RefRun {
+        output: d,
+        wall_ns: start.elapsed().as_nanos() as f64,
+    }
+}
+
+/// Multi-threaded SDDMM on the host CPU. Output values follow the
+/// non-zero order of `a`.
+///
+/// # Panics
+///
+/// Panics on operand shape mismatches or `threads == 0`.
+pub fn sddmm_threaded(
+    a: &Coo,
+    b: &DenseMatrix,
+    c_t: &DenseMatrix,
+    threads: usize,
+) -> RefRun<Vec<f32>> {
+    assert!(threads > 0, "need at least one thread");
+    assert!(b.num_rows() >= a.num_rows() && c_t.num_rows() >= a.num_cols());
+    assert_eq!(b.num_cols(), c_t.num_cols());
+    let csr = a.to_csr();
+    let mut out = vec![0f32; a.nnz()];
+    let start = Instant::now();
+
+    let ranges = balance(&csr, threads);
+    // Split the output by nnz ranges implied by the row ranges.
+    let mut slices: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest = out.as_mut_slice();
+        for &(s, e) in &ranges {
+            let take = csr.row_ptr()[e] - csr.row_ptr()[s];
+            let (head, tail) = rest.split_at_mut(take);
+            slices.push(head);
+            rest = tail;
+        }
+    }
+
+    crossbeam::scope(|scope| {
+        for (&(row_start, row_end), chunk) in ranges.iter().zip(slices) {
+            let csr = &csr;
+            scope.spawn(move |_| {
+                let base = csr.row_ptr()[row_start];
+                for row in row_start..row_end {
+                    let (cols, vals) = csr.row_entries(row);
+                    let x = b.row(row);
+                    let offset = csr.row_ptr()[row] - base;
+                    for (j, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                        let y = c_t.row(c as usize);
+                        let dot: f32 = x.iter().zip(y).map(|(p, q)| p * q).sum();
+                        chunk[offset + j] = v * dot;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    RefRun {
+        output: out,
+        wall_ns: start.elapsed().as_nanos() as f64,
+    }
+}
+
+/// Contiguous nnz-balanced row partition.
+fn balance(csr: &Csr, parts: usize) -> Vec<(usize, usize)> {
+    let total = csr.nnz().max(1);
+    let per_part = total.div_ceil(parts);
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for r in 0..csr.num_rows() {
+        acc += csr.row_nnz(r);
+        if acc >= per_part {
+            ranges.push((start, r + 1));
+            start = r + 1;
+            acc = 0;
+        }
+    }
+    if start < csr.num_rows() {
+        ranges.push((start, csr.num_rows()));
+    }
+    if ranges.is_empty() {
+        ranges.push((0, csr.num_rows()));
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_matrix::generators::{Benchmark, Scale};
+    use spade_matrix::reference;
+
+    fn dense(rows: usize, k: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, k, |r, c| ((r * 3 + c) % 11) as f32 * 0.125)
+    }
+
+    #[test]
+    fn threaded_spmm_matches_reference() {
+        let a = Benchmark::Kro.generate(Scale::Tiny);
+        let b = dense(a.num_cols(), 32);
+        let run = spmm_threaded(&a, &b, 4);
+        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-4));
+        assert!(run.wall_ns > 0.0);
+    }
+
+    #[test]
+    fn threaded_spmm_single_thread_matches() {
+        let a = Benchmark::Del.generate(Scale::Tiny);
+        let b = dense(a.num_cols(), 32);
+        let run = spmm_threaded(&a, &b, 1);
+        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn threaded_sddmm_matches_reference() {
+        let a = Benchmark::Pap.generate(Scale::Tiny);
+        let b = dense(a.num_rows(), 32);
+        let c_t = dense(a.num_cols(), 32);
+        let run = sddmm_threaded(&a, &b, &c_t, 4);
+        let gold = reference::sddmm(&a, &b, &c_t);
+        assert!(reference::first_mismatch(&run.output, &gold, 1e-4).is_none());
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let a = Coo::from_triplets(16, 16, &[]).unwrap();
+        let b = dense(16, 32);
+        let run = spmm_threaded(&a, &b, 2);
+        assert_eq!(run.output.num_rows(), 16);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let a = Coo::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 2.0)]).unwrap();
+        let b = dense(4, 16);
+        let run = spmm_threaded(&a, &b, 16);
+        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-5));
+    }
+}

@@ -1,0 +1,283 @@
+//! Roofline model of the baseline NVIDIA V100 GPU (§6.A).
+//!
+//! SpMM and SDDMM on a V100 are bandwidth-bound: the paper's own analysis
+//! attributes the GPU's advantage on low-RU matrices entirely to its
+//! 900 GB/s achievable memory bandwidth (vs SPADE's 304 GB/s observed).
+//! The model therefore simulates the kernel's DRAM traffic through the
+//! GPU's 6 MiB L2 (tag-only) and converts bytes to time at the achievable
+//! bandwidth, with a compute roofline as the alternative bound. The paper
+//! also notes matrices that do not fit the 16 GiB device memory (DEL and
+//! ROA at K = 128) — the model reports that condition so callers can apply
+//! the paper's convention (GPU speedup = 1 over the CPU).
+
+use spade_matrix::{reference, Coo, DenseMatrix, FLOATS_PER_LINE};
+use spade_sim::{Cache, CacheConfig};
+
+use crate::BaselineReport;
+
+/// V100 model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Achievable global-memory bandwidth in GB/s (900 for a V100).
+    pub bandwidth_gbps: f64,
+    /// Fraction of the achievable bandwidth the sparse kernel sustains.
+    /// cuSPARSE CSR SpMM reaches roughly 40–50 % of STREAM bandwidth on
+    /// irregular matrices (imperfect coalescing, index overhead).
+    pub kernel_efficiency: f64,
+    /// L2 cache size in bytes (6 MiB on a V100).
+    pub l2_bytes: usize,
+    /// Device memory capacity in bytes (16 GiB on the paper's V100).
+    pub memory_bytes: u64,
+    /// Peak single-precision throughput in GFLOP/s (compute roofline).
+    pub peak_gflops: f64,
+    /// Fixed kernel-launch overhead in nanoseconds.
+    pub launch_ns: f64,
+}
+
+impl GpuConfig {
+    /// The paper's server-class V100.
+    pub fn v100() -> Self {
+        GpuConfig {
+            bandwidth_gbps: 900.0,
+            kernel_efficiency: 0.45,
+            l2_bytes: 6 * 1024 * 1024,
+            memory_bytes: 16 << 30,
+            peak_gflops: 14_000.0,
+            launch_ns: 5_000.0,
+        }
+    }
+
+    /// A proportionally scaled device: bandwidth, L2 and capacity shrink
+    /// by `1/factor`. Used when the benchmark suite itself is scaled down,
+    /// so capacity effects (e.g. DEL/ROA at K = 128 not fitting) appear at
+    /// the same relative sizes as in the paper.
+    pub fn scaled_down(&self, factor: f64) -> Self {
+        GpuConfig {
+            bandwidth_gbps: self.bandwidth_gbps / factor,
+            l2_bytes: ((self.l2_bytes as f64 / factor) as usize).max(64 * 1024),
+            memory_bytes: (self.memory_bytes as f64 / factor) as u64,
+            peak_gflops: self.peak_gflops / factor,
+            ..*self
+        }
+    }
+}
+
+/// Result of one modeled GPU kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuRun {
+    /// Functional output.
+    pub output: DenseMatrix,
+    /// Timing summary (kernel only, no transfers).
+    pub report: BaselineReport,
+    /// Whether the working set fits device memory; when `false`, the
+    /// paper's convention is a GPU speedup of 1× over the CPU.
+    pub fits_memory: bool,
+}
+
+/// Result of one modeled GPU SDDMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSddmmRun {
+    /// Output values in the input's non-zero order.
+    pub output: Vec<f32>,
+    /// Timing summary.
+    pub report: BaselineReport,
+    /// Whether the working set fits device memory.
+    pub fits_memory: bool,
+}
+
+/// The modeled GPU.
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    config: GpuConfig,
+}
+
+impl GpuModel {
+    /// Creates the model.
+    pub fn new(config: GpuConfig) -> Self {
+        GpuModel { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Bytes of the SpMM working set on the device.
+    pub fn spmm_footprint(a: &Coo, b: &DenseMatrix) -> u64 {
+        let d_bytes = a.num_rows() as u64 * b.row_stride() as u64 * 4;
+        a.to_csr().size_bytes() as u64 + b.size_bytes() as u64 + d_bytes
+    }
+
+    /// Simulates the DRAM traffic of a CSR-order sweep through a tag-only
+    /// L2, returning the number of DRAM line transfers.
+    fn traffic_lines(&self, a: &Coo, k_lines: u64, sddmm: bool) -> u64 {
+        let mut l2 = Cache::new(CacheConfig::new(self.config.l2_bytes, 16));
+        let mut dram_lines: u64 = 0;
+        // Address regions (line granular).
+        let nnz = a.nnz() as u64;
+        let sparse_lines = (nnz * 8).div_ceil(64); // compressed index+val pairs
+        let b_base = sparse_lines + 64;
+        let rows = a.num_rows() as u64;
+        let cols = a.num_cols() as u64;
+        let c_base = b_base + cols.max(rows) * k_lines + 64;
+        let out_base = c_base + cols.max(rows) * k_lines + 64;
+
+        // Streamed sparse data: always DRAM (too large to cache, no reuse).
+        dram_lines += sparse_lines;
+
+        let mut access = |l2: &mut Cache, line: u64, write: bool| {
+            if !l2.access(line, write).is_hit() {
+                dram_lines += 1;
+            }
+        };
+
+        let mut current_row = u32::MAX;
+        for (r, c, _) in a.iter() {
+            if sddmm {
+                // B[r] row: reused across the row's non-zeros (registers),
+                // charged once per row.
+                if r != current_row {
+                    current_row = r;
+                    for l in 0..k_lines {
+                        access(&mut l2, b_base + r as u64 * k_lines + l, false);
+                    }
+                }
+                for l in 0..k_lines {
+                    access(&mut l2, c_base + c as u64 * k_lines + l, false);
+                }
+            } else {
+                // SpMM: B[c] through L2; D row writes once per row.
+                for l in 0..k_lines {
+                    access(&mut l2, b_base + c as u64 * k_lines + l, false);
+                }
+                if r != current_row {
+                    current_row = r;
+                    for l in 0..k_lines {
+                        access(&mut l2, out_base + r as u64 * k_lines + l, true);
+                    }
+                }
+            }
+        }
+        if sddmm {
+            // Output values stream out once.
+            dram_lines += (nnz * 4).div_ceil(64);
+        }
+        dram_lines
+    }
+
+    fn kernel_time_ns(&self, dram_lines: u64, flops: f64) -> f64 {
+        let bytes = dram_lines as f64 * 64.0;
+        let mem_ns = bytes / (self.config.bandwidth_gbps * self.config.kernel_efficiency);
+        let compute_ns = flops / self.config.peak_gflops;
+        mem_ns.max(compute_ns) + self.config.launch_ns
+    }
+
+    /// Models SpMM (`D = A × B`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `B` has fewer rows than `A` has columns.
+    pub fn run_spmm(&self, a: &Coo, b: &DenseMatrix) -> GpuRun {
+        let k_lines = b.num_cols().div_ceil(FLOATS_PER_LINE) as u64;
+        let lines = self.traffic_lines(a, k_lines, false);
+        let flops = 2.0 * a.nnz() as f64 * b.num_cols() as f64;
+        let kernel_ns = self.kernel_time_ns(lines, flops);
+        GpuRun {
+            output: reference::spmm(a, b),
+            report: BaselineReport::from_traffic(lines, kernel_ns, self.config.bandwidth_gbps),
+            fits_memory: Self::spmm_footprint(a, b) <= self.config.memory_bytes,
+        }
+    }
+
+    /// Models SDDMM (`D = A ∘ (B × Cᵀ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on operand shape mismatches (see [`reference::sddmm`]).
+    pub fn run_sddmm(&self, a: &Coo, b: &DenseMatrix, c_t: &DenseMatrix) -> GpuSddmmRun {
+        let k_lines = b.num_cols().div_ceil(FLOATS_PER_LINE) as u64;
+        let lines = self.traffic_lines(a, k_lines, true);
+        let flops = 2.0 * a.nnz() as f64 * b.num_cols() as f64;
+        let kernel_ns = self.kernel_time_ns(lines, flops);
+        let footprint = a.to_csr().size_bytes() as u64
+            + b.size_bytes() as u64
+            + c_t.size_bytes() as u64
+            + a.nnz() as u64 * 4;
+        GpuSddmmRun {
+            output: reference::sddmm(a, b, c_t),
+            report: BaselineReport::from_traffic(lines, kernel_ns, self.config.bandwidth_gbps),
+            fits_memory: footprint <= self.config.memory_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_matrix::generators::{Benchmark, Scale};
+
+    fn dense(rows: usize, k: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, k, |r, c| ((r + 2 * c) % 9) as f32)
+    }
+
+    #[test]
+    fn spmm_output_is_reference() {
+        let a = Benchmark::Del.generate(Scale::Tiny);
+        let b = dense(a.num_cols(), 32);
+        let run = GpuModel::new(GpuConfig::v100()).run_spmm(&a, &b);
+        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 0.0));
+        assert!(run.fits_memory);
+        assert!(run.report.kernel_ns > 0.0);
+    }
+
+    #[test]
+    fn reuse_heavy_matrix_moves_less_data() {
+        // MYC (dense rows, huge reuse) vs ROA (road, no reuse): DRAM bytes
+        // per nnz must be far lower for MYC.
+        let myc = Benchmark::Myc.generate(Scale::Tiny);
+        let roa = Benchmark::Roa.generate(Scale::Tiny);
+        let gpu = GpuModel::new(GpuConfig::v100());
+        let m = gpu.run_spmm(&myc, &dense(myc.num_cols(), 32));
+        let r = gpu.run_spmm(&roa, &dense(roa.num_cols(), 32));
+        let m_bpn = m.report.dram_bytes as f64 / myc.nnz() as f64;
+        let r_bpn = r.report.dram_bytes as f64 / roa.nnz() as f64;
+        assert!(m_bpn * 2.0 < r_bpn, "MYC {m_bpn} vs ROA {r_bpn}");
+    }
+
+    #[test]
+    fn capacity_limit_is_detected() {
+        let a = Benchmark::Del.generate(Scale::Tiny);
+        let b = dense(a.num_cols(), 128);
+        let tiny_gpu = GpuModel::new(GpuConfig {
+            memory_bytes: 1 << 20, // 1 MiB device
+            ..GpuConfig::v100()
+        });
+        let run = tiny_gpu.run_spmm(&a, &b);
+        assert!(!run.fits_memory);
+    }
+
+    #[test]
+    fn sddmm_output_is_reference() {
+        let a = Benchmark::Pap.generate(Scale::Tiny);
+        let b = dense(a.num_rows(), 32);
+        let c_t = dense(a.num_cols(), 32);
+        let run = GpuModel::new(GpuConfig::v100()).run_sddmm(&a, &b, &c_t);
+        let gold = reference::sddmm(&a, &b, &c_t);
+        assert!(reference::first_mismatch(&run.output, &gold, 0.0).is_none());
+    }
+
+    #[test]
+    fn scaled_down_preserves_ratios() {
+        let cfg = GpuConfig::v100().scaled_down(100.0);
+        assert!((cfg.bandwidth_gbps - 9.0).abs() < 1e-9);
+        assert!(cfg.memory_bytes < GpuConfig::v100().memory_bytes);
+    }
+
+    #[test]
+    fn launch_overhead_bounds_small_kernels() {
+        let a = Coo::from_triplets(16, 16, &[(0, 0, 1.0)]).unwrap();
+        let b = dense(16, 16);
+        let run = GpuModel::new(GpuConfig::v100()).run_spmm(&a, &b);
+        assert!(run.report.kernel_ns >= 5_000.0);
+    }
+}

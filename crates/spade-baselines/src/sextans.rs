@@ -1,0 +1,183 @@
+//! The idealized Sextans accelerator model (§6.A, §7.F).
+//!
+//! Sextans is an FPGA SpMM accelerator that streams sparse and dense data
+//! from HBM through on-chip scratchpads in sequentially-batched phases.
+//! Following the paper's methodology, the model is *idealized*: compute is
+//! free (only memory time counts), FPGA/AXI limits are ignored, the
+//! scratchpad is scaled up to 170 MB, tuples are compressed to 8 bytes,
+//! and the achievable bandwidth utilization is 50 % of peak — all more
+//! generous than the published Sextans numbers.
+//!
+//! Its one-size-fits-all execution model has the two weaknesses the paper
+//! calls out (§7.F): sparse data is re-read once per 8-column batch of the
+//! dense matrix (so `⌈K/8⌉` times), and when the dense output does not fit
+//! the scratchpad the dense input is re-streamed once per output chunk.
+
+use spade_matrix::{reference, Coo, DenseMatrix};
+
+use crate::BaselineReport;
+
+/// Sextans model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SextansConfig {
+    /// Peak memory bandwidth in GB/s (the paper gives it the host's
+    /// 410 GB/s theoretical DRAM).
+    pub peak_gbps: f64,
+    /// Achievable fraction of peak (0.5 for the idealized model — already
+    /// far above the 15 % reported for the real FPGA).
+    pub utilization: f64,
+    /// On-chip scratchpad capacity in bytes (170 MB scaled-up).
+    pub scratchpad_bytes: u64,
+    /// Columns of the dense matrix processed per streaming pass (8 for
+    /// Sextans).
+    pub cols_per_pass: usize,
+    /// Bytes per compressed `{row, col, val}` tuple.
+    pub tuple_bytes: u64,
+}
+
+impl SextansConfig {
+    /// The idealized scaled-up Sextans of §6.A.
+    pub fn idealized() -> Self {
+        SextansConfig {
+            peak_gbps: 410.0,
+            utilization: 0.5,
+            scratchpad_bytes: 170 * 1_000_000,
+            cols_per_pass: 8,
+            tuple_bytes: 8,
+        }
+    }
+
+    /// A proportionally scaled device for scaled-down benchmark suites.
+    pub fn scaled_down(&self, factor: f64) -> Self {
+        SextansConfig {
+            peak_gbps: self.peak_gbps / factor,
+            scratchpad_bytes: ((self.scratchpad_bytes as f64 / factor) as u64).max(1 << 16),
+            ..*self
+        }
+    }
+}
+
+/// Result of one modeled Sextans SpMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SextansRun {
+    /// Functional output.
+    pub output: DenseMatrix,
+    /// Timing summary (kernel only; PCIe transfers are modeled
+    /// separately).
+    pub report: BaselineReport,
+    /// Number of output chunks the dense output was split into.
+    pub output_chunks: u64,
+    /// Number of passes over the sparse data (`⌈K/8⌉`).
+    pub sparse_passes: u64,
+}
+
+/// The idealized Sextans machine. It supports SpMM only — the paper notes
+/// "Sextans does not support SDDMM" (§7.F).
+#[derive(Debug, Clone)]
+pub struct SextansModel {
+    config: SextansConfig,
+}
+
+impl SextansModel {
+    /// Creates the model.
+    pub fn new(config: SextansConfig) -> Self {
+        SextansModel { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SextansConfig {
+        &self.config
+    }
+
+    /// Models SpMM (`D = A × B`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `B` has fewer rows than `A` has columns.
+    pub fn run_spmm(&self, a: &Coo, b: &DenseMatrix) -> SextansRun {
+        let k = b.num_cols() as u64;
+        let nnz = a.nnz() as u64;
+        let rows = a.num_rows() as u64;
+        let cols = a.num_cols() as u64;
+
+        // Per-pass output footprint: D rows × cols_per_pass floats.
+        let pass_out_bytes = rows * self.config.cols_per_pass as u64 * 4;
+        // Scratchpad holds the output chunk plus streaming buffers; charge
+        // the whole scratchpad to the output chunk (idealized).
+        let output_chunks = pass_out_bytes.div_ceil(self.config.scratchpad_bytes.max(1)).max(1);
+        let sparse_passes = k.div_ceil(self.config.cols_per_pass as u64).max(1);
+
+        // Traffic per §7.F:
+        //  * sparse stream: once per pass over the dense columns,
+        //  * dense input B: each pass streams its 8-column slice once per
+        //    output chunk,
+        //  * dense output D: written once.
+        let sparse_bytes = nnz * self.config.tuple_bytes * sparse_passes;
+        let b_bytes = cols * k * 4 * output_chunks;
+        let d_bytes = rows * k * 4;
+        let total_bytes = sparse_bytes + b_bytes + d_bytes;
+
+        let effective_gbps = self.config.peak_gbps * self.config.utilization;
+        let kernel_ns = total_bytes as f64 / effective_gbps;
+        let lines = total_bytes.div_ceil(64);
+
+        SextansRun {
+            output: reference::spmm(a, b),
+            report: BaselineReport::from_traffic(lines, kernel_ns, self.config.peak_gbps),
+            output_chunks,
+            sparse_passes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_matrix::generators::{Benchmark, Scale};
+
+    fn dense(rows: usize, k: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, k, |r, c| ((r + c) % 5) as f32)
+    }
+
+    #[test]
+    fn output_is_reference() {
+        let a = Benchmark::Kro.generate(Scale::Tiny);
+        let b = dense(a.num_cols(), 32);
+        let run = SextansModel::new(SextansConfig::idealized()).run_spmm(&a, &b);
+        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 0.0));
+    }
+
+    #[test]
+    fn sparse_rereads_grow_with_k() {
+        let a = Benchmark::Del.generate(Scale::Tiny);
+        let model = SextansModel::new(SextansConfig::idealized());
+        let r32 = model.run_spmm(&a, &dense(a.num_cols(), 32));
+        let r128 = model.run_spmm(&a, &dense(a.num_cols(), 128));
+        assert_eq!(r32.sparse_passes, 4);
+        assert_eq!(r128.sparse_passes, 16);
+        assert!(r128.report.kernel_ns > r32.report.kernel_ns * 2.0);
+    }
+
+    #[test]
+    fn small_scratchpad_forces_dense_rereads() {
+        let a = Benchmark::Roa.generate(Scale::Tiny);
+        let big = SextansModel::new(SextansConfig::idealized());
+        let small = SextansModel::new(SextansConfig {
+            scratchpad_bytes: 64 * 1024,
+            ..SextansConfig::idealized()
+        });
+        let rb = big.run_spmm(&a, &dense(a.num_cols(), 32));
+        let rs = small.run_spmm(&a, &dense(a.num_cols(), 32));
+        assert_eq!(rb.output_chunks, 1);
+        assert!(rs.output_chunks > 1);
+        assert!(rs.report.dram_bytes > rb.report.dram_bytes);
+    }
+
+    #[test]
+    fn utilization_is_capped_at_half() {
+        let a = Benchmark::Kro.generate(Scale::Tiny);
+        let run = SextansModel::new(SextansConfig::idealized()).run_spmm(&a, &dense(a.num_cols(), 32));
+        assert!(run.report.utilization <= 0.500001, "{}", run.report.utilization);
+        assert!(run.report.utilization > 0.49);
+    }
+}

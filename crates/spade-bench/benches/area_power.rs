@@ -1,0 +1,62 @@
+//! §7.G: area and power evaluation — the accelerator's footprint relative
+//! to its dual-socket Ice Lake host.
+//!
+//! Paper numbers: 224 SPADE PEs with their L1s, BBFs and victim caches
+//! consume 20.3 W and 24.64 mm² at 10 nm — 4.3 % of the host's 470 W TDP
+//! and 2.5 % of its ~1000 mm² combined die area.
+
+use spade_bench::table;
+use spade_energy::{AreaModel, EnergyModel, MiniSpade};
+
+fn main() {
+    let area = AreaModel::spade_10nm();
+    let energy = EnergyModel::spade_10nm();
+    let pes = 224;
+    let host_tdp_w = 470.0;
+    let host_area_mm2 = 1000.0;
+
+    table::banner(
+        "Area and power of the 224-PE SPADE accelerator at 10 nm (§7.G)",
+        "",
+    );
+    let total_area = area.total_mm2(pes);
+    let total_power = energy.pe_group_max_dynamic_w(pes);
+    table::print_table(
+        &["Metric", "Measured", "Paper"],
+        &[
+            vec![
+                "Area (mm²)".into(),
+                format!("{total_area:.2}"),
+                "24.64".into(),
+            ],
+            vec![
+                "Max dynamic power (W)".into(),
+                format!("{total_power:.1}"),
+                "20.3".into(),
+            ],
+            vec![
+                "Area vs host die".into(),
+                table::pct(area.fraction_of_host(pes, host_area_mm2)),
+                "2.5%".into(),
+            ],
+            vec![
+                "Power vs host TDP".into(),
+                table::pct(total_power / host_tdp_w),
+                "4.3%".into(),
+            ],
+        ],
+    );
+
+    table::banner("miniSPADE prototype cross-check (§6.D)", "");
+    table::print_table(
+        &["Metric", "Value"],
+        &[
+            vec!["Die area (65 nm)".into(), format!("{} mm²", MiniSpade::DIE_MM2)],
+            vec!["Power at 200 MHz".into(), format!("{} W", MiniSpade::POWER_W)],
+            vec![
+                "Model consistency ratio".into(),
+                format!("{:.2}", MiniSpade::area_consistency_ratio(&area)),
+            ],
+        ],
+    );
+}

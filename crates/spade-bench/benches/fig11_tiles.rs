@@ -1,0 +1,76 @@
+//! Figure 11: execution time of SpMM (K=32) across tile row-panel ×
+//! column-panel settings, normalized to the worst setting, for KRO, DEL
+//! and MYC.
+//!
+//! Paper reading: KRO (high RU) wants a small column panel and a large
+//! row panel (maximizes cMatrix reuse); DEL (low RU) wants a column panel
+//! spanning all columns; MYC (few rows) wants small row panels to fight
+//! load imbalance.
+
+use spade_bench::{bench_pes, bench_scale, machines, runner, suite::Workload, table};
+use spade_core::{BarrierPolicy, CMatrixPolicy, ExecutionPlan, Primitive, RMatrixPolicy};
+use spade_matrix::generators::Benchmark;
+
+fn main() {
+    let pes = bench_pes();
+    let scale = bench_scale();
+    let cfg = machines::spade_system(pes);
+    // The bench-scaled analogue of the paper's {8k, 500k, MAX} × {64, 256,
+    // 1024} grid (no bypassing, no barriers).
+    let col_panels = [1_024usize, 8_192, usize::MAX];
+    let row_panels = [4usize, 16, 64];
+
+    for b in [Benchmark::Kro, Benchmark::Del, Benchmark::Myc] {
+        let w = Workload::prepare(b, scale, 32);
+        table::banner(
+            &format!("Figure 11({}): SpMM K=32 tile-size sensitivity", b.short_name()),
+            "Times normalized to the worst setting; lower is better.",
+        );
+        let mut times = vec![vec![0f64; col_panels.len()]; row_panels.len()];
+        let mut worst = 0f64;
+        for (i, &rp) in row_panels.iter().enumerate() {
+            for (j, &cp) in col_panels.iter().enumerate() {
+                let plan = ExecutionPlan::with_knobs(
+                    rp,
+                    cp.min(w.a.num_cols().max(1)),
+                    RMatrixPolicy::Cache,
+                    CMatrixPolicy::Cache,
+                    BarrierPolicy::None,
+                )
+                .expect("valid tile knobs");
+                let r = runner::run_spade(&cfg, &w, Primitive::Spmm, &plan);
+                times[i][j] = r.time_ns;
+                worst = worst.max(r.time_ns);
+            }
+        }
+        let mut rows = Vec::new();
+        for (i, &rp) in row_panels.iter().enumerate() {
+            let mut row = vec![format!("RP={rp}")];
+            for j in 0..col_panels.len() {
+                row.push(table::f2(times[i][j] / worst));
+            }
+            rows.push(row);
+        }
+        table::print_table(&["", "CP=1k", "CP=8k", "CP=MAX"], &rows);
+
+        // Identify the best cell for the summary line.
+        let (mut bi, mut bj) = (0, 0);
+        for i in 0..row_panels.len() {
+            for j in 0..col_panels.len() {
+                if times[i][j] < times[bi][bj] {
+                    (bi, bj) = (i, j);
+                }
+            }
+        }
+        println!(
+            "best: RP={} CP={}",
+            row_panels[bi],
+            if col_panels[bj] == usize::MAX {
+                "MAX".to_string()
+            } else {
+                col_panels[bj].to_string()
+            }
+        );
+        let _ = runner::geomean(&[1.0]);
+    }
+}

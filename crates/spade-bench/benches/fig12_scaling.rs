@@ -1,0 +1,41 @@
+//! Figure 12: strong-scaling analysis — speedup of SPADE2/4/8 Base
+//! (2×/4×/8× the PEs, DRAM bandwidth, LLC size and link latency) over the
+//! baseline SPADE system, for SpMM K=32.
+//!
+//! Paper reading: SPADE scales well on most benchmarks, with superlinear
+//! cases from the larger LLC; MYC and KRO are the exceptions — too few
+//! sparse-matrix rows, so load imbalance hinders strong scaling.
+
+use spade_bench::{bench_pes, bench_scale, fast_mode, machines, runner, suite::Workload, table};
+use spade_core::Primitive;
+use spade_matrix::generators::Benchmark;
+
+fn main() {
+    let pes = bench_pes();
+    let scale = bench_scale();
+    let base_cfg = machines::spade_system(pes);
+    let factors: &[usize] = if fast_mode() { &[2] } else { &[2, 4, 8] };
+
+    table::banner(
+        &format!("Figure 12: strong scaling of SPADE, SpMM K=32 ({pes}-PE base)"),
+        "Bars: speedup of SPADEn Base over SPADE1 Base; linear would be n.",
+    );
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let w = Workload::prepare(b, scale, 32);
+        let base = runner::run_base(&base_cfg, &w, Primitive::Spmm);
+        let mut row = vec![b.short_name().to_string()];
+        for &f in factors {
+            let scaled = base_cfg.scaled_up(f);
+            let r = runner::run_base(&scaled, &w, Primitive::Spmm);
+            row.push(table::f2(base.time_ns / r.time_ns));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["Graph"];
+    let labels: Vec<String> = factors.iter().map(|f| format!("SPADE{f} Base")).collect();
+    header.extend(labels.iter().map(|s| s.as_str()));
+    table::print_table(&header, &rows);
+    println!("\nPaper shape: near-linear (or superlinear via the larger LLC) except MYC/KRO.");
+    let _ = runner::geomean(&[1.0]);
+}

@@ -1,0 +1,52 @@
+//! Figure 14: breakdown of the power consumed in SPADE-mode execution for
+//! SpMM with K=32, into the SPADE PEs (with L1s, BBFs and victim caches),
+//! the L2 caches, the LLC, and DRAM.
+//!
+//! Paper reading: the PE group consumes only ~14 % of total power on
+//! average; cache power is low because the sparse matrix (and sometimes
+//! the rMatrix) bypasses the caches; DRAM accounts for more than 50 %.
+
+use spade_bench::{bench_pes, bench_scale, machines, runner, suite::Workload, table};
+use spade_core::Primitive;
+use spade_energy::EnergyModel;
+use spade_matrix::generators::Benchmark;
+
+fn main() {
+    let pes = bench_pes();
+    let scale = bench_scale();
+    let cfg = machines::spade_system(pes);
+    let energy = EnergyModel::spade_10nm();
+
+    table::banner(
+        "Figure 14: SPADE-mode power breakdown, SpMM K=32",
+        "Columns are fractions of total power per benchmark.",
+    );
+    let mut rows = Vec::new();
+    let mut pe_fracs = Vec::new();
+    let mut dram_fracs = Vec::new();
+    for b in Benchmark::ALL {
+        let w = Workload::prepare(b, scale, 32);
+        let report = runner::run_base(&cfg, &w, Primitive::Spmm);
+        let breakdown = energy.power_breakdown(&report, pes);
+        let f = breakdown.fractions();
+        pe_fracs.push(f[0]);
+        dram_fracs.push(f[3]);
+        rows.push(vec![
+            b.short_name().to_string(),
+            table::pct(f[0]),
+            table::pct(f[1]),
+            table::pct(f[2]),
+            table::pct(f[3]),
+            format!("{:.1} W", breakdown.total_w()),
+        ]);
+    }
+    table::print_table(
+        &["Graph", "PEs+L1+BBF+VC", "L2", "LLC", "DRAM", "Total"],
+        &rows,
+    );
+    println!(
+        "\nAverage PE-group share: {} (paper: ~14%); average DRAM share: {} (paper: >50%)",
+        table::pct(runner::geomean(&pe_fracs)),
+        table::pct(runner::geomean(&dram_fracs)),
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 2: GPU execution times of a single SpMM iteration (including
+//! host↔device transfer and address-mapping overhead) normalized to CPU
+//! execution times.
+//!
+//! Paper headline: counting kernel time only, the GPU always beats the
+//! CPU; counting the transfer, the GPU is always much slower — the
+//! transfer accounts for ~97 % of total time on average.
+
+use spade_bench::{bench_scale, machines, runner, suite::Workload, table};
+use spade_matrix::generators::Benchmark;
+
+fn main() {
+    let cpu = machines::cpu_model();
+    let gpu = machines::gpu_model();
+    let xfer = machines::transfer_model();
+    let scale = bench_scale();
+
+    let mut fractions = Vec::new();
+    for &k in &[32usize, 128] {
+        table::banner(
+            &format!("Figure 2: single SpMM iteration, K={k} — GPU vs CPU"),
+            "GPU total = kernel + host-device transfer + address mapping.",
+        );
+        let mut rows = Vec::new();
+        for b in Benchmark::ALL {
+            let w = Workload::prepare(b, scale, k);
+            let cpu_ns = cpu.run_spmm(&w.a, w.b_for_spmm()).report.kernel_ns;
+            let g = gpu.run_spmm(&w.a, w.b_for_spmm());
+            let transfer_ns = xfer.spmm_roundtrip_ns(&w.a, w.b_for_spmm());
+            let total = g.report.kernel_ns + transfer_ns;
+            let frac = transfer_ns / total;
+            fractions.push(frac);
+            rows.push(vec![
+                b.short_name().to_string(),
+                table::f2(g.report.kernel_ns / cpu_ns),
+                table::f2(total / cpu_ns),
+                table::pct(frac),
+            ]);
+        }
+        table::print_table(
+            &[
+                "Graph",
+                "GPU kernel / CPU",
+                "GPU total / CPU",
+                "Transfer share",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\nAverage transfer share of total GPU time: {} (paper: ~97%)",
+        table::pct(runner::geomean(&fractions))
+    );
+}

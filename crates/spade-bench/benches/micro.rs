@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the core data structures: cache lookups,
+//! VRF tag-CAM allocation, tiling, and the gold kernels. These guard the
+//! simulator's own performance (host seconds per simulated cycle).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spade_core::vrf::{AllocOutcome, Vrf};
+use spade_matrix::generators::{Benchmark, Scale};
+use spade_matrix::{reference, DenseMatrix, TiledCoo, TilingConfig};
+use spade_sim::{Cache, CacheConfig, DataClass};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_32k_8way", |bencher| {
+        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8));
+        let mut line = 0u64;
+        bencher.iter(|| {
+            line = (line * 2862933555777941757 + 3037000493) % 65_536;
+            std::hint::black_box(cache.access(line, line % 4 == 0));
+        });
+    });
+}
+
+fn bench_vrf(c: &mut Criterion) {
+    c.bench_function("vrf_lookup_or_alloc_64", |bencher| {
+        let mut vrf = Vrf::new(64);
+        let mut line = 0u64;
+        bencher.iter(|| {
+            line = (line + 17) % 256;
+            match vrf.lookup_or_alloc(line, DataClass::CMatrix) {
+                AllocOutcome::Allocated(id) => vrf.set_ready(id),
+                AllocOutcome::Reused(_) => {}
+                AllocOutcome::Stall => {
+                    vrf.drain_dirty();
+                }
+            }
+        });
+    });
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let a = Benchmark::Kro.generate(Scale::Tiny);
+    c.bench_function("tile_kro_tiny_16x1024", |bencher| {
+        bencher.iter_batched(
+            || a.clone(),
+            |a| TiledCoo::new(&a, TilingConfig::new(16, 1024).unwrap()).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let a = Benchmark::Del.generate(Scale::Tiny);
+    let b = DenseMatrix::from_fn(a.num_cols(), 32, |r, cc| ((r + cc) % 7) as f32);
+    c.bench_function("reference_spmm_del_tiny_k32", |bencher| {
+        bencher.iter(|| std::hint::black_box(reference::spmm(&a, &b)));
+    });
+    let c_t = DenseMatrix::from_fn(a.num_cols(), 32, |r, cc| ((r * cc) % 5) as f32);
+    c.bench_function("reference_sddmm_del_tiny_k32", |bencher| {
+        bencher.iter(|| std::hint::black_box(reference::sddmm(&a, &b, &c_t)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cache, bench_vrf, bench_tiling, bench_kernels
+}
+criterion_main!(benches);

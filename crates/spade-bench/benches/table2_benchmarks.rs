@@ -1,0 +1,45 @@
+//! Table 2: the benchmark graphs — nodes, edges, density and
+//! Restructuring Utility, for the generated stand-in suite.
+
+use spade_bench::{bench_scale, table};
+use spade_matrix::analysis::MatrixStats;
+use spade_matrix::generators::Benchmark;
+
+fn main() {
+    let scale = bench_scale();
+    table::banner(
+        "Table 2: Benchmark graphs evaluated",
+        &format!(
+            "Synthetic stand-ins at {scale:?} scale (~1/{} of SuiteSparse node counts).",
+            spade_bench::SUITE_SCALE
+        ),
+    );
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let m = b.generate(scale);
+        let s = MatrixStats::compute(&m);
+        rows.push(vec![
+            format!("{} ({})", b.full_name(), b.short_name()),
+            b.domain().to_string(),
+            format!("{:.3}", s.num_rows as f64 / 1e6),
+            format!("{:.3}", s.nnz as f64 / 1e6),
+            format!("1e{:.0}", s.density.log10()),
+            format!("{:.1}", s.avg_degree),
+            b.expected_ru().to_string(),
+            s.classify_ru().to_string(),
+        ]);
+    }
+    table::print_table(
+        &[
+            "Graph",
+            "Domain",
+            "Nodes (M)",
+            "Edges (M)",
+            "Density",
+            "AvgDeg",
+            "RU (paper)",
+            "RU (classified)",
+        ],
+        &rows,
+    );
+}

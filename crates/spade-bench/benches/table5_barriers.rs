@@ -1,0 +1,73 @@
+//! Table 5: percentage change in execution time from applying scheduling
+//! barriers, at the medium row/column panel sizes with no cache bypassing.
+//! Positive numbers are slowdowns.
+//!
+//! Paper reading: matrix-dependent — up to +80.5 % (ASI SpMM K=128) and
+//! down to −57.1 % (ORK SpMM K=128). High-RU matrices benefit; low-RU
+//! matrices are hurt.
+
+use spade_bench::{bench_pes, bench_scale, fast_mode, machines, runner, suite::Workload, table};
+use spade_core::{BarrierPolicy, CMatrixPolicy, ExecutionPlan, Primitive, RMatrixPolicy};
+use spade_matrix::generators::Benchmark;
+
+fn main() {
+    let pes = bench_pes();
+    let scale = bench_scale();
+    let cfg = machines::spade_system(pes);
+    let combos: &[(Primitive, usize)] = if fast_mode() {
+        &[(Primitive::Spmm, 32)]
+    } else if spade_bench::full_search() {
+        &[
+            (Primitive::Spmm, 32),
+            (Primitive::Sddmm, 32),
+            (Primitive::Spmm, 128),
+            (Primitive::Sddmm, 128),
+        ]
+    } else {
+        &[(Primitive::Spmm, 32), (Primitive::Sddmm, 32)]
+    };
+
+    table::banner(
+        "Table 5: % change in execution time from scheduling barriers",
+        "Medium RP/CP, no bypassing. Positive numbers are slowdowns.",
+    );
+    let mut rows = Vec::new();
+    for &(kernel, k) in combos {
+        let mut row = vec![format!("{kernel}{k}")];
+        for b in Benchmark::ALL {
+            let w = Workload::prepare(b, scale, k);
+            let space = machines::search_space(k);
+            // The smallest row panel of the scaled space plays the role of
+            // the paper's "medium" 256-row panel: it keeps several row
+            // panels per PE, which is what gives barriers room to help.
+            let rp = space.row_panels[0];
+            // A "medium" column panel must actually partition the matrix:
+            // use an eighth of the columns (the paper's 524288-column
+            // medium panel is a comparable fraction of its matrices),
+            // bounded by the absolute medium size of the search space.
+            let cp = (w.a.num_cols() / 8).clamp(64, space.col_panels[1]);
+            let make = |barriers| {
+                ExecutionPlan::with_knobs(
+                    rp,
+                    cp,
+                    RMatrixPolicy::Cache,
+                    CMatrixPolicy::Cache,
+                    barriers,
+                )
+                .expect("valid knobs")
+            };
+            let without = runner::run_spade(&cfg, &w, kernel, &make(BarrierPolicy::None));
+            let with = runner::run_spade(&cfg, &w, kernel, &make(BarrierPolicy::per_column_panel()));
+            let change = (with.time_ns - without.time_ns) / without.time_ns * 100.0;
+            row.push(format!("{change:+.1}"));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["Algorithm & K"];
+    let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.short_name()).collect();
+    header.extend(names.iter());
+    table::print_table(&header, &rows);
+    println!(
+        "\nPaper shape: barriers help ORK/KRO/MYC (negative), hurt ASI/DEL/ROA/PAC (positive)."
+    );
+}

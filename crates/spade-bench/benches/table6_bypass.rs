@@ -1,0 +1,71 @@
+//! Table 6: percentage change in execution time from bypassing the caches
+//! for the rMatrix (staging in the BBF victim cache), applied on top of
+//! each benchmark's best tile/barrier setting. Positive numbers are
+//! slowdowns.
+//!
+//! Paper reading: beneficial for most benchmarks (up to −32.9 %, ORK SpMM
+//! K=128), but harmful when the reused rMatrix working set overflows the
+//! victim cache (+169.2 %, KRO SpMM K=32 with its large row panel).
+
+use spade_bench::{bench_pes, bench_scale, fast_mode, machines, runner, suite::Workload, table};
+use spade_core::{ExecutionPlan, Primitive, RMatrixPolicy};
+use spade_matrix::generators::Benchmark;
+
+fn main() {
+    let pes = bench_pes();
+    let scale = bench_scale();
+    let cfg = machines::spade_system(pes);
+    let combos: &[(Primitive, usize)] = if fast_mode() {
+        &[(Primitive::Spmm, 32)]
+    } else if spade_bench::full_search() {
+        &[
+            (Primitive::Spmm, 32),
+            (Primitive::Sddmm, 32),
+            (Primitive::Spmm, 128),
+            (Primitive::Sddmm, 128),
+        ]
+    } else {
+        &[(Primitive::Spmm, 32), (Primitive::Sddmm, 32)]
+    };
+
+    table::banner(
+        "Table 6: % change in execution time from rMatrix cache bypass",
+        "Applied on top of the best tile/barrier setting. Positive = slowdown.",
+    );
+    let mut rows = Vec::new();
+    for &(kernel, k) in combos {
+        let mut row = vec![format!("{kernel}{k}")];
+        for b in Benchmark::ALL {
+            let w = Workload::prepare(b, scale, k);
+            // Best setting with caching (search restricted to Cache
+            // policy), then flip the rMatrix to bypass+victim.
+            let mut space = machines::quick_search_space(k);
+            space.r_policies = vec![RMatrixPolicy::Cache];
+            if w.a.num_rows() < 4_096 {
+                space = space.with_row_panel(2);
+            }
+            let mut best: Option<(ExecutionPlan, f64)> = None;
+            for plan in space.enumerate(&w.a) {
+                let r = runner::run_spade(&cfg, &w, kernel, &plan);
+                if best.as_ref().map_or(true, |(_, t)| r.time_ns < *t) {
+                    best = Some((plan, r.time_ns));
+                }
+            }
+            let (best_plan, cached_ns) = best.expect("search space is non-empty");
+            let bypass_plan = ExecutionPlan {
+                r_policy: RMatrixPolicy::BypassVictim,
+                ..best_plan
+            };
+            let bypass = runner::run_spade(&cfg, &w, kernel, &bypass_plan);
+            let change = (bypass.time_ns - cached_ns) / cached_ns * 100.0;
+            row.push(format!("{change:+.1}"));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["Algorithm & K"];
+    let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.short_name()).collect();
+    header.extend(names.iter());
+    table::print_table(&header, &rows);
+    println!("\nPaper shape: mostly negative (bypass helps); large positive outliers when");
+    println!("the rMatrix working set overflows the victim cache (KRO SpMM K=32).");
+}

@@ -1,0 +1,23 @@
+//! Developer probe: the barrier capacity effect on cMatrix DRAM traffic
+//! (the mechanism behind Table 5).
+
+use spade_bench::{machines, runner, suite::Workload};
+use spade_core::{BarrierPolicy, CMatrixPolicy, ExecutionPlan, Primitive, RMatrixPolicy};
+use spade_matrix::generators::{Benchmark, Scale};
+use spade_sim::LevelKind;
+
+fn main() {
+    let cfg = machines::spade_system(224);
+    for b in [Benchmark::Ork, Benchmark::Kro, Benchmark::Liv] {
+        let w = Workload::prepare(b, Scale::Default, 32);
+        let cp = (w.a.num_cols() / 8).max(64);
+        for barriers in [BarrierPolicy::None, BarrierPolicy::per_column_panel()] {
+            let plan = ExecutionPlan::with_knobs(4, cp, RMatrixPolicy::Cache, CMatrixPolicy::Cache, barriers).unwrap();
+            let r = runner::run_spade(&cfg, &w, Primitive::Spmm, &plan);
+            let llc = r.mem.level(LevelKind::Llc);
+            println!("{} barriers={}: time={:.0}us dram={} llc_hit={:.2} cmatrix_dram={} stall_vr={}",
+                b.short_name(), barriers.is_enabled(), r.time_ns/1e3, r.dram_accesses,
+                llc.hit_rate(), r.mem.dram_by_class(spade_sim::DataClass::CMatrix), r.stall_no_vr);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Suite-scaled machine configurations (see the crate docs for the
+//! scaling rationale).
+
+use spade_baselines::cpu::{CpuConfig, CpuModel};
+use spade_baselines::gpu::{GpuConfig, GpuModel};
+use spade_baselines::sextans::{SextansConfig, SextansModel};
+use spade_baselines::transfer::TransferModel;
+use spade_core::{BarrierPolicy, CMatrixPolicy, ExecutionPlan, PlanSearchSpace, RMatrixPolicy, SystemConfig};
+use spade_matrix::Coo;
+use spade_sim::{ns_to_cycles, CacheConfig, DramConfig, MemConfig, StlbConfig};
+
+use crate::CAPACITY_SCALE;
+
+/// Scaled cache sizes: shared-capacity levels (L2, LLC) divided by the
+/// capacity factor; per-PE structures (L1, victim cache) keep working
+/// minima — the L1 must still cover the 64-register VRF and a victim
+/// cache still needs a few sets.
+fn scaled_caches() -> (CacheConfig, CacheConfig, CacheConfig, usize) {
+    // Paper: L1 32 KiB, VC 16 KiB, L2 1.25 MiB / 4 PEs, LLC 1.5 MiB / 4 PEs.
+    let l1 = CacheConfig::new(8 * 1024, 8);
+    let vc = CacheConfig::new(2 * 1024, 2);
+    let l2 = CacheConfig::new(((1_310_720.0 / CAPACITY_SCALE) as usize).max(8 * 1024), 16);
+    let llc_per_cluster = ((1_572_864.0 / CAPACITY_SCALE) as usize).max(4 * 1024);
+    (l1, vc, l2, llc_per_cluster)
+}
+
+/// The SPADE system used by the benches: Table 1 pipeline, full DRAM
+/// bandwidth, suite-scaled cache capacities.
+///
+/// # Panics
+///
+/// Panics if `num_pes` is not a multiple of 4.
+pub fn spade_system(num_pes: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::with_pes(num_pes);
+    let (l1, vc, l2, llc_per_cluster) = scaled_caches();
+    let clusters = num_pes / 4;
+    cfg.mem.l1 = l1;
+    cfg.mem.victim = Some(vc);
+    cfg.mem.l2 = l2;
+    cfg.mem.llc = CacheConfig::new(clusters * llc_per_cluster, 12);
+    cfg
+}
+
+/// The CPU baseline used by the benches: 56 Ice Lake cores with
+/// suite-scaled caches on the same DRAM.
+pub fn cpu_model() -> CpuModel {
+    let cpu = CpuConfig::ice_lake();
+    let (l1, _, l2, llc_per_cluster) = scaled_caches();
+    let mem = MemConfig {
+        num_agents: cpu.cores,
+        agents_per_cluster: 1,
+        l1,
+        victim: None,
+        l2,
+        llc: CacheConfig::new(cpu.cores * llc_per_cluster, 12),
+        llc_banks: cpu.cores,
+        dram: DramConfig::ice_lake(),
+        stlb: StlbConfig::ice_lake(),
+        link_latency: ns_to_cycles(60.0),
+        l1_latency: 2,
+        l2_latency: 14,
+        llc_latency: 30,
+    };
+    CpuModel::with_mem(cpu, mem)
+}
+
+/// The V100 baseline used by the benches: full bandwidth, capacity-scaled
+/// L2 and device memory (same `CAPACITY_SCALE` as the host caches, so
+/// GPU-side reuse and the DEL/ROA-at-K=128 capacity exception appear at
+/// the paper's relative sizes).
+pub fn gpu_model() -> GpuModel {
+    let base = GpuConfig::v100();
+    GpuModel::new(GpuConfig {
+        l2_bytes: ((base.l2_bytes as f64 / CAPACITY_SCALE) as usize).max(32 * 1024),
+        memory_bytes: (base.memory_bytes as f64 / CAPACITY_SCALE) as u64,
+        ..base
+    })
+}
+
+/// The idealized Sextans used by the benches: full bandwidth,
+/// capacity-scaled scratchpad (the §7.F dense-input re-streaming effect
+/// needs the dense output to overflow the scratchpad at the same relative
+/// point as in the paper).
+pub fn sextans_model() -> SextansModel {
+    let base = SextansConfig::idealized();
+    SextansModel::new(SextansConfig {
+        scratchpad_bytes: ((base.scratchpad_bytes as f64 / CAPACITY_SCALE) as u64).max(1 << 16),
+        ..base
+    })
+}
+
+/// The PCIe transfer model (not scaled: link properties, not capacities).
+pub fn transfer_model() -> TransferModel {
+    TransferModel::pcie3()
+}
+
+/// The bench SPADE Base plan: the paper's "row panel 256, column panel =
+/// all, no bypass, no barriers", with the row panel scaled to preserve
+/// panels-per-PE at the suite scale.
+///
+/// # Panics
+///
+/// Panics if `a` has zero columns.
+pub fn base_plan(a: &Coo) -> ExecutionPlan {
+    ExecutionPlan::with_knobs(
+        8,
+        a.num_cols().max(1),
+        RMatrixPolicy::Cache,
+        CMatrixPolicy::Cache,
+        BarrierPolicy::None,
+    )
+    .expect("base plan parameters are valid")
+}
+
+/// The bench search space mirroring Table 3's structure at the suite
+/// scale: row panels {4, 16, 64}, column panels {small, medium, all} with
+/// the medium sized to roughly the LLC working set, rMatrix bypass on/off,
+/// barriers on the medium column panel.
+pub fn search_space(k: usize) -> PlanSearchSpace {
+    let (small_cp, mid_cp) = if k >= 128 { (256, 2_048) } else { (1_024, 8_192) };
+    PlanSearchSpace {
+        row_panels: vec![4, 16, 64],
+        col_panels: vec![small_cp, mid_cp, usize::MAX],
+        r_policies: vec![RMatrixPolicy::Cache, RMatrixPolicy::BypassVictim],
+        barrier_col_panel: mid_cp,
+    }
+}
+
+/// A reduced space for quick runs: row panels {4, 64} with the full-width
+/// column panel for both rMatrix policies, plus a medium-column-panel
+/// barrier probe — six plans that cover each knob once.
+pub fn quick_search_space(k: usize) -> PlanSearchSpace {
+    let mut s = search_space(k);
+    s.row_panels = vec![4, 64];
+    s.col_panels = vec![s.col_panels[1], usize::MAX];
+    s.r_policies = vec![RMatrixPolicy::Cache, RMatrixPolicy::BypassVictim];
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_llc_preserves_working_set_ratio() {
+        let cfg = spade_system(224);
+        // 56 clusters × (1.5 MiB / 160) ≈ 537 KiB total.
+        assert_eq!(cfg.mem.llc.size_bytes, 56 * 9830);
+        assert_eq!(cfg.mem.dram.bandwidth_gbps, 304.0);
+    }
+
+    #[test]
+    fn l1_still_covers_the_vrf() {
+        let cfg = spade_system(224);
+        // 64 vector registers of 64 B = 4 KiB; the L1 must be larger.
+        assert!(cfg.mem.l1.size_bytes >= 8 * 1024);
+    }
+
+    #[test]
+    fn cpu_and_spade_share_dram() {
+        let cpu = cpu_model();
+        let spade = spade_system(224);
+        assert_eq!(
+            cpu.config().cores, 56,
+        );
+        assert_eq!(spade.mem.dram.bandwidth_gbps, 304.0);
+    }
+
+    #[test]
+    fn search_space_matches_table3_structure() {
+        let s = search_space(32);
+        assert_eq!(s.row_panels.len(), 3);
+        assert_eq!(s.col_panels.len(), 3);
+        assert_eq!(s.r_policies.len(), 2);
+        let s128 = search_space(128);
+        assert!(s128.col_panels[1] < s.col_panels[1]);
+    }
+
+    #[test]
+    fn base_plan_spans_all_columns() {
+        let a = Coo::from_triplets(100, 100, &[(0, 0, 1.0)]).unwrap();
+        let p = base_plan(&a);
+        assert_eq!(p.tiling.col_panel_size, 100);
+        assert_eq!(p.tiling.row_panel_size, 8);
+    }
+}

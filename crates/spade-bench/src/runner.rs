@@ -1,0 +1,99 @@
+//! Run helpers: execute SPADE variants (Base / Opt / scaled-up) on a
+//! workload, with functional validation against the gold kernels.
+
+use spade_core::{
+    run_sddmm_checked, run_spmm_checked, ExecutionPlan, Primitive, RunReport, SpadeSystem,
+    SystemConfig,
+};
+
+use crate::machines;
+use crate::suite::Workload;
+
+/// Runs one SPADE execution of `primitive` on `w` under `plan`, validating
+/// the functional result.
+pub fn run_spade(config: &SystemConfig, w: &Workload, primitive: Primitive, plan: &ExecutionPlan) -> RunReport {
+    let mut sys = SpadeSystem::new(config.clone());
+    match primitive {
+        Primitive::Spmm => run_spmm_checked(&mut sys, &w.a, w.b_for_spmm(), plan).report,
+        Primitive::Sddmm => run_sddmm_checked(&mut sys, &w.a, &w.b, &w.c_t, plan).report,
+    }
+}
+
+/// The SPADE Base report for a workload.
+pub fn run_base(config: &SystemConfig, w: &Workload, primitive: Primitive) -> RunReport {
+    run_spade(config, w, primitive, &machines::base_plan(&w.a))
+}
+
+/// Searches the (quick) Table 3-shaped space and returns the best plan and
+/// its report — the SPADE Opt methodology (§7.A). MYC-like matrices with
+/// very few rows also try a tiny row panel, per the paper.
+pub fn find_opt(
+    config: &SystemConfig,
+    w: &Workload,
+    primitive: Primitive,
+    quick: bool,
+) -> (ExecutionPlan, RunReport) {
+    let mut space = if quick {
+        machines::quick_search_space(w.k)
+    } else {
+        machines::search_space(w.k)
+    };
+    if w.a.num_rows() < 4_096 {
+        space = space.with_row_panel(2);
+    }
+    let mut best: Option<(ExecutionPlan, RunReport)> = None;
+    for plan in space.enumerate(&w.a) {
+        let report = run_spade(config, w, primitive, &plan);
+        let better = best
+            .as_ref()
+            .map_or(true, |(_, b)| report.cycles < b.cycles);
+        if better {
+            best = Some((plan, report));
+        }
+    }
+    // The Base plan is also part of the candidate set (SPADE Opt can never
+    // be worse than Base).
+    let base_plan = machines::base_plan(&w.a);
+    let base = run_spade(config, w, primitive, &base_plan);
+    match best {
+        Some((_, ref b)) if b.cycles <= base.cycles => best.expect("just matched"),
+        _ => (base_plan, base),
+    }
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_matrix::generators::{Benchmark, Scale};
+
+    #[test]
+    fn geomean_of_identity() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn opt_is_never_slower_than_base() {
+        let w = Workload::prepare(Benchmark::Kro, Scale::Tiny, 32);
+        let cfg = machines::spade_system(8);
+        let base = run_base(&cfg, &w, Primitive::Spmm);
+        let (_, opt) = find_opt(&cfg, &w, Primitive::Spmm, true);
+        assert!(opt.cycles <= base.cycles);
+    }
+
+    #[test]
+    fn sddmm_runs_validate() {
+        let w = Workload::prepare(Benchmark::Myc, Scale::Tiny, 32);
+        let cfg = machines::spade_system(8);
+        let r = run_base(&cfg, &w, Primitive::Sddmm);
+        assert!(r.cycles > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Benchmark-suite preparation: the ten Table 2 graphs with their dense
+//! operands.
+
+use spade_matrix::generators::{Benchmark, Scale};
+use spade_matrix::{Coo, DenseMatrix};
+
+/// One prepared workload: the sparse matrix plus deterministic dense
+/// operands for a given `K`.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which Table 2 graph this is.
+    pub benchmark: Benchmark,
+    /// The sparse input matrix `A`.
+    pub a: Coo,
+    /// Dense row size.
+    pub k: usize,
+    /// The SpMM dense input `B` (also the SDDMM rMatrix).
+    pub b: DenseMatrix,
+    /// The SDDMM cMatrix `Cᵀ`.
+    pub c_t: DenseMatrix,
+}
+
+impl Workload {
+    /// Prepares one workload deterministically.
+    pub fn prepare(benchmark: Benchmark, scale: Scale, k: usize) -> Self {
+        let a = benchmark.generate(scale);
+        let b = DenseMatrix::from_fn(a.num_rows().max(a.num_cols()), k, |r, c| {
+            ((r * 31 + c * 7) % 23) as f32 * 0.0625 - 0.5
+        });
+        let c_t = DenseMatrix::from_fn(a.num_cols(), k, |r, c| {
+            ((r * 13 + c * 11) % 19) as f32 * 0.0625 - 0.4
+        });
+        Workload {
+            benchmark,
+            a,
+            k,
+            b,
+            c_t,
+        }
+    }
+
+    /// Prepares the full ten-graph suite.
+    pub fn suite(scale: Scale, k: usize) -> Vec<Workload> {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| Workload::prepare(b, scale, k))
+            .collect()
+    }
+
+    /// The `B` operand sized for SpMM (needs a row per column of `A`).
+    pub fn b_for_spmm(&self) -> &DenseMatrix {
+        &self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes_are_consistent() {
+        let w = Workload::prepare(Benchmark::Kro, Scale::Tiny, 32);
+        assert_eq!(w.b.num_cols(), 32);
+        assert!(w.b.num_rows() >= w.a.num_cols());
+        assert!(w.b.num_rows() >= w.a.num_rows());
+        assert_eq!(w.c_t.num_rows(), w.a.num_cols());
+    }
+
+    #[test]
+    fn preparation_is_deterministic() {
+        let w1 = Workload::prepare(Benchmark::Del, Scale::Tiny, 32);
+        let w2 = Workload::prepare(Benchmark::Del, Scale::Tiny, 32);
+        assert_eq!(w1.a, w2.a);
+        assert_eq!(w1.b, w2.b);
+    }
+
+    #[test]
+    fn suite_covers_all_ten() {
+        let s = Workload::suite(Scale::Tiny, 32);
+        assert_eq!(s.len(), 10);
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal aligned-table printing for the bench reports.
+
+/// Prints a header banner for one experiment.
+pub fn banner(title: &str, note: &str) {
+    println!();
+    println!("=== {title} ===");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!();
+}
+
+/// Prints an aligned table: `header` then `rows`, each as columns of
+/// strings. Column widths adapt to contents.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:<w$}", cell, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("--")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.125), "12.5%");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into(), "x".into()]],
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal hand-rolled flag parsing (the workspace deliberately uses only
+//! the pre-approved dependency set, which has no argument parser).
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` / `--switch` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (after the subcommand). `switches` lists flags that
+    /// take no value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown syntax or a flag missing its value.
+    pub fn parse(argv: &[String], switches: &[&str]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}'"));
+            };
+            if switches.contains(&name) {
+                out.switches.push(name.to_string());
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                out.values.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether switch `--name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parses `--name` as `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = Args::parse(&argv(&["--k", "32", "--json", "--pes", "56"]), &["json"]).unwrap();
+        assert_eq!(a.get("k"), Some("32"));
+        assert!(a.has("json"));
+        assert_eq!(a.get_parsed("pes", 0usize).unwrap(), 56);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv(&["--k"]), &[]).is_err());
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        assert!(Args::parse(&argv(&["kro"]), &[]).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_flag_absent() {
+        let a = Args::parse(&argv(&[]), &[]).unwrap();
+        assert_eq!(a.get_parsed("k", 32usize).unwrap(), 32);
+    }
+
+    #[test]
+    fn bad_parse_is_an_error() {
+        let a = Args::parse(&argv(&["--k", "abc"]), &[]).unwrap();
+        assert!(a.get_parsed("k", 0usize).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::BufReader;
+
+use serde::Serialize;
+use spade_core::{
+    advisor, run_sddmm_checked, run_spmm_checked, BarrierPolicy, CMatrixPolicy, ExecutionPlan,
+    PlanSearchSpace, Primitive, RMatrixPolicy, RunReport, SpadeSystem, SystemConfig,
+};
+use spade_matrix::analysis::MatrixStats;
+use spade_matrix::generators::{Benchmark, Scale};
+use spade_matrix::{mm, Coo, DenseMatrix};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  spade-cli info   [--scale tiny|small|default|large]
+  spade-cli run    --benchmark <name> [--kernel spmm|sddmm] [--k 32]
+                   [--pes 56] [--scale tiny|small|default|large]
+                   [--rp N] [--cp N|all] [--rmatrix cache|bypass|victim]
+                   [--barriers] [--json]
+  spade-cli advise --benchmark <name> [--k 32] [--pes 56] [--scale ...]
+  spade-cli search --benchmark <name> [--k 32] [--pes 56] [--scale ...] [--full]
+  spade-cli mm     --file <matrix.mtx> [--k 32] [--pes 56] [--json]
+
+benchmarks: asi liv ork pap del kro myc pac roa ser";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad flags or
+/// failed runs.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "info" => info(rest),
+        "run" => run(rest),
+        "advise" => advise_cmd(rest),
+        "search" => search(rest),
+        "mm" => run_mm(rest),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn parse_scale(args: &Args) -> Result<Scale, String> {
+    match args.get("scale").unwrap_or("tiny") {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "default" => Ok(Scale::Default),
+        "large" => Ok(Scale::Large),
+        other => Err(format!("--scale: unknown scale '{other}'")),
+    }
+}
+
+fn parse_benchmark(args: &Args) -> Result<Benchmark, String> {
+    let name = args
+        .get("benchmark")
+        .ok_or("--benchmark is required")?
+        .to_lowercase();
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.short_name().eq_ignore_ascii_case(&name))
+        .ok_or(format!("unknown benchmark '{name}'"))
+}
+
+fn parse_system(args: &Args) -> Result<SystemConfig, String> {
+    let pes: usize = args.get_parsed("pes", 56)?;
+    if pes == 0 || pes % 4 != 0 {
+        return Err("--pes must be a positive multiple of 4".into());
+    }
+    Ok(SystemConfig::scaled(pes))
+}
+
+fn info(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let scale = parse_scale(&args)?;
+    println!(
+        "{:<6} {:<24} {:>8} {:>9} {:>8} {:>7}  RU",
+        "name", "domain", "rows", "nnz", "avg-deg", "density"
+    );
+    for b in Benchmark::ALL {
+        let m = b.generate(scale);
+        let s = MatrixStats::compute(&m);
+        println!(
+            "{:<6} {:<24} {:>8} {:>9} {:>8.1} {:>7.0e}  {}",
+            b.short_name(),
+            b.domain(),
+            s.num_rows,
+            s.nnz,
+            s.avg_degree,
+            s.density,
+            s.classify_ru()
+        );
+    }
+    Ok(())
+}
+
+fn parse_plan(args: &Args, a: &Coo) -> Result<ExecutionPlan, String> {
+    let mut plan = ExecutionPlan::spmm_base(a).map_err(|e| e.to_string())?;
+    if let Some(rp) = args.get("rp") {
+        plan.tiling.row_panel_size = rp.parse().map_err(|_| "--rp: bad number")?;
+    }
+    if let Some(cp) = args.get("cp") {
+        plan.tiling.col_panel_size = if cp == "all" {
+            a.num_cols().max(1)
+        } else {
+            cp.parse().map_err(|_| "--cp: bad number")?
+        };
+    }
+    plan.r_policy = match args.get("rmatrix").unwrap_or("cache") {
+        "cache" => RMatrixPolicy::Cache,
+        "bypass" => RMatrixPolicy::Bypass,
+        "victim" => RMatrixPolicy::BypassVictim,
+        other => return Err(format!("--rmatrix: unknown policy '{other}'")),
+    };
+    plan.c_policy = CMatrixPolicy::Cache;
+    if args.has("barriers") {
+        plan.barriers = BarrierPolicy::per_column_panel();
+    }
+    Ok(plan)
+}
+
+#[derive(Serialize)]
+struct RunSummary<'a> {
+    benchmark: &'a str,
+    kernel: String,
+    k: usize,
+    pes: usize,
+    plan: &'a ExecutionPlan,
+    report: &'a RunReport,
+}
+
+fn execute(
+    system_config: &SystemConfig,
+    a: &Coo,
+    k: usize,
+    kernel: Primitive,
+    plan: &ExecutionPlan,
+) -> RunReport {
+    let b = DenseMatrix::from_fn(a.num_rows().max(a.num_cols()), k, |r, c| {
+        ((r * 31 + c * 7) % 23) as f32 * 0.0625 - 0.5
+    });
+    let mut sys = SpadeSystem::new(system_config.clone());
+    match kernel {
+        Primitive::Spmm => run_spmm_checked(&mut sys, a, &b, plan).report,
+        Primitive::Sddmm => {
+            let c_t = DenseMatrix::from_fn(a.num_cols(), k, |r, c| {
+                ((r * 13 + c * 11) % 19) as f32 * 0.0625 - 0.4
+            });
+            run_sddmm_checked(&mut sys, a, &b, &c_t, plan).report
+        }
+    }
+}
+
+fn print_report(report: &RunReport, json: bool, ctx: RunSummary<'_>) -> Result<(), String> {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&ctx).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("cycles            : {}", report.cycles);
+        println!("time              : {:.1} µs", report.time_ns / 1e3);
+        println!("vOps              : {}", report.total_vops);
+        println!("DRAM accesses     : {}", report.dram_accesses);
+        println!("LLC accesses      : {}", report.llc_accesses);
+        println!("requests/cycle    : {:.2}", report.requests_per_cycle);
+        println!("DRAM bandwidth    : {:.1} GB/s", report.achieved_gbps);
+        println!(
+            "termination cost  : {:.2}%",
+            report.termination_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn parse_kernel(args: &Args) -> Result<Primitive, String> {
+    match args.get("kernel").unwrap_or("spmm") {
+        "spmm" => Ok(Primitive::Spmm),
+        "sddmm" => Ok(Primitive::Sddmm),
+        other => Err(format!("--kernel: unknown kernel '{other}'")),
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["json", "barriers"])?;
+    let bench = parse_benchmark(&args)?;
+    let scale = parse_scale(&args)?;
+    let k: usize = args.get_parsed("k", 32)?;
+    let kernel = parse_kernel(&args)?;
+    let system_config = parse_system(&args)?;
+    let a = bench.generate(scale);
+    let plan = parse_plan(&args, &a)?;
+    let report = execute(&system_config, &a, k, kernel, &plan);
+    print_report(
+        &report,
+        args.has("json"),
+        RunSummary {
+            benchmark: bench.short_name(),
+            kernel: kernel.to_string(),
+            k,
+            pes: system_config.num_pes,
+            plan: &plan,
+            report: &report,
+        },
+    )
+}
+
+fn advise_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let bench = parse_benchmark(&args)?;
+    let scale = parse_scale(&args)?;
+    let k: usize = args.get_parsed("k", 32)?;
+    let system_config = parse_system(&args)?;
+    let a = bench.generate(scale);
+    let stats = MatrixStats::compute(&a);
+    let plan = advisor::advise(&a, k, &system_config).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} rows, {} nnz, RU={}",
+        bench.short_name(),
+        a.num_rows(),
+        a.nnz(),
+        stats.classify_ru()
+    );
+    println!(
+        "advised: RP={} CP={} rMatrix={:?} cMatrix={:?} barriers={}",
+        plan.tiling.row_panel_size,
+        plan.tiling.col_panel_size,
+        plan.r_policy,
+        plan.c_policy,
+        plan.barriers.is_enabled()
+    );
+    Ok(())
+}
+
+fn search(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["full"])?;
+    let bench = parse_benchmark(&args)?;
+    let scale = parse_scale(&args)?;
+    let k: usize = args.get_parsed("k", 32)?;
+    let system_config = parse_system(&args)?;
+    let a = bench.generate(scale);
+    let space = if args.has("full") {
+        PlanSearchSpace::table3(k)
+    } else {
+        PlanSearchSpace::quick(k)
+    };
+    let mut results: Vec<(ExecutionPlan, u64)> = Vec::new();
+    for plan in space.enumerate(&a) {
+        let report = execute(&system_config, &a, k, Primitive::Spmm, &plan);
+        results.push((plan, report.cycles));
+    }
+    results.sort_by_key(|&(_, c)| c);
+    println!("{} plans searched; best first:", results.len());
+    for (plan, cycles) in results.iter().take(5) {
+        println!(
+            "  {:>10} cycles  RP={:<6} CP={:<8} {:?} barriers={}",
+            cycles,
+            plan.tiling.row_panel_size,
+            plan.tiling.col_panel_size,
+            plan.r_policy,
+            plan.barriers.is_enabled()
+        );
+    }
+    Ok(())
+}
+
+fn run_mm(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["json"])?;
+    let path = args.get("file").ok_or("--file is required")?;
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let a = mm::read_matrix_market(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let k: usize = args.get_parsed("k", 32)?;
+    let system_config = parse_system(&args)?;
+    let plan = advisor::advise(&a, k, &system_config).map_err(|e| e.to_string())?;
+    let report = execute(&system_config, &a, k, Primitive::Spmm, &plan);
+    print_report(
+        &report,
+        args.has("json"),
+        RunSummary {
+            benchmark: path,
+            kernel: Primitive::Spmm.to_string(),
+            k,
+            pes: system_config.num_pes,
+            plan: &plan,
+            report: &report,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn info_runs() {
+        dispatch(&argv(&["info"])).unwrap();
+    }
+
+    #[test]
+    fn run_executes_a_tiny_benchmark() {
+        dispatch(&argv(&[
+            "run",
+            "--benchmark",
+            "myc",
+            "--k",
+            "16",
+            "--pes",
+            "4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn run_with_json_and_knobs() {
+        dispatch(&argv(&[
+            "run",
+            "--benchmark",
+            "kro",
+            "--pes",
+            "4",
+            "--rp",
+            "4",
+            "--cp",
+            "all",
+            "--rmatrix",
+            "victim",
+            "--json",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn advise_runs() {
+        dispatch(&argv(&["advise", "--benchmark", "roa", "--pes", "8"])).unwrap();
+    }
+
+    #[test]
+    fn bad_pes_is_rejected() {
+        assert!(dispatch(&argv(&["run", "--benchmark", "kro", "--pes", "3"])).is_err());
+    }
+
+    #[test]
+    fn mm_roundtrip_via_tempfile() {
+        let a = Coo::from_triplets(32, 32, &[(0, 1, 1.0), (5, 7, 2.0), (31, 0, 3.0)]).unwrap();
+        let path = std::env::temp_dir().join("spade_cli_test.mtx");
+        let mut buf = Vec::new();
+        mm::write_matrix_market(&a, &mut buf).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        dispatch(&argv(&[
+            "mm",
+            "--file",
+            path.to_str().unwrap(),
+            "--k",
+            "16",
+            "--pes",
+            "4",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,29 @@
+//! `spade-cli` — command-line driver for the SPADE simulation workspace.
+//!
+//! ```text
+//! spade-cli info  [--scale tiny|small|default|large]
+//! spade-cli run   --benchmark kro [--kernel spmm|sddmm] [--k 32] [--pes 56]
+//!                 [--rp N] [--cp N|all] [--rmatrix cache|bypass|victim]
+//!                 [--barriers] [--json]
+//! spade-cli advise --benchmark kro [--k 32] [--pes 56]
+//! spade-cli search --benchmark kro [--k 32] [--pes 56] [--full]
+//! spade-cli mm    --file matrix.mtx [--k 32] [--pes 56] [--json]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

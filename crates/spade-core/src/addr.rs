@@ -1,0 +1,195 @@
+//! Virtual-address layout of the matrix data structures.
+//!
+//! SPADE PEs use the host's virtual addresses directly (§4.1), so the
+//! simulation assigns each array a page-aligned region of a single shared
+//! address space and derives cache-line addresses from element indices.
+
+use spade_matrix::{DenseMatrix, TiledCoo, CACHE_LINE_BYTES};
+use spade_sim::Line;
+
+const PAGE: u64 = 4096;
+
+fn page_align(addr: u64) -> u64 {
+    addr.div_ceil(PAGE) * PAGE
+}
+
+/// Page-aligned virtual-address assignment for one kernel invocation.
+///
+/// # Example
+///
+/// ```
+/// use spade_core::AddressMap;
+/// use spade_matrix::{Coo, DenseMatrix, TiledCoo, TilingConfig};
+///
+/// # fn main() -> Result<(), spade_matrix::MatrixError> {
+/// let a = Coo::from_triplets(4, 4, &[(0, 1, 1.0)])?;
+/// let tiled = TiledCoo::new(&a, TilingConfig::new(2, 2)?)?;
+/// let b = DenseMatrix::zeros(4, 32);
+/// let d = DenseMatrix::zeros(4, 32);
+/// let map = AddressMap::for_spmm(&tiled, &b, &d);
+/// // Distinct arrays never share a cache line.
+/// assert_ne!(map.r_ids_line(0), map.c_ids_line(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    /// Base byte address of the tiled `r_ids` array (4 B entries).
+    pub r_ids_base: u64,
+    /// Base byte address of the tiled `c_ids` array (4 B entries).
+    pub c_ids_base: u64,
+    /// Base byte address of the tiled `vals` array (4 B entries).
+    pub vals_base: u64,
+    /// Base byte address of the rMatrix (row-major, padded rows).
+    pub r_matrix_base: u64,
+    /// Base byte address of the cMatrix (row-major, padded rows).
+    pub c_matrix_base: u64,
+    /// Base byte address of the SDDMM output values array.
+    pub sparse_out_base: u64,
+    /// Dense row stride in bytes (same for rMatrix and cMatrix).
+    pub dense_stride_bytes: u64,
+}
+
+impl AddressMap {
+    /// Lays out the arrays of an SpMM invocation: `A` (tiled), `B`
+    /// (cMatrix) and `D` (rMatrix).
+    pub fn for_spmm(a: &TiledCoo, b: &DenseMatrix, d: &DenseMatrix) -> Self {
+        Self::layout(a, d, b, 0)
+    }
+
+    /// Lays out the arrays of an SDDMM invocation: `A` (tiled), `B`
+    /// (rMatrix), `Cᵀ` (cMatrix) and the output values.
+    pub fn for_sddmm(a: &TiledCoo, b: &DenseMatrix, c_t: &DenseMatrix) -> Self {
+        Self::layout(a, b, c_t, a.out_len_padded() as u64 * 4)
+    }
+
+    fn layout(a: &TiledCoo, r_matrix: &DenseMatrix, c_matrix: &DenseMatrix, out_bytes: u64) -> Self {
+        let nnz_bytes = a.nnz() as u64 * 4;
+        let mut cursor = PAGE; // leave page 0 unmapped
+        let r_ids_base = cursor;
+        cursor = page_align(cursor + nnz_bytes);
+        let c_ids_base = cursor;
+        cursor = page_align(cursor + nnz_bytes);
+        let vals_base = cursor;
+        cursor = page_align(cursor + nnz_bytes);
+        let r_matrix_base = cursor;
+        cursor = page_align(cursor + r_matrix.size_bytes() as u64);
+        let c_matrix_base = cursor;
+        cursor = page_align(cursor + c_matrix.size_bytes() as u64);
+        let sparse_out_base = cursor;
+        debug_assert_eq!(
+            r_matrix.row_stride(),
+            c_matrix.row_stride(),
+            "rMatrix and cMatrix share K and therefore the stride"
+        );
+        let _ = out_bytes;
+        AddressMap {
+            r_ids_base,
+            c_ids_base,
+            vals_base,
+            r_matrix_base,
+            c_matrix_base,
+            sparse_out_base,
+            dense_stride_bytes: r_matrix.row_stride() as u64 * 4,
+        }
+    }
+
+    /// Cache line holding entry `idx` of the `r_ids` array.
+    #[inline]
+    pub fn r_ids_line(&self, idx: u64) -> Line {
+        (self.r_ids_base + idx * 4) / CACHE_LINE_BYTES as u64
+    }
+
+    /// Cache line holding entry `idx` of the `c_ids` array.
+    #[inline]
+    pub fn c_ids_line(&self, idx: u64) -> Line {
+        (self.c_ids_base + idx * 4) / CACHE_LINE_BYTES as u64
+    }
+
+    /// Cache line holding entry `idx` of the `vals` array.
+    #[inline]
+    pub fn vals_line(&self, idx: u64) -> Line {
+        (self.vals_base + idx * 4) / CACHE_LINE_BYTES as u64
+    }
+
+    /// First cache line of rMatrix row `row`.
+    #[inline]
+    pub fn r_matrix_line(&self, row: u64, line_in_row: u64) -> Line {
+        (self.r_matrix_base + row * self.dense_stride_bytes) / CACHE_LINE_BYTES as u64
+            + line_in_row
+    }
+
+    /// First cache line of cMatrix row `row`.
+    #[inline]
+    pub fn c_matrix_line(&self, row: u64, line_in_row: u64) -> Line {
+        (self.c_matrix_base + row * self.dense_stride_bytes) / CACHE_LINE_BYTES as u64
+            + line_in_row
+    }
+
+    /// Cache line holding output value `idx` of the SDDMM output array.
+    #[inline]
+    pub fn sparse_out_line(&self, idx: u64) -> Line {
+        (self.sparse_out_base + idx * 4) / CACHE_LINE_BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_matrix::{Coo, TilingConfig};
+
+    fn fixture() -> (TiledCoo, DenseMatrix, DenseMatrix) {
+        let a = Coo::from_triplets(8, 8, &[(0, 1, 1.0), (7, 7, 2.0), (3, 4, 3.0)]).unwrap();
+        let tiled = TiledCoo::new(&a, TilingConfig::new(4, 4).unwrap()).unwrap();
+        let b = DenseMatrix::zeros(8, 32);
+        let d = DenseMatrix::zeros(8, 32);
+        (tiled, b, d)
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_page_aligned() {
+        let (tiled, b, d) = fixture();
+        let m = AddressMap::for_spmm(&tiled, &b, &d);
+        let bases = [
+            m.r_ids_base,
+            m.c_ids_base,
+            m.vals_base,
+            m.r_matrix_base,
+            m.c_matrix_base,
+            m.sparse_out_base,
+        ];
+        for w in bases.windows(2) {
+            assert!(w[0] < w[1], "regions must ascend: {bases:?}");
+        }
+        for b in bases {
+            assert_eq!(b % PAGE, 0);
+        }
+    }
+
+    #[test]
+    fn dense_rows_start_on_line_boundaries() {
+        let (tiled, b, d) = fixture();
+        let m = AddressMap::for_spmm(&tiled, &b, &d);
+        // K = 32 floats = 2 lines per row.
+        assert_eq!(m.dense_stride_bytes, 128);
+        assert_eq!(m.r_matrix_line(1, 0) - m.r_matrix_line(0, 0), 2);
+        assert_eq!(m.r_matrix_line(0, 1), m.r_matrix_line(0, 0) + 1);
+    }
+
+    #[test]
+    fn sparse_arrays_pack_sixteen_entries_per_line() {
+        let (tiled, b, d) = fixture();
+        let m = AddressMap::for_spmm(&tiled, &b, &d);
+        assert_eq!(m.r_ids_line(0), m.r_ids_line(15));
+        assert_ne!(m.r_ids_line(0), m.r_ids_line(16));
+    }
+
+    #[test]
+    fn sddmm_layout_allocates_output_region() {
+        let (tiled, b, d) = fixture();
+        let m = AddressMap::for_sddmm(&tiled, &b, &d);
+        assert!(m.sparse_out_base > m.c_matrix_base);
+        // Output index 0 and 15 share a line.
+        assert_eq!(m.sparse_out_line(0), m.sparse_out_line(15));
+    }
+}

@@ -1,0 +1,291 @@
+//! SPADE system configuration: the Table 1 microarchitecture and the
+//! Table 4 feature-progression configurations (CFG0–CFG5).
+
+use serde::{Deserialize, Serialize};
+use spade_sim::{Cycle, MemConfig};
+
+/// Per-PE pipeline parameters (the SPADE column of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Entries in the sparse load queue; each entry stages one cache line
+    /// of each of the three sparse arrays (16 non-zeros). Table 1: 6.
+    pub sparse_lq_entries: usize,
+    /// Entries in the tOp queue at the frontend/backend interface.
+    /// Table 1: 16.
+    pub top_queue_entries: usize,
+    /// vOp reservation-station slots. Table 1: 32.
+    pub rs_entries: usize,
+    /// Outstanding dense-line loads. Table 1: 32.
+    pub dense_lq_entries: usize,
+    /// Outstanding write-backs (store queue). Table 1: 8.
+    pub store_queue_entries: usize,
+    /// Physical vector registers. Table 1: 64.
+    pub vrf_regs: usize,
+    /// Write-back manager start threshold as a dirty fraction (0.25).
+    pub wb_hi: f64,
+    /// Write-back manager stop threshold (0.15).
+    pub wb_lo: f64,
+    /// Pipelined SIMD latency in PE cycles.
+    pub simd_latency: Cycle,
+    /// Whether sparse-input loads bypass the cache hierarchy (a CFG4
+    /// system feature — before it, sparse streams pollute the caches).
+    pub sparse_bypass: bool,
+    /// PE clock as a multiple of the 0.8 GHz base (4 for the 3.2 GHz
+    /// CFG0/CFG1 design points: the PE performs 4 pipeline steps per
+    /// simulated 0.8 GHz cycle).
+    pub clock_mult: u32,
+    /// Cycles to fetch/decode one tile instruction from the CPE input
+    /// registers.
+    pub instr_fetch_cycles: Cycle,
+}
+
+impl PipelineConfig {
+    /// The Table 1 SPADE PE.
+    pub fn table1() -> Self {
+        PipelineConfig {
+            sparse_lq_entries: 6,
+            top_queue_entries: 16,
+            rs_entries: 32,
+            dense_lq_entries: 32,
+            store_queue_entries: 8,
+            vrf_regs: 64,
+            wb_hi: 0.25,
+            wb_lo: 0.15,
+            simd_latency: 4,
+            sparse_bypass: true,
+            clock_mult: 1,
+            instr_fetch_cycles: 4,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// A full SPADE system: PE count, pipeline and memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of PEs.
+    pub num_pes: usize,
+    /// Pipeline parameters (identical across PEs).
+    pub pipeline: PipelineConfig,
+    /// The shared host memory system.
+    pub mem: MemConfig,
+}
+
+impl SystemConfig {
+    /// The paper's 224-PE SPADE system (Table 1).
+    pub fn paper() -> Self {
+        Self::with_pes(224)
+    }
+
+    /// A SPADE system with `num_pes` PEs and the full Table 1 memory
+    /// parameters (LLC scales with the PE count; DRAM stays at the host's
+    /// 304 GB/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is not a multiple of 4.
+    pub fn with_pes(num_pes: usize) -> Self {
+        SystemConfig {
+            num_pes,
+            pipeline: PipelineConfig::table1(),
+            mem: MemConfig::spade_table1(num_pes),
+        }
+    }
+
+    /// A proportionally scaled system for fast experiments: LLC and DRAM
+    /// bandwidth shrink with the PE count, preserving the 224-PE balance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is not a multiple of 4.
+    pub fn scaled(num_pes: usize) -> Self {
+        SystemConfig {
+            num_pes,
+            pipeline: PipelineConfig::table1(),
+            mem: MemConfig::scaled(num_pes),
+        }
+    }
+
+    /// The SPADE*n* scale-up of §7.E: `factor`× PEs, DRAM bandwidth, LLC
+    /// size and link latency.
+    pub fn scaled_up(&self, factor: usize) -> Self {
+        SystemConfig {
+            num_pes: self.num_pes * factor,
+            pipeline: self.pipeline,
+            mem: self.mem.scaled_up(factor),
+        }
+    }
+
+    /// The miniSPADE prototype chip (§6.D): four *in-order* PEs, each with
+    /// an L1 and a bypass buffer, sharing one L2 and a memory buffer. The
+    /// tape-out proves the front-end, tOps, vOps and cache bypassing; this
+    /// preset models its structure (in-order execution = a single
+    /// reservation station, a small VRF, no victim cache, one cluster).
+    ///
+    /// Timing uses the simulator's 0.8 GHz base rather than the die's
+    /// 200 MHz — the prototype is a functional proof of concept, not a
+    /// performance vehicle.
+    pub fn mini_spade() -> Self {
+        use spade_sim::{CacheConfig, DramConfig, StlbConfig};
+        let pipeline = PipelineConfig {
+            sparse_lq_entries: 2,
+            top_queue_entries: 4,
+            rs_entries: 1, // in-order: one vOp in flight at the RS
+            dense_lq_entries: 4,
+            store_queue_entries: 2,
+            vrf_regs: 16,
+            wb_hi: 0.25,
+            wb_lo: 0.15,
+            simd_latency: 4,
+            sparse_bypass: true,
+            clock_mult: 1,
+            instr_fetch_cycles: 4,
+        };
+        let mem = spade_sim::MemConfig {
+            num_agents: 4,
+            agents_per_cluster: 4,
+            l1: CacheConfig::new(4 * 1024, 4),
+            victim: None,
+            l2: CacheConfig::new(32 * 1024, 8),
+            // The die's "memory buffer" plays the LLC role.
+            llc: CacheConfig::new(64 * 1024, 8),
+            llc_banks: 1,
+            dram: DramConfig {
+                channels: 1,
+                bandwidth_gbps: 12.8,
+                latency_cycles: 80,
+            },
+            stlb: StlbConfig {
+                entries: 64,
+                ways: 4,
+                page_bytes: 4096,
+                miss_penalty: 100,
+            },
+            link_latency: 16,
+            l1_latency: 2,
+            l2_latency: 10,
+            llc_latency: 20,
+        };
+        SystemConfig {
+            num_pes: 4,
+            pipeline,
+            mem,
+        }
+    }
+
+    /// One of the Table 4 configurations (CFG0–CFG4) at the given total
+    /// PE budget. `base` supplies the memory system; queue sizes, PE count
+    /// and clock follow Table 4:
+    ///
+    /// * CFG0 — 16 RS entries, 3-entry sparse LQ, ¼ the PEs at 4× clock,
+    ///   sparse data through the caches.
+    /// * CFG1 — CFG0 with 32 RS entries.
+    /// * CFG2 — CFG1 with the full PE count at 1× clock.
+    /// * CFG3 — CFG2 with a 6-entry sparse LQ.
+    /// * CFG4 — CFG3 with sparse-data cache bypass (= SPADE Base).
+    ///
+    /// CFG5 (= SPADE Opt) is CFG4 plus flexible execution, which is a
+    /// *plan* property, not a system property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > 4` or the PE count is not a multiple of 16
+    /// (CFG0/CFG1 use a quarter of the PEs in clusters of 4).
+    pub fn table4_cfg(base: &SystemConfig, level: u8) -> Self {
+        assert!(level <= 4, "CFG5 is CFG4 + a tuned ExecutionPlan");
+        let mut cfg = base.clone();
+        if level <= 1 {
+            assert!(
+                base.num_pes % 16 == 0,
+                "CFG0/1 use a quarter of the PEs in clusters of 4"
+            );
+            cfg.num_pes = base.num_pes / 4;
+            cfg.mem.num_agents = cfg.num_pes;
+            cfg.pipeline.clock_mult = 4;
+        }
+        cfg.pipeline.rs_entries = if level == 0 { 16 } else { 32 };
+        cfg.pipeline.sparse_lq_entries = if level <= 2 { 3 } else { 6 };
+        cfg.pipeline.sparse_bypass = level >= 4;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pipeline_matches_paper() {
+        let p = PipelineConfig::table1();
+        assert_eq!(p.sparse_lq_entries, 6);
+        assert_eq!(p.rs_entries, 32);
+        assert_eq!(p.dense_lq_entries, 32);
+        assert_eq!(p.store_queue_entries, 8);
+        assert_eq!(p.vrf_regs, 64);
+        assert!((p.wb_hi - 0.25).abs() < 1e-12);
+        assert!((p.wb_lo - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_system_has_224_pes() {
+        let s = SystemConfig::paper();
+        assert_eq!(s.num_pes, 224);
+        assert_eq!(s.mem.num_agents, 224);
+    }
+
+    #[test]
+    fn cfg_progression_follows_table4() {
+        let base = SystemConfig::scaled(64);
+        let c0 = SystemConfig::table4_cfg(&base, 0);
+        assert_eq!(c0.num_pes, 16);
+        assert_eq!(c0.pipeline.clock_mult, 4);
+        assert_eq!(c0.pipeline.rs_entries, 16);
+        assert_eq!(c0.pipeline.sparse_lq_entries, 3);
+        assert!(!c0.pipeline.sparse_bypass);
+
+        let c1 = SystemConfig::table4_cfg(&base, 1);
+        assert_eq!(c1.pipeline.rs_entries, 32);
+        assert_eq!(c1.num_pes, 16);
+
+        let c2 = SystemConfig::table4_cfg(&base, 2);
+        assert_eq!(c2.num_pes, 64);
+        assert_eq!(c2.pipeline.clock_mult, 1);
+        assert_eq!(c2.pipeline.sparse_lq_entries, 3);
+
+        let c3 = SystemConfig::table4_cfg(&base, 3);
+        assert_eq!(c3.pipeline.sparse_lq_entries, 6);
+        assert!(!c3.pipeline.sparse_bypass);
+
+        let c4 = SystemConfig::table4_cfg(&base, 4);
+        assert!(c4.pipeline.sparse_bypass);
+        assert_eq!(c4, SystemConfig::scaled(64));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cfg5_is_not_a_system_config() {
+        let base = SystemConfig::scaled(64);
+        let _ = SystemConfig::table4_cfg(&base, 5);
+    }
+
+    #[test]
+    fn mini_spade_is_a_four_pe_inorder_machine() {
+        let m = SystemConfig::mini_spade();
+        assert_eq!(m.num_pes, 4);
+        assert_eq!(m.pipeline.rs_entries, 1);
+        assert!(m.mem.victim.is_none());
+        assert_eq!(m.mem.num_agents, 4);
+    }
+
+    #[test]
+    fn scaled_up_multiplies_pes() {
+        let s = SystemConfig::scaled(8).scaled_up(2);
+        assert_eq!(s.num_pes, 16);
+        assert_eq!(s.mem.num_agents, 16);
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use spade_matrix::MatrixError;
+
+/// Errors produced when planning or running a SPADE execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpadeError {
+    /// The underlying matrix operation failed (bad tiling, bad shapes…).
+    Matrix(MatrixError),
+    /// The dense operands do not match the sparse matrix shape.
+    ShapeMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// The dense row size `K` is not a multiple of the cache-line size
+    /// (a SPADE data-layout requirement, §4.3).
+    UnalignedK {
+        /// The offending K.
+        k: usize,
+    },
+    /// A configuration parameter is invalid (zero queue, empty VRF…).
+    InvalidConfig {
+        /// Explanation of the invalid parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpadeError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SpadeError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            SpadeError::UnalignedK { k } => write!(
+                f,
+                "dense row size {k} is not a multiple of the cache line ({} floats)",
+                spade_matrix::FLOATS_PER_LINE
+            ),
+            SpadeError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for SpadeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpadeError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for SpadeError {
+    fn from(e: MatrixError) -> Self {
+        SpadeError::Matrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = SpadeError::UnalignedK { k: 20 };
+        assert!(e.to_string().contains("20"));
+        let e = SpadeError::from(MatrixError::DimensionTooLarge { dim: 1 });
+        assert!(e.to_string().starts_with("matrix error"));
+    }
+
+    #[test]
+    fn source_is_chained_for_matrix_errors() {
+        let e = SpadeError::from(MatrixError::DimensionTooLarge { dim: 1 });
+        assert!(e.source().is_some());
+        let e = SpadeError::UnalignedK { k: 1 };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SpadeError>();
+    }
+}

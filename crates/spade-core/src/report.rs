@@ -1,0 +1,135 @@
+//! Execution reports: the metrics every figure and table of the evaluation
+//! is built from.
+
+use serde::{Deserialize, Serialize};
+use spade_sim::{cycles_to_ns, Cycle, MemStats};
+
+use crate::pe::PeStats;
+
+/// Timing and traffic summary of one simulated SPADE-mode section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total SPADE-mode cycles (0.8 GHz PE cycles), including the
+    /// termination flush.
+    pub cycles: Cycle,
+    /// Wall-clock nanoseconds at the 0.8 GHz PE clock.
+    pub time_ns: f64,
+    /// Total DRAM accesses (reads + write-backs).
+    pub dram_accesses: u64,
+    /// Total LLC lookups.
+    pub llc_accesses: u64,
+    /// Memory requests issued per cycle across all PEs (the latency
+    /// tolerance metric of Figure 10).
+    pub requests_per_cycle: f64,
+    /// Achieved DRAM bandwidth in GB/s.
+    pub achieved_gbps: f64,
+    /// Fraction of the configured DRAM bandwidth used.
+    pub dram_utilization: f64,
+    /// Non-zeros processed.
+    pub total_nnz: u64,
+    /// Non-zeros on the most-loaded PE (load-imbalance diagnostic).
+    pub max_pe_nnz: u64,
+    /// Scheduling barriers executed.
+    pub num_barriers: u32,
+    /// Cycles spent after compute finished, in the SPADE→CPU transition
+    /// (VRF drain + L1/BBF write-back & invalidate, §7.D).
+    pub termination_cycles: Cycle,
+    /// STLB page walks.
+    pub tlb_misses: u64,
+    /// Full per-level memory statistics.
+    pub mem: MemStats,
+    /// vOps executed across all PEs.
+    pub total_vops: u64,
+    /// Aggregate allocation-stall cycles (no free vector register).
+    pub stall_no_vr: u64,
+    /// Aggregate reservation-station-full stall cycles.
+    pub stall_no_rs: u64,
+}
+
+impl RunReport {
+    /// Builds a report from the end-of-run state.
+    pub(crate) fn collect(
+        cycles: Cycle,
+        mem_stats: MemStats,
+        achieved_gbps: f64,
+        dram_utilization: f64,
+        pe_stats: &[PeStats],
+        total_nnz: u64,
+        max_pe_nnz: u64,
+        num_barriers: u32,
+    ) -> Self {
+        let compute_end = pe_stats.iter().map(|s| s.flush_started_at).max().unwrap_or(0);
+        RunReport {
+            cycles,
+            time_ns: cycles_to_ns(cycles),
+            dram_accesses: mem_stats.dram_accesses(),
+            llc_accesses: mem_stats.llc_accesses(),
+            requests_per_cycle: mem_stats.requests_per_cycle(cycles),
+            achieved_gbps,
+            dram_utilization,
+            total_nnz,
+            max_pe_nnz,
+            num_barriers,
+            termination_cycles: cycles.saturating_sub(compute_end),
+            tlb_misses: mem_stats.tlb_misses,
+            total_vops: pe_stats.iter().map(|s| s.vops).sum(),
+            stall_no_vr: pe_stats.iter().map(|s| s.stall_no_vr).sum(),
+            stall_no_rs: pe_stats.iter().map(|s| s.stall_no_rs).sum(),
+            mem: mem_stats,
+        }
+    }
+
+    /// Effective GFLOP/s for SpMM (`2·nnz·K` flops) at the given dense row
+    /// size.
+    pub fn spmm_gflops(&self, k: usize) -> f64 {
+        if self.time_ns == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.total_nnz as f64 * k as f64 / self.time_ns
+    }
+
+    /// Fraction of total time spent in the termination transition.
+    pub fn termination_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.termination_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: Cycle, flush_at: Cycle) -> RunReport {
+        let pe = PeStats {
+            tuples: 100,
+            vops: 200,
+            flush_started_at: flush_at,
+            ..Default::default()
+        };
+        RunReport::collect(cycles, MemStats::new(), 10.0, 0.5, &[pe], 100, 100, 0)
+    }
+
+    #[test]
+    fn termination_fraction_is_relative() {
+        let r = report(1000, 900);
+        assert_eq!(r.termination_cycles, 100);
+        assert!((r.termination_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gflops_counts_two_flops_per_element() {
+        let r = report(800, 800); // 800 cycles = 1000 ns
+        let g = r.spmm_gflops(32);
+        assert!((g - 2.0 * 100.0 * 32.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycle_report_is_safe() {
+        let r = report(0, 0);
+        assert_eq!(r.termination_fraction(), 0.0);
+        assert_eq!(r.requests_per_cycle, 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! CPE tile scheduling (§4.3).
+//!
+//! The control processing element assigns tiles to PEs under one hard
+//! constraint: in SpMM, *all tiles of a row panel go to the same PE*,
+//! because tiles of the same row panel update the same rMatrix rows and
+//! must not race. Row panels are distributed round-robin. With scheduling
+//! barriers, tile execution is additionally ordered by column-panel groups
+//! (Figure 5b): every PE finishes its tiles of one group before any PE
+//! starts the next.
+
+use serde::{Deserialize, Serialize};
+use spade_matrix::TiledCoo;
+
+use crate::{BarrierPolicy, Primitive};
+
+/// One entry of a PE's command stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeCommand {
+    /// Process tile `tile_idx` of the tiled matrix.
+    Tile {
+        /// Index into [`TiledCoo::tiles`].
+        tile_idx: usize,
+    },
+    /// Wait until all PEs have reached barrier `id`.
+    Barrier {
+        /// Sequence number of the barrier (0, 1, 2…).
+        id: u32,
+    },
+    /// Write back and invalidate the PE's L1, BBF and dirty vector
+    /// registers (the WB&Invalidate instruction, §4.3).
+    WbInvalidate,
+    /// Pause the PE; SPADE-mode execution ends when every PE has read its
+    /// Termination instruction.
+    Terminate,
+}
+
+/// A full tile-to-PE assignment produced by the CPE.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    per_pe: Vec<Vec<PeCommand>>,
+    num_barriers: u32,
+}
+
+impl Schedule {
+    /// Builds the schedule for `tiled` on `num_pes` PEs.
+    ///
+    /// Row panels are assigned round-robin to PEs; for SpMM this is also a
+    /// correctness requirement (no row panel is split). Under
+    /// [`BarrierPolicy::EveryColumnPanels`], commands are emitted
+    /// column-panel-group by column-panel-group with a barrier between
+    /// groups; every PE receives every barrier, even when it has no tiles
+    /// in a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is zero.
+    pub fn build(
+        tiled: &TiledCoo,
+        num_pes: usize,
+        primitive: Primitive,
+        barriers: BarrierPolicy,
+    ) -> Self {
+        assert!(num_pes > 0, "need at least one PE");
+        // Row panel -> PE assignment. The same round-robin mapping is used
+        // for SDDMM: it has no correctness constraint (§4.3) but keeps the
+        // rMatrix locality of row-panel affinity.
+        let _ = primitive;
+        let pe_of_panel = |panel: usize| panel % num_pes;
+
+        let mut per_pe: Vec<Vec<PeCommand>> = vec![Vec::new(); num_pes];
+        let mut num_barriers = 0u32;
+        match barriers {
+            BarrierPolicy::None => {
+                // Row-panel-major order per PE (the tiles array is already
+                // row-panel-major, Figure 5a).
+                for (tile_idx, info) in tiled.tiles().iter().enumerate() {
+                    per_pe[pe_of_panel(info.row_panel)].push(PeCommand::Tile { tile_idx });
+                }
+            }
+            BarrierPolicy::EveryColumnPanels { group } => {
+                let group = group.max(1) as usize;
+                let num_groups = tiled.num_col_panels().div_ceil(group);
+                for g in 0..num_groups {
+                    let cp_range = (g * group)..((g + 1) * group).min(tiled.num_col_panels());
+                    for (tile_idx, info) in tiled.tiles().iter().enumerate() {
+                        if cp_range.contains(&info.col_panel) {
+                            per_pe[pe_of_panel(info.row_panel)].push(PeCommand::Tile { tile_idx });
+                        }
+                    }
+                    // Barrier after every group except the last (nothing to
+                    // order after the final group).
+                    if g + 1 < num_groups {
+                        for stream in &mut per_pe {
+                            stream.push(PeCommand::Barrier { id: num_barriers });
+                        }
+                        num_barriers += 1;
+                    }
+                }
+            }
+        }
+        // Termination procedure (§4.3): WB&Invalidate, then Terminate.
+        for stream in &mut per_pe {
+            stream.push(PeCommand::WbInvalidate);
+            stream.push(PeCommand::Terminate);
+        }
+        Schedule {
+            per_pe,
+            num_barriers,
+        }
+    }
+
+    /// The command stream of PE `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn commands(&self, pe: usize) -> &[PeCommand] {
+        &self.per_pe[pe]
+    }
+
+    /// Number of PEs in the schedule.
+    pub fn num_pes(&self) -> usize {
+        self.per_pe.len()
+    }
+
+    /// Number of barriers inserted.
+    pub fn num_barriers(&self) -> u32 {
+        self.num_barriers
+    }
+
+    /// Total tiles scheduled (for sanity checks).
+    pub fn num_tiles(&self) -> usize {
+        self.per_pe
+            .iter()
+            .flatten()
+            .filter(|c| matches!(c, PeCommand::Tile { .. }))
+            .count()
+    }
+
+    /// The non-zero count of the largest per-PE share — used to diagnose
+    /// load imbalance (MYC/KRO in §7.E).
+    pub fn max_pe_nnz(&self, tiled: &TiledCoo) -> u64 {
+        self.per_pe
+            .iter()
+            .map(|cmds| {
+                cmds.iter()
+                    .map(|c| match c {
+                        PeCommand::Tile { tile_idx } => tiled.tiles()[*tile_idx].nnz as u64,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_matrix::{Coo, TilingConfig};
+
+    fn tiled_4x4() -> TiledCoo {
+        // Non-zeros in every 2x2 tile of a 4x4 matrix.
+        let mut t = Vec::new();
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                t.push((r, c, 1.0));
+            }
+        }
+        let a = Coo::from_triplets(4, 4, &t).unwrap();
+        TiledCoo::new(&a, TilingConfig::new(2, 2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn row_panels_never_split_across_pes() {
+        let tiled = tiled_4x4();
+        let s = Schedule::build(&tiled, 2, Primitive::Spmm, BarrierPolicy::None);
+        for pe in 0..2 {
+            for cmd in s.commands(pe) {
+                if let PeCommand::Tile { tile_idx } = cmd {
+                    assert_eq!(tiled.tiles()[*tile_idx].row_panel % 2, pe);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_tile_is_scheduled_exactly_once() {
+        let tiled = tiled_4x4();
+        for barriers in [BarrierPolicy::None, BarrierPolicy::per_column_panel()] {
+            let s = Schedule::build(&tiled, 3, Primitive::Spmm, barriers);
+            assert_eq!(s.num_tiles(), tiled.tiles().len());
+            let mut seen = vec![false; tiled.tiles().len()];
+            for pe in 0..3 {
+                for cmd in s.commands(pe) {
+                    if let PeCommand::Tile { tile_idx } = cmd {
+                        assert!(!seen[*tile_idx], "tile {tile_idx} scheduled twice");
+                        seen[*tile_idx] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn barriers_are_uniform_across_pes() {
+        let tiled = tiled_4x4(); // 2 column panels -> 1 barrier
+        let s = Schedule::build(&tiled, 2, Primitive::Spmm, BarrierPolicy::per_column_panel());
+        assert_eq!(s.num_barriers(), 1);
+        for pe in 0..2 {
+            let barriers: Vec<u32> = s
+                .commands(pe)
+                .iter()
+                .filter_map(|c| match c {
+                    PeCommand::Barrier { id } => Some(*id),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(barriers, vec![0]);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_column_panels() {
+        let tiled = tiled_4x4();
+        let s = Schedule::build(&tiled, 2, Primitive::Spmm, BarrierPolicy::per_column_panel());
+        for pe in 0..2 {
+            let mut seen_barrier = false;
+            for cmd in s.commands(pe) {
+                match cmd {
+                    PeCommand::Barrier { .. } => seen_barrier = true,
+                    PeCommand::Tile { tile_idx } => {
+                        let cp = tiled.tiles()[*tile_idx].col_panel;
+                        if seen_barrier {
+                            assert_eq!(cp, 1);
+                        } else {
+                            assert_eq!(cp, 0);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_barriers_without_policy() {
+        let tiled = tiled_4x4();
+        let s = Schedule::build(&tiled, 2, Primitive::Sddmm, BarrierPolicy::None);
+        assert_eq!(s.num_barriers(), 0);
+    }
+
+    #[test]
+    fn more_pes_than_panels_leaves_some_idle() {
+        let tiled = tiled_4x4(); // 2 row panels
+        let s = Schedule::build(&tiled, 8, Primitive::Spmm, BarrierPolicy::None);
+        let busy = (0..8)
+            .filter(|&pe| s.commands(pe).iter().any(|c| matches!(c, PeCommand::Tile { .. })))
+            .count();
+        assert_eq!(busy, 2);
+    }
+
+    #[test]
+    fn group_size_two_merges_column_panels() {
+        let a = {
+            let mut t = Vec::new();
+            for r in 0..4u32 {
+                for c in 0..8u32 {
+                    t.push((r, c, 1.0));
+                }
+            }
+            Coo::from_triplets(4, 8, &t).unwrap()
+        };
+        let tiled = TiledCoo::new(&a, TilingConfig::new(2, 2).unwrap()).unwrap(); // 4 column panels
+        let s = Schedule::build(
+            &tiled,
+            2,
+            Primitive::Spmm,
+            BarrierPolicy::EveryColumnPanels { group: 2 },
+        );
+        assert_eq!(s.num_barriers(), 1); // 2 groups -> 1 barrier
+    }
+
+    #[test]
+    fn max_pe_nnz_measures_imbalance() {
+        let tiled = tiled_4x4();
+        let s1 = Schedule::build(&tiled, 1, Primitive::Spmm, BarrierPolicy::None);
+        let s2 = Schedule::build(&tiled, 2, Primitive::Spmm, BarrierPolicy::None);
+        assert_eq!(s1.max_pe_nnz(&tiled), 16);
+        assert_eq!(s2.max_pe_nnz(&tiled), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pes_is_rejected() {
+        let tiled = tiled_4x4();
+        let _ = Schedule::build(&tiled, 0, Primitive::Spmm, BarrierPolicy::None);
+    }
+}

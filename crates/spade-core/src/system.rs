@@ -1,0 +1,656 @@
+//! The integrated SPADE system (§4.1): many PEs sharing the host memory
+//! hierarchy, driven by the CPE's tile schedule.
+
+use spade_matrix::{reference, Coo, DenseMatrix, TiledCoo, FLOATS_PER_LINE};
+use spade_sim::{Cycle, MemorySystem};
+
+use crate::pe::{BarrierSync, KernelData, Pe, PeStats, RuntimeParams, TickResult};
+use crate::{
+    AddressMap, ExecutionPlan, Primitive, RunReport, Schedule, SpadeError, SystemConfig,
+};
+
+/// Result of an SpMM run: the output dense matrix and the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmmRun {
+    /// `D = A × B`, computed in the pipeline's out-of-order retirement
+    /// order.
+    pub output: DenseMatrix,
+    /// Timing and traffic metrics.
+    pub report: RunReport,
+}
+
+/// Result of an SDDMM run: the output sparse matrix (same structure as the
+/// input) and the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SddmmRun {
+    /// `D = A ∘ (B × Cᵀ)`.
+    pub output: Coo,
+    /// Timing and traffic metrics.
+    pub report: RunReport,
+}
+
+/// Result of an SpMV run (§9): the output vector and the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvRun {
+    /// `d = A · x`.
+    pub output: Vec<f32>,
+    /// Timing and traffic metrics.
+    pub report: RunReport,
+}
+
+/// A simulated SPADE system.
+///
+/// Each call to [`SpadeSystem::run_spmm`] / [`SpadeSystem::run_sddmm`]
+/// executes one SPADE-mode section: Initialization broadcast, tile
+/// instructions per the CPE schedule, optional scheduling barriers, and the
+/// WB&Invalidate/Termination sequence. Caches start cold unless
+/// [`SpadeSystem::keep_warm`] is enabled.
+///
+/// # Example
+///
+/// ```
+/// use spade_core::{ExecutionPlan, SpadeSystem, SystemConfig};
+/// use spade_matrix::{reference, Coo, DenseMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Coo::from_triplets(64, 64, &[(0, 1, 2.0), (3, 2, 1.0), (63, 63, 1.0)])?;
+/// let b = DenseMatrix::from_fn(64, 32, |r, c| (r + c) as f32);
+/// let mut sys = SpadeSystem::new(SystemConfig::scaled(4));
+/// let run = sys.run_spmm(&a, &b, &ExecutionPlan::spmm_base(&a)?)?;
+/// assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SpadeSystem {
+    config: SystemConfig,
+    mem: Option<MemorySystem>,
+    keep_warm: bool,
+}
+
+impl SpadeSystem {
+    /// Creates a system from `config`.
+    pub fn new(config: SystemConfig) -> Self {
+        SpadeSystem {
+            config,
+            mem: None,
+            keep_warm: false,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// When enabled, subsequent runs reuse the previous run's cache
+    /// contents (timing queues and statistics still reset). Used to
+    /// measure the cold-start overhead of §7.D.
+    pub fn keep_warm(&mut self, warm: bool) -> &mut Self {
+        self.keep_warm = warm;
+        self
+    }
+
+    /// Runs `D = A × B` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpadeError::ShapeMismatch`] if `B` has fewer rows than `A`
+    /// has columns, [`SpadeError::UnalignedK`] if `K` does not fill whole
+    /// cache lines, and tiling errors from the plan.
+    pub fn run_spmm(
+        &mut self,
+        a: &Coo,
+        b: &DenseMatrix,
+        plan: &ExecutionPlan,
+    ) -> Result<SpmmRun, SpadeError> {
+        validate_k(b.num_cols())?;
+        if b.num_rows() < a.num_cols() {
+            return Err(SpadeError::ShapeMismatch {
+                reason: format!(
+                    "B has {} rows but A has {} columns",
+                    b.num_rows(),
+                    a.num_cols()
+                ),
+            });
+        }
+        let tiled = TiledCoo::new(a, plan.tiling)?;
+        let mut d = DenseMatrix::zeros(a.num_rows(), b.num_cols());
+        let addr = AddressMap::for_spmm(&tiled, b, &d);
+        let schedule = Schedule::build(&tiled, self.config.num_pes, Primitive::Spmm, plan.barriers);
+        let report = {
+            let mut data = KernelData::Spmm { b, d: &mut d };
+            self.simulate(Primitive::Spmm, plan, &tiled, &addr, &schedule, &mut data)
+        };
+        Ok(SpmmRun { output: d, report })
+    }
+
+    /// Runs `D = A ∘ (B × Cᵀ)` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpadeError::ShapeMismatch`] if `B` has fewer rows than `A`
+    /// or `Cᵀ` fewer rows than `A` has columns or their `K` differs, and
+    /// [`SpadeError::UnalignedK`] for a `K` that does not fill whole cache
+    /// lines.
+    pub fn run_sddmm(
+        &mut self,
+        a: &Coo,
+        b: &DenseMatrix,
+        c_t: &DenseMatrix,
+        plan: &ExecutionPlan,
+    ) -> Result<SddmmRun, SpadeError> {
+        validate_k(b.num_cols())?;
+        if b.num_rows() < a.num_rows() || c_t.num_rows() < a.num_cols() {
+            return Err(SpadeError::ShapeMismatch {
+                reason: "B needs a row per row of A and Cᵀ a row per column of A".into(),
+            });
+        }
+        if b.num_cols() != c_t.num_cols() {
+            return Err(SpadeError::ShapeMismatch {
+                reason: format!(
+                    "B and Cᵀ disagree on K: {} vs {}",
+                    b.num_cols(),
+                    c_t.num_cols()
+                ),
+            });
+        }
+        let tiled = TiledCoo::new(a, plan.tiling)?;
+        let addr = AddressMap::for_sddmm(&tiled, b, c_t);
+        let schedule =
+            Schedule::build(&tiled, self.config.num_pes, Primitive::Sddmm, plan.barriers);
+        let mut out_tiled = vec![0f32; tiled.nnz()];
+        let report = {
+            let mut data = KernelData::Sddmm {
+                b,
+                c_t,
+                out: &mut out_tiled,
+            };
+            self.simulate(Primitive::Sddmm, plan, &tiled, &addr, &schedule, &mut data)
+        };
+        // Map tiled-order outputs back to the source row-major order.
+        let triplets: Vec<(u32, u32, f32)> = (0..tiled.nnz())
+            .map(|i| (tiled.r_ids()[i], tiled.c_ids()[i], out_tiled[i]))
+            .collect();
+        let output = Coo::from_triplets(a.num_rows(), a.num_cols(), &triplets)?;
+        Ok(SddmmRun { output, report })
+    }
+
+    /// Runs sparse matrix × vector (`d = A · x`) — SpMM with a single
+    /// dense column (§9: "SPADE can already support SpMV").
+    ///
+    /// The dense "matrix" is one element wide; rows still occupy whole
+    /// cache lines per the SPADE layout rules, so each tuple generates one
+    /// vOp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpadeError::ShapeMismatch`] if `x` is shorter than `A`'s
+    /// column count, plus tiling errors from the plan.
+    pub fn run_spmv(
+        &mut self,
+        a: &Coo,
+        x: &[f32],
+        plan: &ExecutionPlan,
+    ) -> Result<SpmvRun, SpadeError> {
+        if x.len() < a.num_cols() {
+            return Err(SpadeError::ShapeMismatch {
+                reason: format!("x has {} entries but A has {} columns", x.len(), a.num_cols()),
+            });
+        }
+        let b = DenseMatrix::from_fn(a.num_cols(), 1, |r, _| x[r]);
+        let tiled = TiledCoo::new(a, plan.tiling)?;
+        let mut d = DenseMatrix::zeros(a.num_rows(), 1);
+        let addr = AddressMap::for_spmm(&tiled, &b, &d);
+        let schedule = Schedule::build(&tiled, self.config.num_pes, Primitive::Spmm, plan.barriers);
+        let report = {
+            let mut data = KernelData::Spmm { b: &b, d: &mut d };
+            self.simulate(Primitive::Spmm, plan, &tiled, &addr, &schedule, &mut data)
+        };
+        let output = (0..a.num_rows()).map(|r| d.get(r, 0)).collect();
+        Ok(SpmvRun { output, report })
+    }
+
+    /// Runs sampled dense-vector × dense-vector (`d = A ∘ (x · yᵀ)`) — the
+    /// SDDVV primitive of §9. For every non-zero `A[r, c]`, the output is
+    /// `A[r, c] · x[r] · y[c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpadeError::ShapeMismatch`] when the vectors are shorter
+    /// than `A`'s rows/columns, plus tiling errors from the plan.
+    pub fn run_sddvv(
+        &mut self,
+        a: &Coo,
+        x: &[f32],
+        y: &[f32],
+        plan: &ExecutionPlan,
+    ) -> Result<SddmmRun, SpadeError> {
+        if x.len() < a.num_rows() || y.len() < a.num_cols() {
+            return Err(SpadeError::ShapeMismatch {
+                reason: "x needs an entry per row of A and y one per column".into(),
+            });
+        }
+        let b = DenseMatrix::from_fn(a.num_rows(), 1, |r, _| x[r]);
+        let c_t = DenseMatrix::from_fn(a.num_cols(), 1, |r, _| y[r]);
+        let tiled = TiledCoo::new(a, plan.tiling)?;
+        let addr = AddressMap::for_sddmm(&tiled, &b, &c_t);
+        let schedule =
+            Schedule::build(&tiled, self.config.num_pes, Primitive::Sddmm, plan.barriers);
+        let mut out_tiled = vec![0f32; tiled.nnz()];
+        let report = {
+            let mut data = KernelData::Sddmm {
+                b: &b,
+                c_t: &c_t,
+                out: &mut out_tiled,
+            };
+            self.simulate(Primitive::Sddmm, plan, &tiled, &addr, &schedule, &mut data)
+        };
+        let triplets: Vec<(u32, u32, f32)> = (0..tiled.nnz())
+            .map(|i| (tiled.r_ids()[i], tiled.c_ids()[i], out_tiled[i]))
+            .collect();
+        let output = Coo::from_triplets(a.num_rows(), a.num_cols(), &triplets)?;
+        Ok(SddmmRun { output, report })
+    }
+
+    fn simulate(
+        &mut self,
+        primitive: Primitive,
+        plan: &ExecutionPlan,
+        tiled: &TiledCoo,
+        addr: &AddressMap,
+        schedule: &Schedule,
+        data: &mut KernelData<'_>,
+    ) -> RunReport {
+        let num_pes = self.config.num_pes;
+        let mut mem = match (self.keep_warm, self.mem.take()) {
+            (true, Some(mut m)) if *m.config() == self.config.mem => {
+                m.reset_stats();
+                m
+            }
+            _ => MemorySystem::new(self.config.mem.clone()),
+        };
+        let params = RuntimeParams {
+            primitive,
+            r_policy: plan.r_policy,
+            c_policy: plan.c_policy,
+            lines_per_row: (addr.dense_stride_bytes / 64) as u32,
+        };
+        let mut barriers = BarrierSync::new(num_pes);
+        let mut pes: Vec<Pe> = (0..num_pes)
+            .map(|i| {
+                Pe::new(
+                    i,
+                    self.config.pipeline,
+                    params,
+                    schedule.commands(i).to_vec(),
+                )
+            })
+            .collect();
+
+        let clock_mult = self.config.pipeline.clock_mult.max(1);
+        let mut now: Cycle = 0;
+        let mut idle_iters = 0u32;
+        // Per-PE wake times: a PE that reports Waiting(t) cannot change
+        // state before its own next event at t (its queues are private), so
+        // it is skipped until then. Barrier releases are the one external
+        // wake source and reset every wake time.
+        let mut wake: Vec<Cycle> = vec![0; num_pes];
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            let mut next_event = Cycle::MAX;
+            for (i, pe) in pes.iter_mut().enumerate() {
+                if pe.is_done() {
+                    continue;
+                }
+                if wake[i] > now {
+                    all_done = false;
+                    next_event = next_event.min(wake[i]);
+                    continue;
+                }
+                let mut pe_next = Cycle::MAX;
+                let mut pe_progressed = false;
+                for _ in 0..clock_mult {
+                    match pe.tick(now, &mut mem, &mut barriers, addr, tiled, data) {
+                        TickResult::Progressed => pe_progressed = true,
+                        TickResult::Waiting(t) => pe_next = pe_next.min(t),
+                        TickResult::Done => break,
+                    }
+                }
+                if pe.is_done() {
+                    continue;
+                }
+                all_done = false;
+                if pe_progressed {
+                    progressed = true;
+                    wake[i] = now + 1;
+                    next_event = next_event.min(now + 1);
+                } else {
+                    // Waiting(MAX) means blocked on a barrier; leave the
+                    // wake at infinity — a release resets it below.
+                    wake[i] = if pe_next == Cycle::MAX {
+                        Cycle::MAX
+                    } else {
+                        pe_next.max(now + 1)
+                    };
+                    next_event = next_event.min(wake[i]);
+                }
+            }
+            if barriers.try_release() {
+                progressed = true;
+                for w in wake.iter_mut() {
+                    *w = now + 1;
+                }
+                next_event = next_event.min(now + 1);
+            }
+            if all_done {
+                break;
+            }
+            if progressed {
+                now += 1;
+                idle_iters = 0;
+            } else if next_event != Cycle::MAX && next_event > now {
+                now = next_event;
+                idle_iters = 0;
+            } else {
+                now += 1;
+                idle_iters += 1;
+                assert!(
+                    idle_iters < 1_000_000,
+                    "simulation deadlock at cycle {now}: no PE can progress"
+                );
+            }
+        }
+
+        let pe_stats: Vec<PeStats> = pes.iter().map(|p| *p.stats()).collect();
+        let report = RunReport::collect(
+            now,
+            mem.stats().clone(),
+            mem.dram().achieved_gbps(now),
+            mem.dram().utilization(now),
+            &pe_stats,
+            tiled.nnz() as u64,
+            schedule.max_pe_nnz(tiled),
+            schedule.num_barriers(),
+        );
+        self.mem = Some(mem);
+        report
+    }
+}
+
+fn validate_k(k: usize) -> Result<(), SpadeError> {
+    if k == 0 || k % FLOATS_PER_LINE != 0 {
+        return Err(SpadeError::UnalignedK { k });
+    }
+    Ok(())
+}
+
+/// Convenience: runs SpMM and checks the result against the gold kernel,
+/// panicking on divergence. Used pervasively by tests and benches.
+///
+/// # Panics
+///
+/// Panics if the simulated output diverges from [`reference::spmm`] beyond
+/// `1e-3` relative tolerance or the run fails.
+pub fn run_spmm_checked(
+    system: &mut SpadeSystem,
+    a: &Coo,
+    b: &DenseMatrix,
+    plan: &ExecutionPlan,
+) -> SpmmRun {
+    let run = system.run_spmm(a, b, plan).expect("SpMM run failed");
+    let gold = reference::spmm(a, b);
+    assert!(
+        reference::dense_close(&run.output, &gold, 1e-3),
+        "simulated SpMM diverged from the gold kernel"
+    );
+    run
+}
+
+/// Convenience: runs SDDMM and checks the result against the gold kernel.
+///
+/// # Panics
+///
+/// Panics if the simulated output diverges from [`reference::sddmm`] beyond
+/// `1e-3` relative tolerance or the run fails.
+pub fn run_sddmm_checked(
+    system: &mut SpadeSystem,
+    a: &Coo,
+    b: &DenseMatrix,
+    c_t: &DenseMatrix,
+    plan: &ExecutionPlan,
+) -> SddmmRun {
+    let run = system.run_sddmm(a, b, c_t, plan).expect("SDDMM run failed");
+    let gold = reference::sddmm(a, b, c_t);
+    assert!(
+        reference::first_mismatch(run.output.vals(), &gold, 1e-3).is_none(),
+        "simulated SDDMM diverged from the gold kernel"
+    );
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BarrierPolicy, CMatrixPolicy, RMatrixPolicy};
+    use spade_matrix::TilingConfig;
+
+    fn small_matrix() -> Coo {
+        let mut t = Vec::new();
+        // A ring plus some extra structure over 64 rows.
+        for i in 0..64u32 {
+            t.push((i, (i + 1) % 64, 1.0 + i as f32 * 0.1));
+            t.push((i, (i * 7) % 64, 0.5));
+            if i % 3 == 0 {
+                t.push((i, i, 2.0));
+            }
+        }
+        Coo::from_triplets(64, 64, &t).unwrap()
+    }
+
+    fn dense(k: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(64, k, |r, c| ((r * 13 + c * 7) % 32) as f32 * 0.125)
+    }
+
+    fn sys() -> SpadeSystem {
+        SpadeSystem::new(SystemConfig::scaled(4))
+    }
+
+    #[test]
+    fn spmm_matches_gold_kernel() {
+        let a = small_matrix();
+        let b = dense(32);
+        let run = run_spmm_checked(&mut sys(), &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+        assert!(run.report.cycles > 0);
+        assert_eq!(run.report.total_nnz, a.nnz() as u64);
+        assert!(run.report.total_vops >= a.nnz() as u64 * 2); // K=32 -> 2 vOps/nnz
+    }
+
+    #[test]
+    fn sddmm_matches_gold_kernel() {
+        let a = small_matrix();
+        let b = dense(32);
+        let c_t = dense(32);
+        let run =
+            run_sddmm_checked(&mut sys(), &a, &b, &c_t, &ExecutionPlan::sddmm_base(&a).unwrap());
+        assert!(run.report.cycles > 0);
+        assert_eq!(run.output.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn spmm_with_tiling_and_barriers_matches_gold() {
+        let a = small_matrix();
+        let b = dense(32);
+        let plan = ExecutionPlan {
+            tiling: TilingConfig::new(8, 16).unwrap(),
+            r_policy: RMatrixPolicy::Cache,
+            c_policy: CMatrixPolicy::Cache,
+            barriers: BarrierPolicy::per_column_panel(),
+        };
+        let run = run_spmm_checked(&mut sys(), &a, &b, &plan);
+        assert!(run.report.num_barriers > 0);
+    }
+
+    #[test]
+    fn spmm_with_all_bypass_policies_matches_gold() {
+        let a = small_matrix();
+        let b = dense(32);
+        for r_policy in [
+            RMatrixPolicy::Cache,
+            RMatrixPolicy::Bypass,
+            RMatrixPolicy::BypassVictim,
+        ] {
+            for c_policy in [CMatrixPolicy::Cache, CMatrixPolicy::Bypass] {
+                let plan = ExecutionPlan {
+                    tiling: TilingConfig::new(16, 64).unwrap(),
+                    r_policy,
+                    c_policy,
+                    barriers: BarrierPolicy::None,
+                };
+                run_spmm_checked(&mut sys(), &a, &b, &plan);
+            }
+        }
+    }
+
+    #[test]
+    fn k128_generates_eight_vops_per_nnz() {
+        let a = small_matrix();
+        let b = dense(128);
+        let run = run_spmm_checked(&mut sys(), &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+        assert_eq!(run.report.total_vops, a.nnz() as u64 * 8);
+    }
+
+    #[test]
+    fn unaligned_k_is_rejected() {
+        let a = small_matrix();
+        let b = DenseMatrix::zeros(64, 20);
+        let err = sys()
+            .run_spmm(&a, &b, &ExecutionPlan::spmm_base(&a).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SpadeError::UnalignedK { k: 20 }));
+    }
+
+    #[test]
+    fn undersized_b_is_rejected() {
+        let a = small_matrix();
+        let b = DenseMatrix::zeros(32, 32);
+        assert!(matches!(
+            sys().run_spmm(&a, &b, &ExecutionPlan::spmm_base(&a).unwrap()),
+            Err(SpadeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_pe_system_works() {
+        let a = small_matrix();
+        let b = dense(32);
+        let mut sys = SpadeSystem::new(SystemConfig::scaled(4));
+        // All tiles to one PE via a row panel covering the whole matrix.
+        let plan = ExecutionPlan {
+            tiling: TilingConfig::new(64, 64).unwrap(),
+            r_policy: RMatrixPolicy::Cache,
+            c_policy: CMatrixPolicy::Cache,
+            barriers: BarrierPolicy::None,
+        };
+        run_spmm_checked(&mut sys, &a, &b, &plan);
+    }
+
+    #[test]
+    fn empty_matrix_completes_immediately() {
+        let a = Coo::from_triplets(64, 64, &[]).unwrap();
+        let b = dense(32);
+        let run = sys()
+            .run_spmm(&a, &b, &ExecutionPlan::spmm_base(&a).unwrap())
+            .unwrap();
+        assert_eq!(run.report.total_vops, 0);
+        assert!(run.report.cycles > 0); // instruction fetch + termination
+    }
+
+    #[test]
+    fn warm_start_reduces_dram_traffic() {
+        let a = small_matrix();
+        let b = dense(32);
+        let plan = ExecutionPlan::spmm_base(&a).unwrap();
+        let mut sys = sys();
+        sys.keep_warm(true);
+        let cold = sys.run_spmm(&a, &b, &plan).unwrap();
+        let warm = sys.run_spmm(&a, &b, &plan).unwrap();
+        assert!(
+            warm.report.dram_accesses < cold.report.dram_accesses,
+            "warm {} vs cold {}",
+            warm.report.dram_accesses,
+            cold.report.dram_accesses
+        );
+        assert!(warm.report.cycles <= cold.report.cycles);
+    }
+
+    #[test]
+    fn termination_overhead_is_small() {
+        let a = small_matrix();
+        let b = dense(32);
+        let run = run_spmm_checked(&mut sys(), &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+        // §7.D reports ~0.2 % on large matrices; on a tiny one allow more,
+        // but it must remain a modest fraction.
+        assert!(run.report.termination_fraction() < 0.5);
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        let a = small_matrix();
+        let x: Vec<f32> = (0..64).map(|i| (i % 7) as f32 * 0.5 - 1.0).collect();
+        let run = sys()
+            .run_spmv(&a, &x, &ExecutionPlan::spmm_base(&a).unwrap())
+            .unwrap();
+        // Reference: SpMM against the 1-column dense matrix.
+        let b = DenseMatrix::from_fn(64, 1, |r, _| x[r]);
+        let gold = reference::spmm(&a, &b);
+        for r in 0..64 {
+            assert!(
+                (run.output[r] - gold.get(r, 0)).abs() < 1e-3,
+                "row {r}: {} vs {}",
+                run.output[r],
+                gold.get(r, 0)
+            );
+        }
+        // One vOp per non-zero: single-line rows.
+        assert_eq!(run.report.total_vops, a.nnz() as u64);
+    }
+
+    #[test]
+    fn sddvv_computes_scaled_outer_product_samples() {
+        let a = small_matrix();
+        let x: Vec<f32> = (0..64).map(|i| (i % 5) as f32 * 0.25).collect();
+        let y: Vec<f32> = (0..64).map(|i| (i % 3) as f32 * 0.5).collect();
+        let run = sys()
+            .run_sddvv(&a, &x, &y, &ExecutionPlan::sddmm_base(&a).unwrap())
+            .unwrap();
+        for (r, c, v) in run.output.iter() {
+            let orig = a
+                .iter()
+                .find(|&(rr, cc, _)| rr == r && cc == c)
+                .expect("structure preserved")
+                .2;
+            let expect = orig * x[r as usize] * y[c as usize];
+            assert!((v - expect).abs() < 1e-3, "({r},{c}): {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn spmv_rejects_short_vector() {
+        let a = small_matrix();
+        let err = sys()
+            .run_spmv(&a, &[1.0; 10], &ExecutionPlan::spmm_base(&a).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SpadeError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn requests_per_cycle_is_positive() {
+        let a = small_matrix();
+        let b = dense(32);
+        let run = run_spmm_checked(&mut sys(), &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+        assert!(run.report.requests_per_cycle > 0.0);
+        assert!(run.report.achieved_gbps > 0.0);
+    }
+}

@@ -1,0 +1,467 @@
+//! The vector register file (VRF) and its tag CAM (§5.1 ④).
+//!
+//! Each vector register holds one cache line. The vOp generator tags
+//! registers with the memory line they cache; before allocating, it checks
+//! the tag CAM so that a line already resident (from a previous vOp) is
+//! reused without a memory request. A status RAM tracks dirty/used bits,
+//! and the write-back manager drains dirty registers between the
+//! 25 % / 15 % occupancy thresholds (§5.1 ⑨).
+
+use std::collections::HashMap;
+
+use spade_sim::{Cycle, DataClass, Line};
+
+/// Index of a vector register.
+pub type VrId = usize;
+
+/// Load state of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VrState {
+    /// No valid tag.
+    Invalid,
+    /// A fill is in flight; data arrives at the cycle payload.
+    Loading {
+        /// Completion time of the fill.
+        ready_at: Cycle,
+    },
+    /// Data resident.
+    Ready,
+}
+
+/// One vector register's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Vr {
+    tag: Line,
+    state: VrState,
+    dirty: bool,
+    /// Pending vOps referencing this register (operand or destination).
+    refs: u32,
+    /// Completion time of the last vOp writing this register — the RAW
+    /// chain for accumulations into the same line.
+    last_write_done: Cycle,
+    /// LRU stamp for clean-eviction choice.
+    last_use: u64,
+    class: DataClass,
+}
+
+const NO_TAG: Line = Line::MAX;
+
+impl Vr {
+    fn empty() -> Self {
+        Vr {
+            tag: NO_TAG,
+            state: VrState::Invalid,
+            dirty: false,
+            refs: 0,
+            last_write_done: 0,
+            last_use: 0,
+            class: DataClass::RMatrix,
+        }
+    }
+}
+
+/// Result of a [`Vrf::lookup_or_alloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// The line was already tagged in a register — no memory request
+    /// needed.
+    Reused(VrId),
+    /// A register was allocated; the caller must issue the fill (or mark
+    /// the register ready for write-only destinations).
+    Allocated(VrId),
+    /// No register available: all are dirty, loading or referenced.
+    Stall,
+}
+
+/// The vector register file.
+///
+/// # Example
+///
+/// ```
+/// use spade_core::vrf::{AllocOutcome, Vrf};
+/// use spade_sim::DataClass;
+///
+/// let mut vrf = Vrf::new(4);
+/// let a = vrf.lookup_or_alloc(100, DataClass::CMatrix);
+/// assert!(matches!(a, AllocOutcome::Allocated(_)));
+/// let b = vrf.lookup_or_alloc(100, DataClass::CMatrix);
+/// assert!(matches!(b, AllocOutcome::Reused(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vrf {
+    regs: Vec<Vr>,
+    cam: HashMap<Line, VrId>,
+    dirty_count: usize,
+    tick: u64,
+    wb_cursor: usize,
+}
+
+impl Vrf {
+    /// Creates a VRF with `num_regs` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_regs` is zero.
+    pub fn new(num_regs: usize) -> Self {
+        assert!(num_regs > 0, "the VRF needs at least one register");
+        Vrf {
+            regs: vec![Vr::empty(); num_regs],
+            cam: HashMap::with_capacity(num_regs * 2),
+            dirty_count: 0,
+            tick: 0,
+            wb_cursor: 0,
+        }
+    }
+
+    /// Total registers.
+    pub fn num_regs(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Currently dirty registers.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Dirty fraction in `[0, 1]`.
+    pub fn dirty_fraction(&self) -> f64 {
+        self.dirty_count as f64 / self.regs.len() as f64
+    }
+
+    /// Finds `line` in the tag CAM or allocates a register for it.
+    ///
+    /// Allocation prefers invalid registers, then the least-recently-used
+    /// clean, unreferenced, resident register (silently evicted — clean
+    /// data needs no write-back). Returns [`AllocOutcome::Stall`] when
+    /// nothing can be evicted.
+    pub fn lookup_or_alloc(&mut self, line: Line, class: DataClass) -> AllocOutcome {
+        self.tick += 1;
+        if let Some(&id) = self.cam.get(&line) {
+            self.regs[id].last_use = self.tick;
+            return AllocOutcome::Reused(id);
+        }
+        // Invalid register?
+        let slot = self.regs.iter().position(|r| r.state == VrState::Invalid);
+        let slot = slot.or_else(|| {
+            // LRU clean eviction candidate.
+            self.regs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.state == VrState::Ready && !r.dirty && r.refs == 0)
+                .min_by_key(|(_, r)| r.last_use)
+                .map(|(i, _)| i)
+        });
+        let Some(id) = slot else {
+            return AllocOutcome::Stall;
+        };
+        if self.regs[id].tag != NO_TAG {
+            self.cam.remove(&self.regs[id].tag);
+        }
+        self.regs[id] = Vr {
+            tag: line,
+            state: VrState::Loading { ready_at: Cycle::MAX },
+            dirty: false,
+            refs: 0,
+            last_write_done: 0,
+            last_use: self.tick,
+            class,
+        };
+        self.cam.insert(line, id);
+        AllocOutcome::Allocated(id)
+    }
+
+    /// Marks a fill in flight, completing at `ready_at`.
+    pub fn set_loading(&mut self, id: VrId, ready_at: Cycle) {
+        self.regs[id].state = VrState::Loading { ready_at };
+    }
+
+    /// Marks the register resident immediately (write-only destinations:
+    /// SDDMM output lines are fully produced, never read, §5.1).
+    pub fn set_ready(&mut self, id: VrId) {
+        self.regs[id].state = VrState::Ready;
+    }
+
+    /// Promotes registers whose fills have arrived by `now`.
+    pub fn complete_loads(&mut self, now: Cycle) {
+        for r in &mut self.regs {
+            if let VrState::Loading { ready_at } = r.state {
+                if ready_at <= now {
+                    r.state = VrState::Ready;
+                }
+            }
+        }
+    }
+
+    /// The cycle at which `id` has its data (now or in the future);
+    /// `Cycle::MAX` while invalid.
+    pub fn ready_at(&self, id: VrId) -> Cycle {
+        match self.regs[id].state {
+            VrState::Invalid => Cycle::MAX,
+            VrState::Loading { ready_at } => ready_at,
+            VrState::Ready => 0,
+        }
+    }
+
+    /// Adds a pending-vOp reference.
+    pub fn add_ref(&mut self, id: VrId) {
+        self.regs[id].refs += 1;
+    }
+
+    /// Releases a pending-vOp reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register has no outstanding references.
+    pub fn release_ref(&mut self, id: VrId) {
+        assert!(self.regs[id].refs > 0, "unbalanced release on VR {id}");
+        self.regs[id].refs -= 1;
+    }
+
+    /// The RAW chain: when the last write to `id` completes.
+    pub fn last_write_done(&self, id: VrId) -> Cycle {
+        self.regs[id].last_write_done
+    }
+
+    /// Records a write to `id` completing at `done` and marks it dirty.
+    pub fn record_write(&mut self, id: VrId, done: Cycle) {
+        let r = &mut self.regs[id];
+        if !r.dirty {
+            self.dirty_count += 1;
+        }
+        r.dirty = true;
+        r.last_write_done = r.last_write_done.max(done);
+    }
+
+    /// Picks a dirty register eligible for write-back: resident,
+    /// unreferenced, and not written again in the future (`now` ≥ its last
+    /// write completion). Least-recently-used dirty registers are drained
+    /// first — they are the least likely to be written again.
+    pub fn writeback_candidate(&mut self, now: Cycle) -> Option<VrId> {
+        let _ = self.wb_cursor;
+        self.regs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.dirty && r.refs == 0 && r.state == VrState::Ready && r.last_write_done <= now
+            })
+            .min_by_key(|(_, r)| r.last_use)
+            .map(|(i, _)| i)
+    }
+
+    /// Cleans `id` after its write-back is issued, returning the line and
+    /// data class to write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not dirty.
+    pub fn clean(&mut self, id: VrId) -> (Line, DataClass) {
+        let r = &mut self.regs[id];
+        assert!(r.dirty, "cleaning a clean register");
+        r.dirty = false;
+        self.dirty_count -= 1;
+        (r.tag, r.class)
+    }
+
+    /// All dirty registers' (line, class), for the final VRF drain of a
+    /// WB&Invalidate; the registers become clean and invalid.
+    pub fn drain_dirty(&mut self) -> Vec<(Line, DataClass)> {
+        let mut out = Vec::new();
+        for r in &mut self.regs {
+            if r.dirty {
+                out.push((r.tag, r.class));
+                r.dirty = false;
+            }
+            if r.tag != NO_TAG {
+                self.cam.remove(&r.tag);
+            }
+            *r = Vr::empty();
+        }
+        self.dirty_count = 0;
+        out
+    }
+
+    /// Whether every register is idle (no refs, no loads in flight). Dirty
+    /// registers are allowed — barriers do not force write-backs.
+    pub fn is_quiescent(&self) -> bool {
+        self.regs
+            .iter()
+            .all(|r| r.refs == 0 && !matches!(r.state, VrState::Loading { .. }))
+    }
+
+    /// Earliest in-flight fill completion, if any (for idle fast-forward).
+    pub fn next_load_completion(&self) -> Option<Cycle> {
+        self.regs
+            .iter()
+            .filter_map(|r| match r.state {
+                VrState::Loading { ready_at } => Some(ready_at),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CL: DataClass = DataClass::CMatrix;
+
+    #[test]
+    fn reuse_hits_the_cam() {
+        let mut v = Vrf::new(2);
+        let AllocOutcome::Allocated(a) = v.lookup_or_alloc(5, CL) else {
+            panic!()
+        };
+        assert_eq!(v.lookup_or_alloc(5, CL), AllocOutcome::Reused(a));
+    }
+
+    #[test]
+    fn allocation_prefers_invalid_then_lru_clean() {
+        let mut v = Vrf::new(2);
+        let AllocOutcome::Allocated(a) = v.lookup_or_alloc(1, CL) else {
+            panic!()
+        };
+        v.set_ready(a);
+        let AllocOutcome::Allocated(b) = v.lookup_or_alloc(2, CL) else {
+            panic!()
+        };
+        v.set_ready(b);
+        // Touch line 1 to make register `a` MRU.
+        v.lookup_or_alloc(1, CL);
+        let AllocOutcome::Allocated(c) = v.lookup_or_alloc(3, CL) else {
+            panic!()
+        };
+        assert_eq!(c, b, "LRU clean register must be evicted");
+        // Line 2's tag must be gone from the CAM.
+        assert!(matches!(v.lookup_or_alloc(2, CL), AllocOutcome::Stall | AllocOutcome::Allocated(_)));
+    }
+
+    #[test]
+    fn stall_when_all_regs_are_busy() {
+        let mut v = Vrf::new(1);
+        let AllocOutcome::Allocated(a) = v.lookup_or_alloc(1, CL) else {
+            panic!()
+        };
+        v.set_loading(a, 100); // in flight -> not evictable
+        assert_eq!(v.lookup_or_alloc(2, CL), AllocOutcome::Stall);
+        v.complete_loads(100);
+        v.add_ref(a); // referenced -> still not evictable
+        assert_eq!(v.lookup_or_alloc(2, CL), AllocOutcome::Stall);
+        v.release_ref(a);
+        assert!(matches!(v.lookup_or_alloc(2, CL), AllocOutcome::Allocated(_)));
+    }
+
+    #[test]
+    fn dirty_registers_are_not_silently_evicted() {
+        let mut v = Vrf::new(1);
+        let AllocOutcome::Allocated(a) = v.lookup_or_alloc(1, CL) else {
+            panic!()
+        };
+        v.set_ready(a);
+        v.record_write(a, 10);
+        assert_eq!(v.lookup_or_alloc(2, CL), AllocOutcome::Stall);
+    }
+
+    #[test]
+    fn load_completion_promotes_state() {
+        let mut v = Vrf::new(1);
+        let AllocOutcome::Allocated(a) = v.lookup_or_alloc(1, CL) else {
+            panic!()
+        };
+        v.set_loading(a, 50);
+        assert_eq!(v.ready_at(a), 50);
+        v.complete_loads(49);
+        assert_eq!(v.ready_at(a), 50);
+        v.complete_loads(50);
+        assert_eq!(v.ready_at(a), 0);
+    }
+
+    #[test]
+    fn raw_chain_tracks_last_writer() {
+        let mut v = Vrf::new(1);
+        let AllocOutcome::Allocated(a) = v.lookup_or_alloc(1, CL) else {
+            panic!()
+        };
+        v.set_ready(a);
+        assert_eq!(v.last_write_done(a), 0);
+        v.record_write(a, 20);
+        v.record_write(a, 15); // out-of-order completion cannot regress
+        assert_eq!(v.last_write_done(a), 20);
+    }
+
+    #[test]
+    fn dirty_accounting_and_thresholds() {
+        let mut v = Vrf::new(4);
+        for line in 0..3 {
+            let AllocOutcome::Allocated(id) = v.lookup_or_alloc(line, CL) else {
+                panic!()
+            };
+            v.set_ready(id);
+            v.record_write(id, 0);
+        }
+        assert_eq!(v.dirty_count(), 3);
+        assert!((v.dirty_fraction() - 0.75).abs() < 1e-12);
+        let c = v.writeback_candidate(10).unwrap();
+        let (line, _) = v.clean(c);
+        assert!(line < 3);
+        assert_eq!(v.dirty_count(), 2);
+    }
+
+    #[test]
+    fn writeback_waits_for_pending_writers() {
+        let mut v = Vrf::new(1);
+        let AllocOutcome::Allocated(a) = v.lookup_or_alloc(1, CL) else {
+            panic!()
+        };
+        v.set_ready(a);
+        v.record_write(a, 100); // write completes in the future
+        assert_eq!(v.writeback_candidate(50), None);
+        assert_eq!(v.writeback_candidate(100), Some(a));
+    }
+
+    #[test]
+    fn drain_returns_all_dirty_lines_and_clears() {
+        let mut v = Vrf::new(4);
+        for line in 0..4 {
+            let AllocOutcome::Allocated(id) = v.lookup_or_alloc(line, CL) else {
+                panic!()
+            };
+            v.set_ready(id);
+            if line % 2 == 0 {
+                v.record_write(id, 0);
+            }
+        }
+        let mut drained: Vec<Line> = v.drain_dirty().into_iter().map(|(l, _)| l).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![0, 2]);
+        assert_eq!(v.dirty_count(), 0);
+        assert!(v.is_quiescent());
+        // Every register is reusable again.
+        for line in 10..14 {
+            assert!(matches!(v.lookup_or_alloc(line, CL), AllocOutcome::Allocated(_)));
+        }
+    }
+
+    #[test]
+    fn quiescence_ignores_dirty_but_not_loading() {
+        let mut v = Vrf::new(2);
+        let AllocOutcome::Allocated(a) = v.lookup_or_alloc(1, CL) else {
+            panic!()
+        };
+        v.set_ready(a);
+        v.record_write(a, 0);
+        assert!(v.is_quiescent());
+        let AllocOutcome::Allocated(b) = v.lookup_or_alloc(2, CL) else {
+            panic!()
+        };
+        v.set_loading(b, 99);
+        assert!(!v.is_quiescent());
+        assert_eq!(v.next_load_completion(), Some(99));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_register_vrf_is_rejected() {
+        let _ = Vrf::new(0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests of the vector register file: CAM consistency, reference
+//! counting, and write-back eligibility under arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use spade_core::vrf::{AllocOutcome, Vrf};
+use spade_sim::DataClass;
+
+/// A randomized VRF workout: allocate/reuse lines, complete loads, write,
+/// clean — mirroring what the vOp generator and write-back manager do.
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    CompleteLoads(u64),
+    Write(usize, u64),
+    ReleaseOne,
+    CleanCandidate(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..32).prop_map(Op::Lookup),
+        (0u64..2000).prop_map(Op::CompleteLoads),
+        ((0usize..8), (0u64..2000)).prop_map(|(i, t)| Op::Write(i, t)),
+        Just(Op::ReleaseOne),
+        (0u64..4000).prop_map(Op::CleanCandidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vrf_invariants_hold_under_arbitrary_sequences(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut vrf = Vrf::new(8);
+        // Shadow state: how many refs we have taken, per register.
+        let mut refs_taken: Vec<u32> = vec![0; 8];
+        let mut ready: Vec<bool> = vec![false; 8];
+        let mut now = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Lookup(line) => {
+                    match vrf.lookup_or_alloc(line, DataClass::CMatrix) {
+                        AllocOutcome::Allocated(id) => {
+                            // Caller contract: every allocation is followed
+                            // by a fill (or immediate ready).
+                            vrf.set_loading(id, now + 10);
+                            ready[id] = false;
+                            vrf.add_ref(id);
+                            refs_taken[id] += 1;
+                            // A second lookup of the same line must reuse.
+                            prop_assert_eq!(
+                                vrf.lookup_or_alloc(line, DataClass::CMatrix),
+                                AllocOutcome::Reused(id)
+                            );
+                        }
+                        AllocOutcome::Reused(id) => {
+                            vrf.add_ref(id);
+                            refs_taken[id] += 1;
+                        }
+                        AllocOutcome::Stall => {
+                            // Legal only when every register is pinned:
+                            // loading, referenced, or dirty.
+                            prop_assert!(
+                                (0..8).all(|i| refs_taken[i] > 0
+                                    || vrf.ready_at(i) > 0
+                                    || vrf.dirty_count() > 0),
+                                "stall with a free register"
+                            );
+                        }
+                    }
+                }
+                Op::CompleteLoads(t) => {
+                    now = now.max(t);
+                    vrf.complete_loads(now);
+                    for (i, r) in ready.iter_mut().enumerate() {
+                        if vrf.ready_at(i) == 0 {
+                            *r = true;
+                        }
+                    }
+                }
+                Op::Write(i, t) => {
+                    let id = i % 8;
+                    if ready[id] && vrf.ready_at(id) == 0 {
+                        vrf.record_write(id, t);
+                        prop_assert!(vrf.last_write_done(id) >= t);
+                    }
+                }
+                Op::ReleaseOne => {
+                    if let Some(id) = (0..8).find(|&i| refs_taken[i] > 0) {
+                        vrf.release_ref(id);
+                        refs_taken[id] -= 1;
+                    }
+                }
+                Op::CleanCandidate(t) => {
+                    now = now.max(t);
+                    if let Some(id) = vrf.writeback_candidate(now) {
+                        // Eligibility contract.
+                        prop_assert_eq!(refs_taken[id], 0, "writeback of a referenced register");
+                        prop_assert!(vrf.last_write_done(id) <= now);
+                        let before = vrf.dirty_count();
+                        vrf.clean(id);
+                        prop_assert_eq!(vrf.dirty_count(), before - 1);
+                    }
+                }
+            }
+            prop_assert!(vrf.dirty_count() <= vrf.num_regs());
+            let frac = vrf.dirty_fraction();
+            prop_assert!((0.0..=1.0).contains(&frac));
+        }
+
+        // Drain: afterwards the VRF is pristine.
+        for (i, taken) in refs_taken.iter_mut().enumerate() {
+            for _ in 0..*taken {
+                vrf.release_ref(i);
+            }
+            *taken = 0;
+        }
+        let drained = vrf.drain_dirty();
+        prop_assert!(drained.len() <= 8);
+        prop_assert_eq!(vrf.dirty_count(), 0);
+        prop_assert!(vrf.is_quiescent());
+    }
+}

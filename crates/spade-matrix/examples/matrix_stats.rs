@@ -1,0 +1,13 @@
+//! Prints Table 2-style structural statistics for the generated suite.
+
+fn main() {
+    use spade_matrix::analysis::MatrixStats;
+    use spade_matrix::generators::{Benchmark, Scale};
+    for b in Benchmark::ALL {
+        let m = b.generate(Scale::Default);
+        let s = MatrixStats::compute(&m);
+        println!("{}: rows={} nnz={} avg_deg={:.1} skew={:.1} bw={:.4} reuse={:.3} -> {:?} (expect {:?})",
+            b.short_name(), s.num_rows, s.nnz, s.avg_degree, s.degree_skew,
+            s.normalized_bandwidth, s.local_column_reuse, s.classify_ru(), b.expected_ru());
+    }
+}

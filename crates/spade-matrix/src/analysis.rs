@@ -1,0 +1,250 @@
+//! Sparse-matrix structure analysis.
+//!
+//! The SPADE evaluation groups matrices by *Restructuring Utility* (RU):
+//! whether a matrix benefits from tiling, scheduling barriers and cache
+//! bypassing (§6.B). RU depends on the reuse structure of the matrix, which
+//! this module quantifies with cheap, purely structural statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Coo;
+
+/// How much a matrix benefits from SPADE's flexibility knobs (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RestructuringUtility {
+    /// Rarely benefits: little reuse to exploit (road graphs, meshes).
+    Low,
+    /// Benefits in some settings (one kernel, or only large K).
+    Medium,
+    /// Consistently benefits (power-law and dense-row matrices).
+    High,
+}
+
+impl std::fmt::Display for RestructuringUtility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestructuringUtility::Low => write!(f, "Low"),
+            RestructuringUtility::Medium => write!(f, "Medium"),
+            RestructuringUtility::High => write!(f, "High"),
+        }
+    }
+}
+
+/// Structural statistics of a sparse matrix (the Table 2 columns plus the
+/// locality measures the RU classifier uses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub num_rows: usize,
+    /// Number of columns.
+    pub num_cols: usize,
+    /// Number of non-zeros.
+    pub nnz: usize,
+    /// `nnz / (rows · cols)`.
+    pub density: f64,
+    /// Mean non-zeros per row.
+    pub avg_degree: f64,
+    /// Largest row population.
+    pub max_degree: usize,
+    /// Ratio of max to mean degree — skew indicator (hubs ⇒ reuse).
+    pub degree_skew: f64,
+    /// Mean |row − col| over non-zeros, normalized by the matrix dimension.
+    /// Near-diagonal matrices (roads, meshes, stencils) score low.
+    pub normalized_bandwidth: f64,
+    /// Fraction of non-zeros whose column index repeats within a window of
+    /// 256 consecutive rows — a proxy for cMatrix reuse inside a tile.
+    pub local_column_reuse: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `matrix`.
+    pub fn compute(matrix: &Coo) -> Self {
+        let num_rows = matrix.num_rows();
+        let num_cols = matrix.num_cols();
+        let nnz = matrix.nnz();
+        let mut degree = vec![0usize; num_rows];
+        let mut band_sum = 0f64;
+        for (r, c, _) in matrix.iter() {
+            degree[r as usize] += 1;
+            band_sum += (r as f64 - c as f64).abs();
+        }
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+        let avg_degree = if num_rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / num_rows as f64
+        };
+        let dim = num_rows.max(num_cols).max(1) as f64;
+        let normalized_bandwidth = if nnz == 0 { 0.0 } else { band_sum / nnz as f64 / dim };
+
+        // Column reuse within 256-row windows: walk the (row-major) entries
+        // and count columns already seen in the current window.
+        let window = 256usize;
+        let mut seen: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut window_start = 0u32;
+        let mut reused = 0usize;
+        for (r, c, _) in matrix.iter() {
+            if r >= window_start + window as u32 {
+                seen.clear();
+                window_start = (r / window as u32) * window as u32;
+            }
+            let count = seen.entry(c).or_insert(0);
+            if *count > 0 {
+                reused += 1;
+            }
+            *count += 1;
+        }
+        let local_column_reuse = if nnz == 0 { 0.0 } else { reused as f64 / nnz as f64 };
+
+        MatrixStats {
+            num_rows,
+            num_cols,
+            nnz,
+            density: matrix.density(),
+            avg_degree,
+            max_degree,
+            degree_skew: if avg_degree > 0.0 {
+                max_degree as f64 / avg_degree
+            } else {
+                0.0
+            },
+            normalized_bandwidth,
+            local_column_reuse,
+        }
+    }
+
+    /// Classifies the matrix's Restructuring Utility from its structure.
+    ///
+    /// High RU needs exploitable reuse: either heavy degree skew with
+    /// substantial average degree (power-law hubs) or high local column
+    /// reuse (dense rows). Low RU matrices are near-diagonal with low
+    /// degree — their reuse is already captured without restructuring.
+    pub fn classify_ru(&self) -> RestructuringUtility {
+        let hublike = self.degree_skew > 50.0 && self.avg_degree > 8.0;
+        let dense_rows = self.avg_degree > 60.0;
+        let local = self.normalized_bandwidth < 0.05 && self.avg_degree < 30.0;
+        if dense_rows || (hublike && self.local_column_reuse > 0.3) {
+            RestructuringUtility::High
+        } else if local || self.avg_degree < 4.0 {
+            RestructuringUtility::Low
+        } else {
+            RestructuringUtility::Medium
+        }
+    }
+}
+
+/// Per-row degree histogram with logarithmic buckets; used by the workload
+/// reports to show degree skew.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeHistogram {
+    /// `buckets[i]` counts rows with degree in `[2^i, 2^(i+1))`; bucket 0
+    /// also counts degree-0 rows.
+    pub buckets: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Computes the histogram for `matrix`.
+    pub fn compute(matrix: &Coo) -> Self {
+        let mut degree = vec![0usize; matrix.num_rows()];
+        for &r in matrix.r_ids() {
+            degree[r as usize] += 1;
+        }
+        let mut buckets = Vec::new();
+        for d in degree {
+            let b = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+            if buckets.len() <= b {
+                buckets.resize(b + 1, 0);
+            }
+            buckets[b] += 1;
+        }
+        DegreeHistogram { buckets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Benchmark, Scale};
+    use crate::Coo;
+
+    #[test]
+    fn stats_of_diagonal_matrix() {
+        let a = Coo::from_triplets(4, 4, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)])
+            .unwrap();
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.nnz, 4);
+        assert_eq!(s.avg_degree, 1.0);
+        assert_eq!(s.max_degree, 1);
+        assert_eq!(s.normalized_bandwidth, 0.0);
+        assert_eq!(s.local_column_reuse, 0.0);
+    }
+
+    #[test]
+    fn stats_of_empty_matrix_do_not_divide_by_zero() {
+        let a = Coo::from_triplets(3, 3, &[]).unwrap();
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.degree_skew, 0.0);
+    }
+
+    #[test]
+    fn column_reuse_detects_repeated_columns() {
+        // All nnz in the same column within one window.
+        let a = Coo::from_triplets(4, 4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 2, 1.0)]).unwrap();
+        let s = MatrixStats::compute(&a);
+        assert!(s.local_column_reuse > 0.5);
+    }
+
+    #[test]
+    fn road_class_is_low_ru() {
+        let m = Benchmark::Roa.generate(Scale::Tiny);
+        let s = MatrixStats::compute(&m);
+        assert_eq!(s.classify_ru(), RestructuringUtility::Low);
+    }
+
+    #[test]
+    fn myc_class_is_high_ru() {
+        // Classification needs enough structure; use the Default scale
+        // (MYC stays small — ~1.5k rows — so this is still fast).
+        let m = Benchmark::Myc.generate(Scale::Default);
+        let s = MatrixStats::compute(&m);
+        assert_eq!(s.classify_ru(), RestructuringUtility::High);
+    }
+
+    #[test]
+    fn suite_classification_matches_table2() {
+        // At the Default scale, the structural classifier reproduces the
+        // Table 2 RU column for the whole suite.
+        for b in Benchmark::ALL {
+            let m = b.generate(Scale::Default);
+            let s = MatrixStats::compute(&m);
+            assert_eq!(
+                s.classify_ru(),
+                b.expected_ru(),
+                "{} misclassified: {:?}",
+                b.short_name(),
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_counts_all_rows() {
+        let m = Benchmark::Kro.generate(Scale::Tiny);
+        let h = DegreeHistogram::compute(&m);
+        assert_eq!(h.buckets.iter().sum::<usize>(), m.num_rows());
+    }
+
+    #[test]
+    fn ru_display_matches_table2_names() {
+        assert_eq!(RestructuringUtility::Low.to_string(), "Low");
+        assert_eq!(RestructuringUtility::Medium.to_string(), "Medium");
+        assert_eq!(RestructuringUtility::High.to_string(), "High");
+    }
+
+    #[test]
+    fn ru_ordering_low_to_high() {
+        assert!(RestructuringUtility::Low < RestructuringUtility::Medium);
+        assert!(RestructuringUtility::Medium < RestructuringUtility::High);
+    }
+}

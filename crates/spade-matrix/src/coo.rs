@@ -1,0 +1,285 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Csr, MatrixError};
+
+/// A sparse matrix in coordinate (COO) format.
+///
+/// This is the format SPADE consumes (§4.2, Appendix A): three parallel
+/// arrays `r_ids`, `c_ids`, `vals`. Entries are kept sorted in row-major
+/// order and duplicates are combined on construction, so a `Coo` always
+/// represents a well-defined matrix.
+///
+/// # Example
+///
+/// ```
+/// use spade_matrix::Coo;
+///
+/// # fn main() -> Result<(), spade_matrix::MatrixError> {
+/// let a = Coo::from_triplets(2, 3, &[(1, 2, 0.5), (0, 0, 1.0), (1, 2, 0.5)])?;
+/// assert_eq!(a.nnz(), 2); // the duplicate (1,2) entries were combined
+/// assert_eq!(a.vals()[1], 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coo {
+    num_rows: usize,
+    num_cols: usize,
+    r_ids: Vec<u32>,
+    c_ids: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl Coo {
+    /// Builds a COO matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may be in any order; they are sorted row-major and
+    /// duplicate coordinates are summed. Explicit zeros are kept (they are
+    /// still non-zero *positions* for SDDMM sampling purposes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] if any coordinate exceeds
+    /// the declared shape, and [`MatrixError::DimensionTooLarge`] if a
+    /// dimension does not fit the `u32` index space.
+    pub fn from_triplets(
+        num_rows: usize,
+        num_cols: usize,
+        triplets: &[(u32, u32, f32)],
+    ) -> Result<Self, MatrixError> {
+        Self::check_dims(num_rows, num_cols)?;
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            if r as usize >= num_rows || c as usize >= num_cols {
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    num_rows,
+                    num_cols,
+                });
+            }
+        }
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut r_ids = Vec::with_capacity(sorted.len());
+        let mut c_ids = Vec::with_capacity(sorted.len());
+        let mut vals: Vec<f32> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            if r_ids.last() == Some(&r) && c_ids.last() == Some(&c) {
+                *vals.last_mut().expect("vals tracks r_ids") += v;
+            } else {
+                r_ids.push(r);
+                c_ids.push(c);
+                vals.push(v);
+            }
+        }
+        Ok(Coo {
+            num_rows,
+            num_cols,
+            r_ids,
+            c_ids,
+            vals,
+        })
+    }
+
+    /// Builds a COO matrix from pre-sorted, duplicate-free parallel arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::LengthMismatch`] if the arrays differ in
+    /// length, [`MatrixError::IndexOutOfBounds`] for out-of-range
+    /// coordinates, and [`MatrixError::Parse`] if the arrays are not sorted
+    /// row-major or contain duplicates.
+    pub fn from_sorted_arrays(
+        num_rows: usize,
+        num_cols: usize,
+        r_ids: Vec<u32>,
+        c_ids: Vec<u32>,
+        vals: Vec<f32>,
+    ) -> Result<Self, MatrixError> {
+        Self::check_dims(num_rows, num_cols)?;
+        if r_ids.len() != c_ids.len() || c_ids.len() != vals.len() {
+            return Err(MatrixError::LengthMismatch {
+                r_ids: r_ids.len(),
+                c_ids: c_ids.len(),
+                vals: vals.len(),
+            });
+        }
+        for i in 0..r_ids.len() {
+            let (r, c) = (r_ids[i], c_ids[i]);
+            if r as usize >= num_rows || c as usize >= num_cols {
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    num_rows,
+                    num_cols,
+                });
+            }
+            if i > 0 && (r_ids[i - 1], c_ids[i - 1]) >= (r, c) {
+                return Err(MatrixError::Parse {
+                    line: i,
+                    reason: "coordinates are not strictly sorted row-major".into(),
+                });
+            }
+        }
+        Ok(Coo {
+            num_rows,
+            num_cols,
+            r_ids,
+            c_ids,
+            vals,
+        })
+    }
+
+    fn check_dims(num_rows: usize, num_cols: usize) -> Result<(), MatrixError> {
+        for dim in [num_rows, num_cols] {
+            if dim > u32::MAX as usize {
+                return Err(MatrixError::DimensionTooLarge { dim });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored non-zero positions.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Density of the matrix: `nnz / (rows × cols)`.
+    pub fn density(&self) -> f64 {
+        if self.num_rows == 0 || self.num_cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.num_rows as f64 * self.num_cols as f64)
+    }
+
+    /// Row indices of the non-zeros, sorted row-major.
+    pub fn r_ids(&self) -> &[u32] {
+        &self.r_ids
+    }
+
+    /// Column indices of the non-zeros.
+    pub fn c_ids(&self) -> &[u32] {
+        &self.c_ids
+    }
+
+    /// Values of the non-zeros.
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// Iterates over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.nnz()).map(move |i| (self.r_ids[i], self.c_ids[i], self.vals[i]))
+    }
+
+    /// Converts to CSR format.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_coo(self)
+    }
+
+    /// Returns a copy with every value replaced by `f(row, col, value)`.
+    ///
+    /// The non-zero structure is preserved; useful for re-randomizing the
+    /// values of a generated graph.
+    pub fn map_values(&self, mut f: impl FnMut(u32, u32, f32) -> f32) -> Coo {
+        let mut out = self.clone();
+        for i in 0..out.vals.len() {
+            out.vals[i] = f(out.r_ids[i], out.c_ids[i], out.vals[i]);
+        }
+        out
+    }
+
+    /// Bytes occupied by the three COO arrays (`u32` ids + `f32` values).
+    pub fn size_bytes(&self) -> usize {
+        self.nnz() * (2 * std::mem::size_of::<u32>() + std::mem::size_of::<f32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_are_sorted_and_deduplicated() {
+        let a = Coo::from_triplets(3, 3, &[(2, 0, 1.0), (0, 1, 2.0), (2, 0, 3.0)]).unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.r_ids(), &[0, 2]);
+        assert_eq!(a.c_ids(), &[1, 0]);
+        assert_eq!(a.vals(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_is_rejected() {
+        let err = Coo::from_triplets(2, 2, &[(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, MatrixError::IndexOutOfBounds { row: 2, .. }));
+    }
+
+    #[test]
+    fn sorted_arrays_reject_unsorted_input() {
+        let err = Coo::from_sorted_arrays(2, 2, vec![1, 0], vec![0, 0], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, MatrixError::Parse { .. }));
+    }
+
+    #[test]
+    fn sorted_arrays_reject_duplicates() {
+        let err =
+            Coo::from_sorted_arrays(2, 2, vec![0, 0], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, MatrixError::Parse { .. }));
+    }
+
+    #[test]
+    fn sorted_arrays_reject_length_mismatch() {
+        let err = Coo::from_sorted_arrays(2, 2, vec![0], vec![0, 1], vec![1.0]).unwrap_err();
+        assert!(matches!(err, MatrixError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let a = Coo::from_triplets(4, 4, &[]).unwrap();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.density(), 0.0);
+    }
+
+    #[test]
+    fn density_of_full_row() {
+        let a = Coo::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        assert_eq!(a.density(), 0.5);
+    }
+
+    #[test]
+    fn iter_yields_row_major_order() {
+        let a = Coo::from_triplets(3, 3, &[(1, 2, 1.0), (0, 0, 2.0), (1, 0, 3.0)]).unwrap();
+        let order: Vec<(u32, u32)> = a.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(order, vec![(0, 0), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn map_values_preserves_structure() {
+        let a = Coo::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        let b = a.map_values(|_, _, v| v * 10.0);
+        assert_eq!(b.r_ids(), a.r_ids());
+        assert_eq!(b.vals(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn size_bytes_counts_all_arrays() {
+        let a = Coo::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(a.size_bytes(), 2 * 12);
+    }
+
+    #[test]
+    fn explicit_zero_positions_are_kept() {
+        let a = Coo::from_triplets(2, 2, &[(0, 1, 0.0)]).unwrap();
+        assert_eq!(a.nnz(), 1);
+    }
+}

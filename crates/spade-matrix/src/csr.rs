@@ -1,0 +1,179 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Coo;
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// The CPU and GPU baselines use CSR for high performance (§6.C: "In our
+/// baselines, we use the CSR format"), while SPADE itself consumes the
+/// (tiled) COO format.
+///
+/// # Example
+///
+/// ```
+/// use spade_matrix::{Coo, Csr};
+///
+/// # fn main() -> Result<(), spade_matrix::MatrixError> {
+/// let coo = Coo::from_triplets(3, 3, &[(0, 1, 2.0), (2, 0, 1.0)])?;
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.row_nnz(0), 1);
+/// assert_eq!(csr.row_nnz(1), 0);
+/// assert_eq!(csr.to_coo(), coo);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    num_rows: usize,
+    num_cols: usize,
+    row_ptr: Vec<usize>,
+    c_ids: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl Csr {
+    /// Converts a COO matrix to CSR.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut row_ptr = vec![0usize; coo.num_rows() + 1];
+        for &r in coo.r_ids() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 1..row_ptr.len() {
+            row_ptr[i] += row_ptr[i - 1];
+        }
+        // COO is already row-major sorted, so the column/value arrays can be
+        // reused verbatim.
+        Csr {
+            num_rows: coo.num_rows(),
+            num_cols: coo.num_cols(),
+            row_ptr,
+            c_ids: coo.c_ids().to_vec(),
+            vals: coo.vals().to_vec(),
+        }
+    }
+
+    /// Converts back to COO format.
+    pub fn to_coo(&self) -> Coo {
+        let mut r_ids = Vec::with_capacity(self.nnz());
+        for r in 0..self.num_rows {
+            for _ in self.row_ptr[r]..self.row_ptr[r + 1] {
+                r_ids.push(r as u32);
+            }
+        }
+        Coo::from_sorted_arrays(
+            self.num_rows,
+            self.num_cols,
+            r_ids,
+            self.c_ids.clone(),
+            self.vals.clone(),
+        )
+        .expect("a valid CSR always converts to a valid COO")
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The row-pointer array (`num_rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, row by row.
+    pub fn c_ids(&self) -> &[u32] {
+        &self.c_ids
+    }
+
+    /// Non-zero values, row by row.
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// Number of non-zeros in `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= num_rows`.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_ptr[row + 1] - self.row_ptr[row]
+    }
+
+    /// The column indices and values of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= num_rows`.
+    pub fn row_entries(&self, row: usize) -> (&[u32], &[f32]) {
+        let range = self.row_ptr[row]..self.row_ptr[row + 1];
+        (&self.c_ids[range.clone()], &self.vals[range])
+    }
+
+    /// Bytes occupied by the CSR arrays.
+    pub fn size_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.c_ids.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Coo {
+        Coo::from_triplets(
+            4,
+            4,
+            &[(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (3, 0, 4.0), (3, 3, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_csr() {
+        let coo = sample();
+        assert_eq!(coo.to_csr().to_coo(), coo);
+    }
+
+    #[test]
+    fn row_ptr_is_monotone_and_complete() {
+        let csr = sample().to_csr();
+        assert_eq!(csr.row_ptr(), &[0, 2, 2, 3, 5]);
+        assert_eq!(csr.nnz(), 5);
+    }
+
+    #[test]
+    fn row_entries_match() {
+        let csr = sample().to_csr();
+        let (cols, vals) = csr.row_entries(3);
+        assert_eq!(cols, &[0, 3]);
+        assert_eq!(vals, &[4.0, 5.0]);
+        assert_eq!(csr.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let coo = Coo::from_triplets(3, 5, &[]).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.to_coo(), coo);
+    }
+
+    #[test]
+    fn size_bytes_positive_for_nonempty() {
+        let csr = sample().to_csr();
+        assert!(csr.size_bytes() > 0);
+    }
+}

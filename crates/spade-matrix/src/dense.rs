@@ -1,0 +1,244 @@
+use serde::{Deserialize, Serialize};
+
+use crate::CACHE_LINE_BYTES;
+
+/// Number of `f32` elements in one cache line.
+pub const FLOATS_PER_LINE: usize = CACHE_LINE_BYTES / std::mem::size_of::<f32>();
+
+/// A dense, row-major `f32` matrix whose rows are padded to a cache-line
+/// boundary.
+///
+/// SPADE requires the dense-matrix row size `K` to be a multiple of the
+/// cache line size so that rows start at cache-line boundaries (§4.3). This
+/// type enforces the invariant structurally: the logical column count may be
+/// anything, but the stride between consecutive rows is always rounded up to
+/// a multiple of [`FLOATS_PER_LINE`], and the padding elements are zero.
+///
+/// # Example
+///
+/// ```
+/// use spade_matrix::{DenseMatrix, FLOATS_PER_LINE};
+///
+/// let mut m = DenseMatrix::zeros(4, 20);
+/// m.set(2, 19, 1.5);
+/// assert_eq!(m.get(2, 19), 1.5);
+/// // 20 columns are stored with a 32-element stride (two cache lines).
+/// assert_eq!(m.row_stride(), 2 * FLOATS_PER_LINE);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    num_rows: usize,
+    num_cols: usize,
+    row_stride: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of zeros with `num_rows` rows and `num_cols` logical
+    /// columns.
+    pub fn zeros(num_rows: usize, num_cols: usize) -> Self {
+        let row_stride = num_cols.div_ceil(FLOATS_PER_LINE).max(1) * FLOATS_PER_LINE;
+        DenseMatrix {
+            num_rows,
+            num_cols,
+            row_stride,
+            data: vec![0.0; num_rows * row_stride],
+        }
+    }
+
+    /// Creates an identity-like matrix: ones on the main diagonal.
+    ///
+    /// Useful in tests: `A × I` reproduces the sparse matrix densely.
+    pub fn identity(num_rows: usize, num_cols: usize) -> Self {
+        let mut m = Self::zeros(num_rows, num_cols);
+        for i in 0..num_rows.min(num_cols) {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a generator function `f(row, col)`.
+    pub fn from_fn(num_rows: usize, num_cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(num_rows, num_cols);
+        for r in 0..num_rows {
+            for c in 0..num_cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of logical columns (the dense row size `K` of the paper).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Padded elements between consecutive row starts; always a multiple of
+    /// [`FLOATS_PER_LINE`].
+    pub fn row_stride(&self) -> usize {
+        self.row_stride
+    }
+
+    /// Number of cache lines occupied by one row.
+    pub fn lines_per_row(&self) -> usize {
+        self.row_stride / FLOATS_PER_LINE
+    }
+
+    /// Total size of the backing storage in bytes, padding included.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Element at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.num_rows && col < self.num_cols);
+        self.data[row * self.row_stride + col]
+    }
+
+    /// Sets the element at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.num_rows && col < self.num_cols);
+        self.data[row * self.row_stride + col] = value;
+    }
+
+    /// The logical elements of one row (padding excluded).
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        let start = row * self.row_stride;
+        &self.data[start..start + self.num_cols]
+    }
+
+    /// Mutable view of the logical elements of one row (padding excluded).
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        let start = row * self.row_stride;
+        &mut self.data[start..start + self.num_cols]
+    }
+
+    /// The full backing storage, padding included.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the full backing storage, padding included. Rows
+    /// are laid out contiguously with [`DenseMatrix::row_stride`] elements
+    /// between row starts — useful for partitioning the matrix across
+    /// threads.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Maximum absolute element-wise difference against `other`.
+    ///
+    /// Returns `None` when the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Option<f32> {
+        if self.num_rows != other.num_rows || self.num_cols != other.num_cols {
+            return None;
+        }
+        let mut max = 0f32;
+        for r in 0..self.num_rows {
+            for (a, b) in self.row(r).iter().zip(other.row(r)) {
+                max = max.max((a - b).abs());
+            }
+        }
+        Some(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_matrix_has_padded_stride() {
+        let m = DenseMatrix::zeros(3, 17);
+        assert_eq!(m.row_stride(), 32);
+        assert_eq!(m.lines_per_row(), 2);
+        assert_eq!(m.size_bytes(), 3 * 32 * 4);
+    }
+
+    #[test]
+    fn exact_multiple_is_not_overpadded() {
+        let m = DenseMatrix::zeros(2, 32);
+        assert_eq!(m.row_stride(), 32);
+    }
+
+    #[test]
+    fn zero_columns_still_occupies_one_line() {
+        let m = DenseMatrix::zeros(2, 0);
+        assert_eq!(m.row_stride(), FLOATS_PER_LINE);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(4, 5);
+        m.set(3, 4, 2.25);
+        assert_eq!(m.get(3, 4), 2.25);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = DenseMatrix::identity(3, 5);
+        for r in 0..3 {
+            for c in 0..5 {
+                assert_eq!(m.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn row_views_expose_logical_columns_only() {
+        let mut m = DenseMatrix::zeros(2, 5);
+        m.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(m.row(1).len(), 5);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_shape_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(3, 2);
+        assert_eq!(a.max_abs_diff(&b), None);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest_delta() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        let mut b = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        b.set(0, 0, 1.5);
+        a.set(1, 1, -2.0);
+        b.set(1, 1, 0.0);
+        assert_eq!(a.max_abs_diff(&b), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let m = DenseMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn from_fn_fills_all_elements() {
+        let m = DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(m.get(2, 3), 11.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

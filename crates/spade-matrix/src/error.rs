@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or converting sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// A non-zero coordinate lies outside the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: u32,
+        /// Column index of the offending entry.
+        col: u32,
+        /// Declared number of rows.
+        num_rows: usize,
+        /// Declared number of columns.
+        num_cols: usize,
+    },
+    /// The coordinate arrays of a COO matrix have mismatched lengths.
+    LengthMismatch {
+        /// Length of the row-index array.
+        r_ids: usize,
+        /// Length of the column-index array.
+        c_ids: usize,
+        /// Length of the values array.
+        vals: usize,
+    },
+    /// A tiling parameter (row/column panel size) was zero.
+    InvalidTiling {
+        /// Explanation of the invalid parameter.
+        reason: String,
+    },
+    /// A matrix dimension exceeds the `u32` index space used for non-zeros.
+    DimensionTooLarge {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// A file could not be parsed as a MatrixMarket matrix.
+    Parse {
+        /// 1-based line number of the first offending line.
+        line: usize,
+        /// Explanation of the parse failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                num_rows,
+                num_cols,
+            } => write!(
+                f,
+                "non-zero at ({row}, {col}) is outside a {num_rows}x{num_cols} matrix"
+            ),
+            MatrixError::LengthMismatch { r_ids, c_ids, vals } => write!(
+                f,
+                "coordinate array lengths differ: r_ids={r_ids}, c_ids={c_ids}, vals={vals}"
+            ),
+            MatrixError::InvalidTiling { reason } => {
+                write!(f, "invalid tiling parameters: {reason}")
+            }
+            MatrixError::DimensionTooLarge { dim } => {
+                write!(f, "matrix dimension {dim} exceeds the u32 index space")
+            }
+            MatrixError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<MatrixError> = vec![
+            MatrixError::IndexOutOfBounds {
+                row: 5,
+                col: 6,
+                num_rows: 4,
+                num_cols: 4,
+            },
+            MatrixError::LengthMismatch {
+                r_ids: 1,
+                c_ids: 2,
+                vals: 3,
+            },
+            MatrixError::InvalidTiling {
+                reason: "row panel size is zero".into(),
+            },
+            MatrixError::DimensionTooLarge { dim: usize::MAX },
+            MatrixError::Parse {
+                line: 3,
+                reason: "bad header".into(),
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+}

@@ -1,0 +1,644 @@
+//! Synthetic stand-ins for the ten SuiteSparse graphs of Table 2.
+//!
+//! The SPADE evaluation uses ten large graphs from the SuiteSparse matrix
+//! collection. Those downloads are unavailable in this environment, so this
+//! module generates synthetic matrices from the same *structural classes* —
+//! road networks, planar meshes, power-law social networks, clustered
+//! citation graphs, Kronecker/RMAT graphs, Mycielskian fractals, 3-D
+//! stencils and FEM block matrices. The class determines the reuse
+//! behaviour that SPADE's flexibility knobs respond to (locality, degree
+//! skew, working-set size), which is what the evaluation measures; see
+//! DESIGN.md for the substitution rationale.
+//!
+//! Node counts are scaled down ~50–100× from Table 2 (average degrees are
+//! preserved) so that the whole suite simulates in minutes. Use
+//! [`Scale::Large`] for closer-to-paper sizes.
+//!
+//! # Example
+//!
+//! ```
+//! use spade_matrix::generators::{Benchmark, Scale};
+//!
+//! let kro = Benchmark::Kro.generate(Scale::Tiny);
+//! assert!(kro.nnz() > 0);
+//! assert_eq!(kro.num_rows(), kro.num_cols());
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::RestructuringUtility;
+use crate::Coo;
+
+/// Size preset for the generated benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~1/16 of [`Scale::Default`]; for unit tests.
+    Tiny,
+    /// ~1/4 of [`Scale::Default`]; for quick experiments.
+    Small,
+    /// The standard evaluation size (10⁴–10⁵ rows per graph).
+    Default,
+    /// 4× [`Scale::Default`]; closer to the paper's sizes.
+    Large,
+}
+
+impl Scale {
+    /// Linear node-count multiplier relative to [`Scale::Default`].
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 1.0 / 16.0,
+            Scale::Small => 0.25,
+            Scale::Default => 1.0,
+            Scale::Large => 4.0,
+        }
+    }
+}
+
+/// One of the ten evaluation graphs of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// `asia_osm` — road graph, low RU.
+    Asi,
+    /// `com-LiveJournal` — social network, medium RU.
+    Liv,
+    /// `com-Orkut` — social network, high RU.
+    Ork,
+    /// `coPapersCiteseer` — citation graph, medium RU.
+    Pap,
+    /// `delaunay_n24` — geometry mesh, low RU.
+    Del,
+    /// `kron_g500-logn20` — synthetic Kronecker graph, high RU.
+    Kro,
+    /// `mycielskian17` — mathematics (fractal), high RU.
+    Myc,
+    /// `packing-500x100x100-b050` — numerical simulation stencil, low RU.
+    Pac,
+    /// `road_usa` — highway graph, low RU.
+    Roa,
+    /// `Serena` — environmental-science FEM matrix, medium RU.
+    Ser,
+}
+
+impl Benchmark {
+    /// All ten benchmarks in the paper's (alphabetical) presentation order.
+    pub const ALL: [Benchmark; 10] = [
+        Benchmark::Asi,
+        Benchmark::Liv,
+        Benchmark::Ork,
+        Benchmark::Pap,
+        Benchmark::Del,
+        Benchmark::Kro,
+        Benchmark::Myc,
+        Benchmark::Pac,
+        Benchmark::Roa,
+        Benchmark::Ser,
+    ];
+
+    /// The three-letter short name used throughout the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Benchmark::Asi => "ASI",
+            Benchmark::Liv => "LIV",
+            Benchmark::Ork => "ORK",
+            Benchmark::Pap => "PAP",
+            Benchmark::Del => "DEL",
+            Benchmark::Kro => "KRO",
+            Benchmark::Myc => "MYC",
+            Benchmark::Pac => "PAC",
+            Benchmark::Roa => "ROA",
+            Benchmark::Ser => "SER",
+        }
+    }
+
+    /// The full SuiteSparse matrix name this benchmark stands in for.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Benchmark::Asi => "asia_osm",
+            Benchmark::Liv => "com-LiveJournal",
+            Benchmark::Ork => "com-Orkut",
+            Benchmark::Pap => "coPapersCiteseer",
+            Benchmark::Del => "delaunay_n24",
+            Benchmark::Kro => "kron_g500-logn20",
+            Benchmark::Myc => "mycielskian17",
+            Benchmark::Pac => "packing-500x100x100-b050",
+            Benchmark::Roa => "road_usa",
+            Benchmark::Ser => "Serena",
+        }
+    }
+
+    /// The application domain listed in Table 2.
+    pub fn domain(self) -> &'static str {
+        match self {
+            Benchmark::Asi => "Road graph",
+            Benchmark::Liv | Benchmark::Ork => "Social network",
+            Benchmark::Pap => "Citation graph",
+            Benchmark::Del => "Geometry problem",
+            Benchmark::Kro => "Synthetic graph",
+            Benchmark::Myc => "Mathematics (fractals)",
+            Benchmark::Pac => "Numerical simulations",
+            Benchmark::Roa => "Highway graph",
+            Benchmark::Ser => "Environmental science",
+        }
+    }
+
+    /// The Restructuring Utility class assigned in Table 2.
+    pub fn expected_ru(self) -> RestructuringUtility {
+        match self {
+            Benchmark::Asi | Benchmark::Del | Benchmark::Pac | Benchmark::Roa => {
+                RestructuringUtility::Low
+            }
+            Benchmark::Liv | Benchmark::Pap | Benchmark::Ser => RestructuringUtility::Medium,
+            Benchmark::Ork | Benchmark::Kro | Benchmark::Myc => RestructuringUtility::High,
+        }
+    }
+
+    /// Generates the synthetic stand-in at the given scale.
+    ///
+    /// Generation is deterministic: the same benchmark and scale always
+    /// produce the same matrix.
+    pub fn generate(self, scale: Scale) -> Coo {
+        let f = scale.factor();
+        let n = |base: usize| ((base as f64 * f) as usize).max(64);
+        match self {
+            // Road graphs: degree ≈ 2.1–2.4, extreme diameter, no hubs.
+            Benchmark::Asi => road_graph(n(150_000), 0.05, 0x5ADE_0001),
+            Benchmark::Roa => road_graph(n(250_000), 0.20, 0x5ADE_0009),
+            // Social networks: power-law degrees (Chung–Lu).
+            Benchmark::Liv => chung_lu(n(24_000), (205_000.0 * f) as usize, 2.3, 0x5ADE_0002),
+            Benchmark::Ork => chung_lu(n(8_000), (300_000.0 * f) as usize, 2.1, 0x5ADE_0003),
+            // Citation graph: community cliques + sparse cross links.
+            Benchmark::Pap => citation_graph(n(6_000), 40, 0.5, 0x5ADE_0004),
+            // Planar mesh, degree 6.
+            Benchmark::Del => {
+                let side = ((65_000.0 * f).sqrt() as usize).max(8);
+                mesh2d(side, side)
+            }
+            // RMAT/Kronecker.
+            Benchmark::Kro => rmat(
+                (n(16_000)).next_power_of_two(),
+                (260_000.0 * f) as usize,
+                [0.57, 0.19, 0.19],
+                0x5ADE_0006,
+            ),
+            // Mycielskian: iterate the real construction until the node
+            // budget is reached; very few rows, very high degree.
+            Benchmark::Myc => mycielskian_for_budget(n(1_536)),
+            // 3-D stencil; the 500x100x100 aspect ratio of the original,
+            // scaled to ~30k cells.
+            Benchmark::Pac => {
+                let side = ((6_000.0 * f).cbrt() as usize).max(4);
+                stencil3d(5 * side, side, side)
+            }
+            // FEM with 3x3 DOF blocks.
+            Benchmark::Ser => fem_blocks(n(10_500) / 3, 3, 14, 0x5ADE_000A),
+        }
+    }
+}
+
+/// Deterministic per-edge value in `[0.5, 1.5)`, derived from the edge
+/// coordinates so that values do not depend on generation order.
+fn edge_value(r: u32, c: u32) -> f32 {
+    let mut h = (r as u64) << 32 | c as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    0.5 + (h % 1_000_000) as f32 / 1_000_000.0
+}
+
+/// Builds a symmetric adjacency matrix from undirected edge pairs,
+/// deduplicating positions and dropping self-loops.
+fn symmetric_from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Coo {
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for (u, v) in edges {
+        if u == v || u as usize >= n || v as usize >= n {
+            continue;
+        }
+        pairs.push((u, v));
+        pairs.push((v, u));
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    let triplets: Vec<(u32, u32, f32)> = pairs
+        .into_iter()
+        .map(|(r, c)| (r, c, edge_value(r, c)))
+        .collect();
+    Coo::from_triplets(n, n, &triplets).expect("generator edges are in range")
+}
+
+/// Road-network generator: nodes on a long 2-D lattice connected mostly to
+/// lattice neighbours, with a fraction `highway` of longer-range shortcuts.
+/// Average degree lands near 2.2 like `asia_osm` / `road_usa`.
+pub fn road_graph(n: usize, highway: f64, seed: u64) -> Coo {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // A thin strip: road networks are nearly one-dimensional at scale.
+    let width = (n as f64).sqrt().max(2.0) as usize / 2 + 2;
+    let mut edges = Vec::with_capacity(n * 2);
+    for u in 0..n as u32 {
+        // Chain neighbour: keeps the graph path-like (degree 2 backbone).
+        if (u as usize + 1) < n && rng.gen_bool(0.95) {
+            edges.push((u, u + 1));
+        }
+        // Occasional lattice rung one row over.
+        if (u as usize + width) < n && rng.gen_bool(0.12) {
+            edges.push((u, u + width as u32));
+        }
+        // Rare highway shortcut.
+        if rng.gen_bool(highway * 0.1) {
+            let v = rng.gen_range(0..n as u32);
+            edges.push((u, v));
+        }
+    }
+    symmetric_from_edges(n, edges)
+}
+
+/// Planar-mesh generator: a `w × h` grid with right, down and down-right
+/// connections, giving degree ≈ 6 like a Delaunay triangulation.
+pub fn mesh2d(w: usize, h: usize) -> Coo {
+    let n = w * h;
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    let mut edges = Vec::with_capacity(n * 3);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((idx(x, y), idx(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((idx(x, y), idx(x, y + 1)));
+            }
+            if x + 1 < w && y + 1 < h {
+                edges.push((idx(x, y), idx(x + 1, y + 1)));
+            }
+        }
+    }
+    symmetric_from_edges(n, edges)
+}
+
+/// Chung–Lu power-law generator: endpoint `i` is drawn with probability
+/// proportional to `(i+1)^(-1/(alpha-1))`, producing a degree distribution
+/// with exponent ≈ `alpha` like social networks.
+pub fn chung_lu(n: usize, num_edges: usize, alpha: f64, seed: u64) -> Coo {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let beta = 1.0 / (alpha - 1.0);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-beta)).collect();
+    let mut cum: Vec<f64> = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cum.push(acc);
+    }
+    let total = acc;
+    let sample = |rng: &mut SmallRng| -> u32 {
+        let x = rng.gen::<f64>() * total;
+        cum.partition_point(|&c| c < x).min(n - 1) as u32
+    };
+    // Hubs are the low node ids; permute deterministically so the hot rows
+    // are scattered across the index space like a real crawl ordering.
+    let perm: Vec<u32> = {
+        let mut p: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            p.swap(i, rng.gen_range(0..=i));
+        }
+        p
+    };
+    let edges = (0..num_edges)
+        .map(|_| {
+            let u = perm[sample(&mut rng) as usize];
+            let v = perm[sample(&mut rng) as usize];
+            (u, v)
+        })
+        .collect::<Vec<_>>();
+    symmetric_from_edges(n, edges)
+}
+
+/// Citation-graph generator: communities of `community` nodes forming
+/// near-cliques, plus a `cross` fraction of inter-community edges. Produces
+/// the block-clustered structure of co-authorship/citation graphs.
+pub fn citation_graph(n: usize, community: usize, cross: f64, seed: u64) -> Coo {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let community = community.max(2);
+    let mut edges = Vec::new();
+    let num_comm = n.div_ceil(community);
+    for comm in 0..num_comm {
+        let start = comm * community;
+        let end = ((comm + 1) * community).min(n);
+        let size = end - start;
+        // Near-clique: each pair is connected with high probability.
+        for a in 0..size {
+            for b in (a + 1)..size {
+                if rng.gen_bool(0.85) {
+                    edges.push(((start + a) as u32, (start + b) as u32));
+                }
+            }
+        }
+        // Cross links to random other communities.
+        let num_cross = (size as f64 * cross) as usize;
+        for _ in 0..num_cross {
+            let u = rng.gen_range(start..end) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            edges.push((u, v));
+        }
+    }
+    symmetric_from_edges(n, edges)
+}
+
+/// RMAT (recursive matrix) generator, the Graph500 Kronecker kernel.
+///
+/// `probs = [a, b, c]` with the fourth quadrant probability `1 - a - b - c`.
+/// `n` must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or the probabilities exceed 1.
+pub fn rmat(n: usize, num_edges: usize, probs: [f64; 3], seed: u64) -> Coo {
+    assert!(n.is_power_of_two(), "RMAT requires a power-of-two size");
+    let [a, b, c] = probs;
+    assert!(a + b + c <= 1.0, "quadrant probabilities exceed 1");
+    let levels = n.trailing_zeros();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges = (0..num_edges)
+        .map(|_| {
+            let (mut r, mut cc) = (0u32, 0u32);
+            for _ in 0..levels {
+                r <<= 1;
+                cc <<= 1;
+                let x = rng.gen::<f64>();
+                if x < a {
+                    // top-left
+                } else if x < a + b {
+                    cc |= 1;
+                } else if x < a + b + c {
+                    r |= 1;
+                } else {
+                    r |= 1;
+                    cc |= 1;
+                }
+            }
+            (r, cc)
+        })
+        .collect::<Vec<_>>();
+    symmetric_from_edges(n, edges)
+}
+
+/// The Mycielski construction applied `iters` times starting from `K2`.
+///
+/// Each iteration maps a graph with `n` vertices and `m` edges to one with
+/// `2n + 1` vertices and `3m + n` edges, increasing the chromatic number
+/// without creating triangles. `mycielskian17` of Table 2 is this
+/// construction; it yields very few rows with very high average degree.
+pub fn mycielskian(iters: u32) -> Coo {
+    // Start from K2: vertices {0, 1}, edge (0, 1).
+    let mut n: usize = 2;
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+    for _ in 0..iters {
+        let mut next = Vec::with_capacity(edges.len() * 3 + n);
+        // Original edges.
+        next.extend(edges.iter().copied());
+        // For each edge (u, v): shadow edges (u, v') and (u', v) where
+        // x' = x + n.
+        for &(u, v) in &edges {
+            next.push((u, v + n as u32));
+            next.push((u + n as u32, v));
+        }
+        // Apex vertex w = 2n connects to every shadow vertex.
+        let w = (2 * n) as u32;
+        for x in 0..n as u32 {
+            next.push((x + n as u32, w));
+        }
+        edges = next;
+        n = 2 * n + 1;
+    }
+    symmetric_from_edges(n, edges)
+}
+
+/// Runs [`mycielskian`] until the vertex count reaches `budget`.
+pub fn mycielskian_for_budget(budget: usize) -> Coo {
+    let mut iters = 0;
+    let mut n = 2usize;
+    while 2 * n + 1 <= budget {
+        n = 2 * n + 1;
+        iters += 1;
+    }
+    mycielskian(iters)
+}
+
+/// 3-D stencil generator: an `x × y × z` grid where each cell connects to
+/// its 18-neighbourhood (faces + edges), like particle-packing matrices.
+pub fn stencil3d(x: usize, y: usize, z: usize) -> Coo {
+    let n = x * y * z;
+    let idx = |i: usize, j: usize, k: usize| (k * x * y + j * x + i) as u32;
+    let mut edges = Vec::new();
+    // Offsets covering half of the 18-neighbourhood (the symmetric closure
+    // adds the other half).
+    let offsets: [(isize, isize, isize); 9] = [
+        (1, 0, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (1, 1, 0),
+        (1, -1, 0),
+        (1, 0, 1),
+        (1, 0, -1),
+        (0, 1, 1),
+        (0, 1, -1),
+    ];
+    for k in 0..z {
+        for j in 0..y {
+            for i in 0..x {
+                for &(di, dj, dk) in &offsets {
+                    let (ni, nj, nk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                    if ni >= 0
+                        && nj >= 0
+                        && nk >= 0
+                        && (ni as usize) < x
+                        && (nj as usize) < y
+                        && (nk as usize) < z
+                    {
+                        edges.push((idx(i, j, k), idx(ni as usize, nj as usize, nk as usize)));
+                    }
+                }
+            }
+        }
+    }
+    symmetric_from_edges(n, edges)
+}
+
+/// FEM block-matrix generator: `nodes` mesh points with `dof` degrees of
+/// freedom each; every mesh point couples to ~`neighbors` nearby points and
+/// each coupling is a dense `dof × dof` block, like the `Serena` reservoir
+/// matrix.
+pub fn fem_blocks(nodes: usize, dof: usize, neighbors: usize, seed: u64) -> Coo {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = nodes * dof;
+    let mut edges = Vec::new();
+    for u in 0..nodes {
+        // Couple to `neighbors` points in a local window, mimicking a 3-D
+        // mesh ordering where neighbours have nearby indices.
+        let window = (neighbors * 4).max(8);
+        for _ in 0..neighbors.div_ceil(2) {
+            let lo = u.saturating_sub(window);
+            let hi = (u + window).min(nodes - 1);
+            let v = rng.gen_range(lo..=hi);
+            if v == u {
+                continue;
+            }
+            // Dense dof × dof block for the coupling (both directions come
+            // from the symmetric closure).
+            for a in 0..dof {
+                for b in 0..dof {
+                    edges.push(((u * dof + a) as u32, (v * dof + b) as u32));
+                }
+            }
+        }
+        // Diagonal block.
+        for a in 0..dof {
+            for b in (a + 1)..dof {
+                edges.push(((u * dof + a) as u32, (u * dof + b) as u32));
+            }
+        }
+    }
+    let mut coo = symmetric_from_edges(n, edges);
+    // Add the diagonal itself (FEM matrices have full diagonals).
+    let mut triplets: Vec<(u32, u32, f32)> = coo.iter().collect();
+    for i in 0..n as u32 {
+        triplets.push((i, i, edge_value(i, i)));
+    }
+    coo = Coo::from_triplets(n, n, &triplets).expect("diagonal entries are in range");
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_symmetric(coo: &Coo) -> bool {
+        let set: std::collections::HashSet<(u32, u32)> =
+            coo.iter().map(|(r, c, _)| (r, c)).collect();
+        set.iter().all(|&(r, c)| set.contains(&(c, r)))
+    }
+
+    #[test]
+    fn all_benchmarks_generate_nonempty_square_matrices() {
+        for b in Benchmark::ALL {
+            let m = b.generate(Scale::Tiny);
+            assert!(m.nnz() > 0, "{} is empty", b.short_name());
+            assert_eq!(m.num_rows(), m.num_cols(), "{}", b.short_name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Benchmark::Kro.generate(Scale::Tiny);
+        let b = Benchmark::Kro.generate(Scale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn road_graph_has_low_degree() {
+        let g = road_graph(5_000, 0.05, 42);
+        let avg = g.nnz() as f64 / g.num_rows() as f64;
+        assert!(avg > 1.2 && avg < 4.0, "road degree {avg}");
+        assert!(is_symmetric(&g));
+    }
+
+    #[test]
+    fn mesh2d_has_degree_near_six() {
+        let g = mesh2d(50, 50);
+        let avg = g.nnz() as f64 / g.num_rows() as f64;
+        assert!(avg > 4.5 && avg < 6.5, "mesh degree {avg}");
+        assert!(is_symmetric(&g));
+    }
+
+    #[test]
+    fn chung_lu_has_skewed_degrees() {
+        let g = chung_lu(2_000, 20_000, 2.1, 7);
+        let mut deg = vec![0usize; g.num_rows()];
+        for (r, _, _) in g.iter() {
+            deg[r as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = g.nnz() as f64 / g.num_rows() as f64;
+        assert!(
+            max as f64 > avg * 8.0,
+            "expected hubs: max={max} avg={avg}"
+        );
+    }
+
+    #[test]
+    fn rmat_requires_power_of_two() {
+        let g = rmat(1024, 5_000, [0.57, 0.19, 0.19], 3);
+        assert!(g.num_rows() == 1024);
+        assert!(is_symmetric(&g));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rmat_rejects_non_power_of_two() {
+        let _ = rmat(1000, 10, [0.57, 0.19, 0.19], 3);
+    }
+
+    #[test]
+    fn mycielskian_sizes_follow_recurrence() {
+        // n_0 = 2, n_{k+1} = 2 n_k + 1, m_{k+1} = 3 m_k + n_k.
+        let g = mycielskian(3);
+        assert_eq!(g.num_rows(), 23);
+        // m: 1 -> 5 -> 15... m1 = 3*1+2 = 5, m2 = 3*5+5 = 20, m3 = 3*20+11 = 71.
+        assert_eq!(g.nnz(), 2 * 71);
+        assert!(is_symmetric(&g));
+    }
+
+    #[test]
+    fn mycielskian_budget_respects_bound() {
+        let g = mycielskian_for_budget(1_000);
+        assert!(g.num_rows() <= 1_000);
+        assert!(g.num_rows() > 250);
+    }
+
+    #[test]
+    fn stencil3d_degree_near_eighteen() {
+        let g = stencil3d(10, 10, 10);
+        let avg = g.nnz() as f64 / g.num_rows() as f64;
+        assert!(avg > 12.0 && avg <= 18.0, "stencil degree {avg}");
+    }
+
+    #[test]
+    fn fem_blocks_have_full_diagonal() {
+        let g = fem_blocks(100, 3, 8, 11);
+        let diag: usize = g.iter().filter(|&(r, c, _)| r == c).count();
+        assert_eq!(diag, 300);
+    }
+
+    #[test]
+    fn myc_has_few_rows_and_high_degree() {
+        let m = Benchmark::Myc.generate(Scale::Default);
+        let avg = m.nnz() as f64 / m.num_rows() as f64;
+        let ork = Benchmark::Ork.generate(Scale::Default);
+        let ork_avg = ork.nnz() as f64 / ork.num_rows() as f64;
+        assert!(m.num_rows() < ork.num_rows());
+        assert!(avg > ork_avg, "MYC degree {avg} vs ORK {ork_avg}");
+    }
+
+    #[test]
+    fn scale_ordering_is_monotone() {
+        let tiny = Benchmark::Del.generate(Scale::Tiny);
+        let small = Benchmark::Del.generate(Scale::Small);
+        assert!(small.nnz() > tiny.nnz());
+    }
+
+    #[test]
+    fn table2_metadata_is_complete() {
+        for b in Benchmark::ALL {
+            assert!(!b.short_name().is_empty());
+            assert!(!b.full_name().is_empty());
+            assert!(!b.domain().is_empty());
+        }
+    }
+
+    #[test]
+    fn edge_values_are_in_range() {
+        let g = Benchmark::Pap.generate(Scale::Tiny);
+        for (_, _, v) in g.iter() {
+            assert!((0.5..1.5).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Sparse-matrix substrate for the SPADE accelerator reproduction.
+//!
+//! SPADE (ISCA 2023) accelerates two kernels:
+//!
+//! * **SpMM** — `D = A × B` where `A` is sparse and `B`, `D` are dense with
+//!   `K` columns. For every non-zero `a = A[r, c]`, row `c` of `B` is scaled
+//!   by `a` and accumulated into row `r` of `D`.
+//! * **SDDMM** — `D = A ∘ (B × Cᵀ)` where `A` and `D` are sparse with the
+//!   same non-zero structure and `B`, `C` are dense. For every non-zero
+//!   `a = A[r, c]`, the inner product of row `r` of `B` and row `c` of `Cᵀ`
+//!   is scaled by `a` and stored at the corresponding position of `D`.
+//!
+//! This crate provides everything the accelerator model and the baselines
+//! need to run those kernels:
+//!
+//! * [`Coo`] and [`Csr`] sparse formats with conversions,
+//! * [`DenseMatrix`] with cache-line-aligned rows (a SPADE data-layout
+//!   requirement, §4.3 of the paper),
+//! * [`TiledCoo`], the tiled representation of Appendix A with its
+//!   `sparse_in_start_offset` / `tile_NNZ_num` / `sparse_out_start_offset` /
+//!   `tile_row_panel_id` metadata,
+//! * synthetic [`generators`] standing in for the ten SuiteSparse graphs of
+//!   Table 2,
+//! * structure [`analysis`] (degree statistics, locality, Restructuring
+//!   Utility classification), and
+//! * scalar [`reference`] kernels used as the correctness oracle by every
+//!   simulated machine.
+//!
+//! [`reference`]: mod@crate::reference
+//!
+//! # Example
+//!
+//! ```
+//! use spade_matrix::{Coo, DenseMatrix, reference};
+//!
+//! # fn main() -> Result<(), spade_matrix::MatrixError> {
+//! // A 3x3 sparse matrix with 3 non-zeros.
+//! let a = Coo::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 1.0), (2, 2, 4.0)])?;
+//! let b = DenseMatrix::identity(3, 16);
+//! let d = reference::spmm(&a, &b);
+//! assert_eq!(d.get(0, 1), 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod coo;
+mod csr;
+mod dense;
+mod error;
+pub mod generators;
+pub mod mm;
+pub mod reference;
+pub mod reorder;
+mod tiled;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use dense::{DenseMatrix, FLOATS_PER_LINE};
+pub use error::MatrixError;
+pub use tiled::{TileInfo, TiledCoo, TilingConfig};
+
+/// Bytes per cache line. SPADE's vector length equals one cache line
+/// (Table 1: 64 B vector registers), and all dense rows are padded to this
+/// boundary (§4.3 data-layout requirements).
+pub const CACHE_LINE_BYTES: usize = 64;

@@ -1,0 +1,228 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! Lets users run the SPADE model on real SuiteSparse matrices (the paper's
+//! inputs) when they have the `.mtx` files available, instead of the
+//! synthetic stand-ins from [`crate::generators`].
+
+use std::io::{BufRead, Write};
+
+use crate::{Coo, MatrixError};
+
+/// Reads a matrix in MatrixMarket coordinate format.
+///
+/// Supports `real`, `integer` and `pattern` fields and the `general` and
+/// `symmetric` symmetries. Pattern entries are assigned value `1.0`;
+/// symmetric entries are mirrored.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::Parse`] for malformed input, plus the usual
+/// construction errors for out-of-range coordinates.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Coo, MatrixError> {
+    let mut lines = reader.lines().enumerate();
+
+    let (first_no, first) = lines.next().ok_or(MatrixError::Parse {
+        line: 1,
+        reason: "empty input".into(),
+    })?;
+    let first = first.map_err(|e| io_parse(first_no + 1, &e))?;
+    let header: Vec<String> = first.split_whitespace().map(str::to_lowercase).collect();
+    if header.len() < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+        return Err(MatrixError::Parse {
+            line: 1,
+            reason: "missing %%MatrixMarket matrix header".into(),
+        });
+    }
+    if header[2] != "coordinate" {
+        return Err(MatrixError::Parse {
+            line: 1,
+            reason: format!("unsupported format '{}', only coordinate is supported", header[2]),
+        });
+    }
+    let field = header[3].as_str();
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(MatrixError::Parse {
+            line: 1,
+            reason: format!("unsupported field type '{field}'"),
+        });
+    }
+    let symmetric = header.get(4).map(String::as_str) == Some("symmetric");
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    let mut size_line_no = 0usize;
+    for (no, line) in &mut lines {
+        let line = line.map_err(|e| io_parse(no + 1, &e))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        size_line_no = no + 1;
+        break;
+    }
+    let size_line = size_line.ok_or(MatrixError::Parse {
+        line: 0,
+        reason: "missing size line".into(),
+    })?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| MatrixError::Parse {
+            line: size_line_no,
+            reason: format!("bad size line: {e}"),
+        })?;
+    if dims.len() != 3 {
+        return Err(MatrixError::Parse {
+            line: size_line_no,
+            reason: "size line must have rows, cols, nnz".into(),
+        });
+    }
+    let (num_rows, num_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(nnz);
+    for (no, line) in &mut lines {
+        let line = line.map_err(|e| io_parse(no + 1, &e))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tok = trimmed.split_whitespace();
+        let r: u32 = parse_tok(&mut tok, no + 1)?;
+        let c: u32 = parse_tok(&mut tok, no + 1)?;
+        let v: f32 = if field == "pattern" {
+            1.0
+        } else {
+            tok.next()
+                .ok_or(MatrixError::Parse {
+                    line: no + 1,
+                    reason: "missing value".into(),
+                })?
+                .parse()
+                .map_err(|e| MatrixError::Parse {
+                    line: no + 1,
+                    reason: format!("bad value: {e}"),
+                })?
+        };
+        if r == 0 || c == 0 {
+            return Err(MatrixError::Parse {
+                line: no + 1,
+                reason: "MatrixMarket indices are 1-based".into(),
+            });
+        }
+        triplets.push((r - 1, c - 1, v));
+        if symmetric && r != c {
+            triplets.push((c - 1, r - 1, v));
+        }
+    }
+    Coo::from_triplets(num_rows, num_cols, &triplets)
+}
+
+fn parse_tok<'a>(
+    tok: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<u32, MatrixError> {
+    tok.next()
+        .ok_or(MatrixError::Parse {
+            line,
+            reason: "missing coordinate".into(),
+        })?
+        .parse()
+        .map_err(|e| MatrixError::Parse {
+            line,
+            reason: format!("bad coordinate: {e}"),
+        })
+}
+
+fn io_parse(line: usize, e: &dyn std::fmt::Display) -> MatrixError {
+    MatrixError::Parse {
+        line,
+        reason: format!("i/o error: {e}"),
+    }
+}
+
+/// Writes `matrix` in MatrixMarket `coordinate real general` format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_matrix_market<W: Write>(matrix: &Coo, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.num_rows(),
+        matrix.num_cols(),
+        matrix.nnz()
+    )?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_through_matrix_market() {
+        let a = Coo::from_triplets(3, 4, &[(0, 1, 2.5), (2, 3, -1.0)]).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reads_pattern_matrices_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.vals(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mirrors_symmetric_matrices() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.nnz(), 3); // (1,0), (0,1), (2,2)
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% another\n1 2 3.0\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.vals(), &[3.0]);
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text)),
+            Err(MatrixError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let text = "2 2 1\n1 1 3.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_size_line() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Scalar gold-standard SpMM and SDDMM kernels (Figure 1 semantics).
+//!
+//! Every simulated machine in this workspace — SPADE, the CPU model, the
+//! GPU model, Sextans — validates its functional output against these
+//! kernels, keeping the timing models honest.
+
+use crate::{Coo, DenseMatrix};
+
+/// Sparse matrix × dense matrix: `D = A × B`.
+///
+/// For every non-zero `a = A[r, c]`, accumulates `a · B[c, :]` into
+/// `D[r, :]` (Figure 1, top).
+///
+/// # Panics
+///
+/// Panics if `B` has fewer rows than `A` has columns.
+pub fn spmm(a: &Coo, b: &DenseMatrix) -> DenseMatrix {
+    assert!(
+        b.num_rows() >= a.num_cols(),
+        "B must have at least as many rows as A has columns ({} < {})",
+        b.num_rows(),
+        a.num_cols()
+    );
+    let k = b.num_cols();
+    let mut d = DenseMatrix::zeros(a.num_rows(), k);
+    for (r, c, v) in a.iter() {
+        let src = b.row(c as usize);
+        let dst = d.row_mut(r as usize);
+        for (out, inp) in dst.iter_mut().zip(src) {
+            *out += v * inp;
+        }
+    }
+    d
+}
+
+/// Sampled dense-dense matrix multiplication: `vals(D) = vals(A) ∘ (B × Cᵀ)`.
+///
+/// For every non-zero `a = A[r, c]`, computes
+/// `a · ⟨B[r, :], Cᵀ[c, :]⟩` and stores it in the position of `D`
+/// corresponding to the non-zero (Figure 1, bottom). The returned vector is
+/// ordered like `a.vals()`.
+///
+/// `c_t` is the transposed dense matrix `Cᵀ`, stored row-major with one row
+/// per *column* of `A`.
+///
+/// # Panics
+///
+/// Panics if `B` has fewer rows than `A`, if `Cᵀ` has fewer rows than `A`
+/// has columns, or if `B` and `Cᵀ` disagree on `K`.
+pub fn sddmm(a: &Coo, b: &DenseMatrix, c_t: &DenseMatrix) -> Vec<f32> {
+    assert!(b.num_rows() >= a.num_rows(), "B must have a row per row of A");
+    assert!(
+        c_t.num_rows() >= a.num_cols(),
+        "Cᵀ must have a row per column of A"
+    );
+    assert_eq!(
+        b.num_cols(),
+        c_t.num_cols(),
+        "B and Cᵀ must share the dense row size K"
+    );
+    a.iter()
+        .map(|(r, c, v)| {
+            let br = b.row(r as usize);
+            let cr = c_t.row(c as usize);
+            let dot: f32 = br.iter().zip(cr).map(|(x, y)| x * y).sum();
+            v * dot
+        })
+        .collect()
+}
+
+/// Compares two value vectors with a relative-plus-absolute tolerance.
+///
+/// Returns the index and values of the first mismatch, or `None` when every
+/// pair is within `tol · max(1, |a|, |b|)`. Out-of-order floating-point
+/// accumulation (SPADE executes vOps out of order, §5.1) makes bit-exact
+/// comparison inappropriate.
+pub fn first_mismatch(xs: &[f32], ys: &[f32], tol: f32) -> Option<(usize, f32, f32)> {
+    if xs.len() != ys.len() {
+        return Some((xs.len().min(ys.len()), f32::NAN, f32::NAN));
+    }
+    xs.iter().zip(ys).enumerate().find_map(|(i, (&x, &y))| {
+        let scale = 1f32.max(x.abs()).max(y.abs());
+        if (x - y).abs() > tol * scale {
+            Some((i, x, y))
+        } else {
+            None
+        }
+    })
+}
+
+/// Compares two dense matrices with [`first_mismatch`] semantics.
+pub fn dense_close(a: &DenseMatrix, b: &DenseMatrix, tol: f32) -> bool {
+    if a.num_rows() != b.num_rows() || a.num_cols() != b.num_cols() {
+        return false;
+    }
+    (0..a.num_rows()).all(|r| first_mismatch(a.row(r), b.row(r), tol).is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    #[test]
+    fn spmm_identity_reproduces_matrix() {
+        let a = Coo::from_triplets(3, 3, &[(0, 1, 2.0), (2, 0, -1.0)]).unwrap();
+        let b = DenseMatrix::identity(3, 3);
+        let d = spmm(&a, &b);
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(2, 0), -1.0);
+        assert_eq!(d.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn spmm_accumulates_multiple_nnz_per_row() {
+        // Row 0 has nnz at columns 0 and 1; B rows are all-ones.
+        let a = Coo::from_triplets(1, 2, &[(0, 0, 2.0), (0, 1, 3.0)]).unwrap();
+        let b = DenseMatrix::from_fn(2, 4, |_, _| 1.0);
+        let d = spmm(&a, &b);
+        for c in 0..4 {
+            assert_eq!(d.get(0, c), 5.0);
+        }
+    }
+
+    #[test]
+    fn sddmm_computes_scaled_inner_products() {
+        let a = Coo::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 0.5)]).unwrap();
+        let b = DenseMatrix::from_fn(2, 3, |r, c| (r + c) as f32); // B[0]=[0,1,2], B[1]=[1,2,3]
+        let c_t = DenseMatrix::from_fn(2, 3, |r, _| r as f32 + 1.0); // rows [1,1,1],[2,2,2]
+        let vals = sddmm(&a, &b, &c_t);
+        // nnz (0,1): 2.0 * <B[0], Ct[1]> = 2 * (0+2+4) = 12
+        // nnz (1,0): 0.5 * <B[1], Ct[0]> = 0.5 * (1+2+3) = 3
+        assert_eq!(vals, vec![12.0, 3.0]);
+    }
+
+    #[test]
+    fn sddmm_preserves_nnz_order() {
+        let a = Coo::from_triplets(3, 3, &[(2, 2, 1.0), (0, 0, 1.0)]).unwrap();
+        let b = DenseMatrix::from_fn(3, 2, |r, _| r as f32);
+        let c_t = DenseMatrix::from_fn(3, 2, |_, _| 1.0);
+        let vals = sddmm(&a, &b, &c_t);
+        assert_eq!(vals.len(), 2);
+        // First value corresponds to nnz (0,0) in row-major order.
+        assert_eq!(vals[0], 0.0);
+        assert_eq!(vals[1], 4.0);
+    }
+
+    #[test]
+    fn first_mismatch_tolerates_small_error() {
+        assert!(first_mismatch(&[1.0, 2.0], &[1.0 + 1e-7, 2.0], 1e-5).is_none());
+        let m = first_mismatch(&[1.0, 2.0], &[1.0, 2.1], 1e-5);
+        assert_eq!(m.map(|(i, _, _)| i), Some(1));
+    }
+
+    #[test]
+    fn first_mismatch_rejects_length_mismatch() {
+        assert!(first_mismatch(&[1.0], &[1.0, 2.0], 1e-5).is_some());
+    }
+
+    #[test]
+    fn dense_close_tolerates_roundoff() {
+        let a = DenseMatrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let mut b = a.clone();
+        b.set(1, 1, b.get(1, 1) + 1e-7);
+        assert!(dense_close(&a, &b, 1e-5));
+        b.set(0, 0, 5.0);
+        assert!(!dense_close(&a, &b, 1e-5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn spmm_rejects_undersized_b() {
+        let a = Coo::from_triplets(2, 4, &[(0, 3, 1.0)]).unwrap();
+        let b = DenseMatrix::zeros(2, 4);
+        let _ = spmm(&a, &b);
+    }
+}

@@ -1,0 +1,259 @@
+//! Input-aware matrix reordering.
+//!
+//! The paper's related work (§8.E) lists locality-enhancing reordering as
+//! an orthogonal, composable technique for SpMM/SDDMM performance. This
+//! module provides the two standard orderings — degree sorting (hubs
+//! first, which concentrates the hot cMatrix rows) and a lightweight
+//! reverse Cuthill–McKee (which narrows the bandwidth of mesh-like
+//! matrices) — plus the permutation plumbing to apply them to square
+//! matrices symmetrically.
+
+use crate::{Coo, MatrixError};
+
+/// A permutation of the row/column index space: `perm[old] = new`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<u32>,
+}
+
+impl Permutation {
+    /// Builds a permutation from a `perm[old] = new` mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Parse`] if `forward` is not a bijection on
+    /// `0..n`.
+    pub fn new(forward: Vec<u32>) -> Result<Self, MatrixError> {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &t in &forward {
+            if t as usize >= n || seen[t as usize] {
+                return Err(MatrixError::Parse {
+                    line: t as usize,
+                    reason: "not a permutation".into(),
+                });
+            }
+            seen[t as usize] = true;
+        }
+        Ok(Permutation { forward })
+    }
+
+    /// The identity on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            forward: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Where `old` maps to.
+    #[inline]
+    pub fn apply(&self, old: u32) -> u32 {
+        self.forward[old as usize]
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.forward.len()];
+        for (old, &new) in self.forward.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        Permutation { forward: inv }
+    }
+
+    /// Applies the permutation symmetrically to a square matrix:
+    /// `B[p(r), p(c)] = A[r, c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square with dimension `len()`.
+    pub fn permute_symmetric(&self, a: &Coo) -> Coo {
+        assert_eq!(a.num_rows(), a.num_cols(), "symmetric permutation needs a square matrix");
+        assert_eq!(a.num_rows(), self.len(), "permutation size mismatch");
+        let triplets: Vec<(u32, u32, f32)> = a
+            .iter()
+            .map(|(r, c, v)| (self.apply(r), self.apply(c), v))
+            .collect();
+        Coo::from_triplets(a.num_rows(), a.num_cols(), &triplets)
+            .expect("a bijection keeps indices in range")
+    }
+}
+
+/// Orders rows by descending degree: hubs get the lowest indices, which
+/// clusters the hottest cMatrix rows into the fewest cache lines and
+/// tiles. A stable sort keeps ties in their original relative order, so
+/// the result is deterministic.
+pub fn degree_order(a: &Coo) -> Permutation {
+    let n = a.num_rows();
+    let mut degree = vec![0u32; n];
+    for &r in a.r_ids() {
+        degree[r as usize] += 1;
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(degree[v as usize]));
+    // order[rank] = old; we need perm[old] = rank.
+    let mut forward = vec![0u32; n];
+    for (rank, &old) in order.iter().enumerate() {
+        forward[old as usize] = rank as u32;
+    }
+    Permutation { forward }
+}
+
+/// Reverse Cuthill–McKee: a breadth-first ordering from a low-degree
+/// peripheral vertex, reversed. Narrows the bandwidth of mesh/road-like
+/// matrices, improving the spatial locality of SpMM accesses.
+///
+/// Works on the symmetrized structure; disconnected components are each
+/// ordered from their own lowest-degree seed.
+pub fn reverse_cuthill_mckee(a: &Coo) -> Permutation {
+    let n = a.num_rows().max(a.num_cols());
+    // Build symmetric adjacency.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (r, c, _) in a.iter() {
+        if r != c {
+            adj[r as usize].push(c);
+            adj[c as usize].push(r);
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
+    let degree = |v: usize| adj[v].len();
+
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    // Seeds in ascending degree, so each component starts peripheral.
+    let mut seeds: Vec<u32> = (0..n as u32).collect();
+    seeds.sort_by_key(|&v| degree(v as usize));
+
+    let mut queue = std::collections::VecDeque::new();
+    for seed in seeds {
+        if visited[seed as usize] {
+            continue;
+        }
+        visited[seed as usize] = true;
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut next: Vec<u32> = adj[v as usize]
+                .iter()
+                .copied()
+                .filter(|&u| !visited[u as usize])
+                .collect();
+            next.sort_by_key(|&u| degree(u as usize));
+            for u in next {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order.reverse();
+    let mut forward = vec![0u32; n];
+    for (rank, &old) in order.iter().enumerate() {
+        forward[old as usize] = rank as u32;
+    }
+    Permutation { forward }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::MatrixStats;
+    use crate::generators;
+
+    #[test]
+    fn permutation_validates_bijection() {
+        assert!(Permutation::new(vec![0, 2, 1]).is_ok());
+        assert!(Permutation::new(vec![0, 0, 1]).is_err());
+        assert!(Permutation::new(vec![0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let a = generators::mesh2d(6, 6);
+        let p = Permutation::identity(a.num_rows());
+        assert_eq!(p.permute_symmetric(&a), a);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let a = generators::rmat(64, 200, [0.57, 0.19, 0.19], 5);
+        let p = degree_order(&a);
+        let back = p.inverse().permute_symmetric(&p.permute_symmetric(&a));
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn permutation_preserves_structure_counts() {
+        let a = generators::chung_lu(200, 800, 2.2, 3);
+        let p = degree_order(&a);
+        let b = p.permute_symmetric(&a);
+        assert_eq!(b.nnz(), a.nnz());
+        // Value multiset is preserved.
+        let mut va: Vec<u32> = a.vals().iter().map(|v| v.to_bits()).collect();
+        let mut vb: Vec<u32> = b.vals().iter().map(|v| v.to_bits()).collect();
+        va.sort_unstable();
+        vb.sort_unstable();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first() {
+        let a = generators::chung_lu(300, 2_000, 2.1, 9);
+        let p = degree_order(&a);
+        let b = p.permute_symmetric(&a);
+        let mut deg = vec![0usize; b.num_rows()];
+        for &r in b.r_ids() {
+            deg[r as usize] += 1;
+        }
+        // The first decile must contain more nnz than the last.
+        let n = b.num_rows();
+        let head: usize = deg[..n / 10].iter().sum();
+        let tail: usize = deg[n - n / 10..].iter().sum();
+        assert!(head > tail * 3, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn rcm_narrows_mesh_bandwidth_after_scrambling() {
+        // Scramble a mesh, then RCM must substantially restore locality.
+        let mesh = generators::mesh2d(20, 20);
+        let scramble = {
+            // A deterministic "random" permutation.
+            let n = mesh.num_rows() as u32;
+            let mut f: Vec<u32> = (0..n).map(|i| (i * 181 + 97) % n).collect();
+            f.sort_unstable();
+            f.dedup();
+            assert_eq!(f.len(), n as usize, "181 must be coprime with n");
+            Permutation::new((0..n).map(|i| (i * 181 + 97) % n).collect()).unwrap()
+        };
+        let scrambled = scramble.permute_symmetric(&mesh);
+        let rcm = reverse_cuthill_mckee(&scrambled);
+        let restored = rcm.permute_symmetric(&scrambled);
+        let bw_scrambled = MatrixStats::compute(&scrambled).normalized_bandwidth;
+        let bw_restored = MatrixStats::compute(&restored).normalized_bandwidth;
+        assert!(
+            bw_restored * 3.0 < bw_scrambled,
+            "RCM bandwidth {bw_restored} vs scrambled {bw_scrambled}"
+        );
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_graphs_and_isolated_vertices() {
+        let a = Coo::from_triplets(10, 10, &[(0, 1, 1.0), (1, 0, 1.0), (5, 6, 1.0), (6, 5, 1.0)])
+            .unwrap();
+        let p = reverse_cuthill_mckee(&a);
+        assert_eq!(p.len(), 10);
+        let b = p.permute_symmetric(&a);
+        assert_eq!(b.nnz(), 4);
+    }
+}

@@ -1,0 +1,379 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Coo, MatrixError, FLOATS_PER_LINE};
+
+/// Tiling parameters for the sparse input matrix (Figure 4a of the paper).
+///
+/// A *row panel* spans `row_panel_size` consecutive rows; a *column panel*
+/// spans `col_panel_size` consecutive columns; a *tile* is their
+/// intersection. SPADE imposes no upper or lower bound on tile sizes
+/// (§4.2) — a column panel as wide as the whole matrix reproduces the
+/// untiled row-panel execution of SPADE Base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TilingConfig {
+    /// Rows per row panel.
+    pub row_panel_size: usize,
+    /// Columns per column panel.
+    pub col_panel_size: usize,
+}
+
+impl TilingConfig {
+    /// Creates a tiling configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidTiling`] if either panel size is zero.
+    pub fn new(row_panel_size: usize, col_panel_size: usize) -> Result<Self, MatrixError> {
+        if row_panel_size == 0 {
+            return Err(MatrixError::InvalidTiling {
+                reason: "row panel size is zero".into(),
+            });
+        }
+        if col_panel_size == 0 {
+            return Err(MatrixError::InvalidTiling {
+                reason: "column panel size is zero".into(),
+            });
+        }
+        Ok(TilingConfig {
+            row_panel_size,
+            col_panel_size,
+        })
+    }
+
+    /// The SPADE Base configuration for a matrix with `num_cols` columns:
+    /// row panels of 256 rows and a single column panel spanning the whole
+    /// matrix (§7.A).
+    pub fn base(num_cols: usize) -> Self {
+        TilingConfig {
+            row_panel_size: 256,
+            col_panel_size: num_cols.max(1),
+        }
+    }
+}
+
+/// Metadata describing one tile of a [`TiledCoo`] — the per-tile entries of
+/// the Appendix A tiling metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileInfo {
+    /// Offset of the tile's first non-zero in the reordered `r_ids` /
+    /// `c_ids` / `vals` arrays (`sparse_in_start_offset`).
+    pub sparse_in_start: usize,
+    /// Number of non-zeros in the tile (`tile_NNZ_num`).
+    pub nnz: usize,
+    /// Offset of the tile's first output value in the padded output values
+    /// array (`sparse_out_start_offset`). Always cache-line aligned so that
+    /// SDDMM output tiles can be written through the bypass buffer (§4.3).
+    pub sparse_out_start: usize,
+    /// Index of the row panel this tile belongs to (`tile_row_panel_id`).
+    pub row_panel: usize,
+    /// Index of the column panel this tile belongs to.
+    pub col_panel: usize,
+}
+
+/// The tiled COO representation of Appendix A.
+///
+/// The `r_ids`, `c_ids` and `vals` arrays of the source matrix are
+/// reordered so that each tile's entries are consolidated, and per-tile
+/// metadata records where each tile starts, how many non-zeros it holds,
+/// where its SDDMM output begins (cache-line aligned), and which row panel
+/// it belongs to (needed because all tiles of a row panel must execute on
+/// the same PE to avoid SpMM data races, §4.3).
+///
+/// Empty tiles are not materialized.
+///
+/// # Example
+///
+/// ```
+/// use spade_matrix::{Coo, TiledCoo, TilingConfig};
+///
+/// # fn main() -> Result<(), spade_matrix::MatrixError> {
+/// let a = Coo::from_triplets(4, 4, &[(0, 1, 1.0), (0, 3, 2.0), (3, 0, 3.0)])?;
+/// let tiled = TiledCoo::new(&a, TilingConfig::new(2, 2)?)?;
+/// assert_eq!(tiled.tiles().len(), 3); // three non-empty 2x2 tiles
+/// assert_eq!(tiled.to_coo(), a);      // tiling is lossless
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiledCoo {
+    num_rows: usize,
+    num_cols: usize,
+    config: TilingConfig,
+    num_row_panels: usize,
+    num_col_panels: usize,
+    r_ids: Vec<u32>,
+    c_ids: Vec<u32>,
+    vals: Vec<f32>,
+    tiles: Vec<TileInfo>,
+    /// Total length of the SDDMM output values array including alignment
+    /// padding between tiles.
+    out_len_padded: usize,
+}
+
+impl TiledCoo {
+    /// Tiles `source` according to `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidTiling`] when a panel size is zero.
+    pub fn new(source: &Coo, config: TilingConfig) -> Result<Self, MatrixError> {
+        // Re-validate so that a hand-constructed config cannot bypass the check.
+        let config = TilingConfig::new(config.row_panel_size, config.col_panel_size)?;
+        let num_rows = source.num_rows();
+        let num_cols = source.num_cols();
+        let num_row_panels = num_rows.div_ceil(config.row_panel_size).max(1);
+        let num_col_panels = num_cols.div_ceil(config.col_panel_size).max(1);
+
+        // Bucket-sort non-zeros by (row_panel, col_panel); the source is
+        // already row-major within the matrix, which keeps entries row-major
+        // within each tile.
+        let tile_of = |r: u32, c: u32| -> usize {
+            let rp = r as usize / config.row_panel_size;
+            let cp = c as usize / config.col_panel_size;
+            rp * num_col_panels + cp
+        };
+        let mut counts = vec![0usize; num_row_panels * num_col_panels];
+        for i in 0..source.nnz() {
+            counts[tile_of(source.r_ids()[i], source.c_ids()[i])] += 1;
+        }
+        let mut starts = vec![0usize; counts.len()];
+        let mut acc = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            starts[i] = acc;
+            acc += c;
+        }
+        let nnz = source.nnz();
+        let mut r_ids = vec![0u32; nnz];
+        let mut c_ids = vec![0u32; nnz];
+        let mut vals = vec![0f32; nnz];
+        let mut cursor = starts.clone();
+        for i in 0..nnz {
+            let (r, c, v) = (source.r_ids()[i], source.c_ids()[i], source.vals()[i]);
+            let t = tile_of(r, c);
+            let pos = cursor[t];
+            cursor[t] += 1;
+            r_ids[pos] = r;
+            c_ids[pos] = c;
+            vals[pos] = v;
+        }
+
+        // Materialize non-empty tiles in row-panel-major order, assigning
+        // cache-line-aligned output offsets.
+        let mut tiles = Vec::new();
+        let mut out_cursor = 0usize;
+        for rp in 0..num_row_panels {
+            for cp in 0..num_col_panels {
+                let t = rp * num_col_panels + cp;
+                if counts[t] == 0 {
+                    continue;
+                }
+                tiles.push(TileInfo {
+                    sparse_in_start: starts[t],
+                    nnz: counts[t],
+                    sparse_out_start: out_cursor,
+                    row_panel: rp,
+                    col_panel: cp,
+                });
+                out_cursor += counts[t].div_ceil(FLOATS_PER_LINE) * FLOATS_PER_LINE;
+            }
+        }
+
+        Ok(TiledCoo {
+            num_rows,
+            num_cols,
+            config,
+            num_row_panels,
+            num_col_panels,
+            r_ids,
+            c_ids,
+            vals,
+            tiles,
+            out_len_padded: out_cursor,
+        })
+    }
+
+    /// Number of rows of the source matrix.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns of the source matrix.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The tiling configuration used.
+    pub fn config(&self) -> TilingConfig {
+        self.config
+    }
+
+    /// Number of row panels.
+    pub fn num_row_panels(&self) -> usize {
+        self.num_row_panels
+    }
+
+    /// Number of column panels.
+    pub fn num_col_panels(&self) -> usize {
+        self.num_col_panels
+    }
+
+    /// The reordered row-index array.
+    pub fn r_ids(&self) -> &[u32] {
+        &self.r_ids
+    }
+
+    /// The reordered column-index array.
+    pub fn c_ids(&self) -> &[u32] {
+        &self.c_ids
+    }
+
+    /// The reordered values array.
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// Non-empty tiles in row-panel-major order.
+    pub fn tiles(&self) -> &[TileInfo] {
+        &self.tiles
+    }
+
+    /// Length of the SDDMM output values array, including the padding that
+    /// aligns every tile's output to a cache line.
+    pub fn out_len_padded(&self) -> usize {
+        self.out_len_padded
+    }
+
+    /// The `(r_id, c_id, val)` entries of one tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn tile_entries(&self, tile: usize) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        let info = self.tiles[tile];
+        (info.sparse_in_start..info.sparse_in_start + info.nnz)
+            .map(move |i| (self.r_ids[i], self.c_ids[i], self.vals[i]))
+    }
+
+    /// Reconstructs the source COO matrix (tiling is lossless).
+    pub fn to_coo(&self) -> Coo {
+        let triplets: Vec<(u32, u32, f32)> = (0..self.nnz())
+            .map(|i| (self.r_ids[i], self.c_ids[i], self.vals[i]))
+            .collect();
+        Coo::from_triplets(self.num_rows, self.num_cols, &triplets)
+            .expect("a tiled matrix always reconstructs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        // The 4x4 example of Appendix A (Figure 15), values a..g.
+        Coo::from_triplets(
+            4,
+            4,
+            &[
+                (0, 2, 1.0), // a
+                (0, 3, 2.0), // b
+                (1, 1, 3.0), // c
+                (1, 3, 4.0), // d
+                (2, 1, 5.0), // e
+                (2, 2, 6.0), // f
+                (3, 0, 7.0), // g
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn appendix_a_example_layout() {
+        let tiled = TiledCoo::new(&sample(), TilingConfig::new(2, 2).unwrap()).unwrap();
+        assert_eq!(tiled.num_row_panels(), 2);
+        assert_eq!(tiled.num_col_panels(), 2);
+        // Figure 15(b): tile starts 0, 1, 4, 6 and nnz counts 1, 3, 2, 1.
+        let starts: Vec<usize> = tiled.tiles().iter().map(|t| t.sparse_in_start).collect();
+        let nnzs: Vec<usize> = tiled.tiles().iter().map(|t| t.nnz).collect();
+        assert_eq!(starts, vec![0, 1, 4, 6]);
+        assert_eq!(nnzs, vec![1, 3, 2, 1]);
+        // tile_row_panel_id: first two tiles in panel 0, last two in panel 1.
+        let panels: Vec<usize> = tiled.tiles().iter().map(|t| t.row_panel).collect();
+        assert_eq!(panels, vec![0, 0, 1, 1]);
+        // Reordered vals: tile (0,0) holds c; tile (0,1) holds a,b,d; tile
+        // (1,0) holds e,g... wait, e is at (2,1) -> row panel 1, col panel 0.
+        assert_eq!(tiled.vals(), &[3.0, 1.0, 2.0, 4.0, 5.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn output_offsets_are_line_aligned() {
+        let tiled = TiledCoo::new(&sample(), TilingConfig::new(2, 2).unwrap()).unwrap();
+        for t in tiled.tiles() {
+            assert_eq!(t.sparse_out_start % FLOATS_PER_LINE, 0);
+        }
+        assert_eq!(tiled.out_len_padded(), 4 * FLOATS_PER_LINE);
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_source() {
+        let src = sample();
+        for (rp, cp) in [(1, 1), (2, 3), (4, 4), (100, 100)] {
+            let tiled = TiledCoo::new(&src, TilingConfig::new(rp, cp).unwrap()).unwrap();
+            assert_eq!(tiled.to_coo(), src, "rp={rp} cp={cp}");
+        }
+    }
+
+    #[test]
+    fn zero_panel_size_is_rejected() {
+        assert!(TilingConfig::new(0, 4).is_err());
+        assert!(TilingConfig::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn empty_tiles_are_skipped() {
+        let a = Coo::from_triplets(8, 8, &[(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
+        let tiled = TiledCoo::new(&a, TilingConfig::new(2, 2).unwrap()).unwrap();
+        assert_eq!(tiled.tiles().len(), 2);
+    }
+
+    #[test]
+    fn base_config_spans_all_columns() {
+        let cfg = TilingConfig::base(1000);
+        assert_eq!(cfg.row_panel_size, 256);
+        assert_eq!(cfg.col_panel_size, 1000);
+        let a = Coo::from_triplets(600, 1000, &[(0, 999, 1.0), (599, 0, 2.0)]).unwrap();
+        let tiled = TiledCoo::new(&a, cfg).unwrap();
+        assert_eq!(tiled.num_col_panels(), 1);
+        assert_eq!(tiled.num_row_panels(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_tiles_to_nothing() {
+        let a = Coo::from_triplets(4, 4, &[]).unwrap();
+        let tiled = TiledCoo::new(&a, TilingConfig::new(2, 2).unwrap()).unwrap();
+        assert!(tiled.tiles().is_empty());
+        assert_eq!(tiled.out_len_padded(), 0);
+        assert_eq!(tiled.to_coo(), a);
+    }
+
+    #[test]
+    fn tile_entries_are_row_major_within_tile() {
+        let tiled = TiledCoo::new(&sample(), TilingConfig::new(4, 4).unwrap()).unwrap();
+        assert_eq!(tiled.tiles().len(), 1);
+        let rows: Vec<u32> = tiled.tile_entries(0).map(|(r, _, _)| r).collect();
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(rows, sorted);
+    }
+
+    #[test]
+    fn panel_sizes_larger_than_matrix_give_single_tile() {
+        let tiled = TiledCoo::new(&sample(), TilingConfig::new(1000, 1000).unwrap()).unwrap();
+        assert_eq!(tiled.tiles().len(), 1);
+        assert_eq!(tiled.tiles()[0].nnz, 7);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the matrix substrate: format round trips, generator
+//! invariants and MatrixMarket I/O.
+
+use proptest::prelude::*;
+use spade_matrix::generators::{self, Benchmark, Scale};
+use spade_matrix::{mm, Coo, Csr, DenseMatrix, TiledCoo, TilingConfig};
+
+fn arb_coo() -> impl Strategy<Value = Coo> {
+    (2usize..50, 2usize..50).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec((0..rows as u32, 0..cols as u32, -5.0f32..5.0), 0..150)
+            .prop_map(move |t| Coo::from_triplets(rows, cols, &t).expect("in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csr_roundtrip(a in arb_coo()) {
+        prop_assert_eq!(a.to_csr().to_coo(), a);
+    }
+
+    #[test]
+    fn csr_row_ptr_is_monotone(a in arb_coo()) {
+        let csr = Csr::from_coo(&a);
+        for w in csr.row_ptr().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(*csr.row_ptr().last().unwrap(), a.nnz());
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(a in arb_coo()) {
+        let mut buf = Vec::new();
+        mm::write_matrix_market(&a, &mut buf).unwrap();
+        let b = mm::read_matrix_market(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(a.num_rows(), b.num_rows());
+        prop_assert_eq!(a.nnz(), b.nnz());
+        for ((r1, c1, v1), (r2, c2, v2)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!((r1, c1), (r2, c2));
+            prop_assert!((v1 - v2).abs() <= v1.abs() * 1e-5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn tiled_out_offsets_are_line_aligned(a in arb_coo(), rp in 1usize..20, cp in 1usize..20) {
+        let tiled = TiledCoo::new(&a, TilingConfig::new(rp, cp).unwrap()).unwrap();
+        for t in tiled.tiles() {
+            prop_assert_eq!(t.sparse_out_start % 16, 0);
+            prop_assert!(t.nnz > 0, "empty tiles must not be materialized");
+        }
+    }
+
+    #[test]
+    fn dense_matrix_rows_are_line_aligned(rows in 1usize..20, cols in 1usize..100) {
+        let m = DenseMatrix::zeros(rows, cols);
+        prop_assert_eq!(m.row_stride() % 16, 0);
+        prop_assert!(m.row_stride() >= cols);
+        prop_assert!(m.row_stride() < cols + 16);
+    }
+
+    #[test]
+    fn rmat_stays_in_bounds(scale_bits in 3u32..8, edges in 1usize..500) {
+        let n = 1usize << scale_bits;
+        let g = generators::rmat(n, edges, [0.57, 0.19, 0.19], 42);
+        prop_assert_eq!(g.num_rows(), n);
+        for (r, c, _) in g.iter() {
+            prop_assert!((r as usize) < n && (c as usize) < n);
+            prop_assert!(r != c, "self-loops must be dropped");
+        }
+    }
+
+    #[test]
+    fn chung_lu_is_symmetric(n in 16usize..200, m in 1usize..400) {
+        let g = generators::chung_lu(n, m, 2.2, 7);
+        let set: std::collections::HashSet<(u32, u32)> =
+            g.iter().map(|(r, c, _)| (r, c)).collect();
+        for &(r, c) in &set {
+            prop_assert!(set.contains(&(c, r)));
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_has_no_duplicates_and_graphs_have_no_self_loops() {
+    for b in Benchmark::ALL {
+        let g = b.generate(Scale::Tiny);
+        let mut seen = std::collections::HashSet::new();
+        for (r, c, _) in g.iter() {
+            // Graph adjacency matrices are hollow; the FEM matrix (SER)
+            // deliberately has a full diagonal.
+            if b != Benchmark::Ser {
+                assert_ne!(r, c, "{}: self loop", b.short_name());
+            }
+            assert!(seen.insert((r, c)), "{}: duplicate ({r},{c})", b.short_name());
+        }
+    }
+}
+
+#[test]
+fn mycielskian_is_triangle_free() {
+    let g = generators::mycielskian(4);
+    let adj: std::collections::HashSet<(u32, u32)> = g.iter().map(|(r, c, _)| (r, c)).collect();
+    let nodes = g.num_rows() as u32;
+    for a in 0..nodes {
+        for b in (a + 1)..nodes {
+            if !adj.contains(&(a, b)) {
+                continue;
+            }
+            for c in (b + 1)..nodes {
+                assert!(
+                    !(adj.contains(&(b, c)) && adj.contains(&(a, c))),
+                    "triangle {a}-{b}-{c}: the Mycielski construction must stay triangle-free"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Line, LINE_BYTES};
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a configuration, rounding the capacity down to a whole
+    /// number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is smaller than `ways` lines.
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "a cache needs at least one way");
+        assert!(
+            size_bytes >= ways * LINE_BYTES as usize,
+            "cache of {size_bytes} B cannot hold {ways} ways"
+        );
+        CacheConfig { size_bytes, ways }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / LINE_BYTES as usize / self.ways).max(1)
+    }
+
+    /// Total lines the cache can hold.
+    pub fn num_lines(&self) -> usize {
+        self.num_sets() * self.ways
+    }
+}
+
+/// A dirty line evicted by a fill; the caller must forward it down the
+/// hierarchy as a write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted line address.
+    pub line: Line,
+    /// Whether the line was dirty (needs a write-back).
+    pub dirty: bool,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent; it has been filled, possibly evicting a victim.
+    Miss {
+        /// Line evicted to make room, if the set was full.
+        victim: Option<Victim>,
+    },
+}
+
+impl AccessOutcome {
+    /// `true` for [`AccessOutcome::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+const INVALID: Line = Line::MAX;
+
+/// A set-associative, write-back, write-allocate cache with LRU
+/// replacement. Tag-only: it tracks presence, dirtiness and recency, not
+/// data (functional values are computed by the caller).
+///
+/// Used for every cache-like structure in the modeled system: PE L1s, the
+/// bypass-buffer victim cache, core L2s, LLC slices, and the baseline CPU
+/// caches.
+///
+/// # Example
+///
+/// ```
+/// use spade_sim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new(1024, 2)); // 16 lines, 2-way
+/// assert!(!c.access(3, false).is_hit()); // cold miss
+/// assert!(c.access(3, false).is_hit());  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    tags: Vec<Line>,
+    dirty: Vec<bool>,
+    stamp: Vec<u64>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.num_sets();
+        let n = sets * config.ways;
+        Cache {
+            config,
+            sets,
+            tags: vec![INVALID; n],
+            dirty: vec![false; n],
+            stamp: vec![0; n],
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    #[inline]
+    fn set_of(&self, line: Line) -> usize {
+        (line % self.sets as u64) as usize
+    }
+
+    /// Looks up `line`, filling it on a miss (write-allocate). `is_write`
+    /// marks the line dirty.
+    pub fn access(&mut self, line: Line, is_write: bool) -> AccessOutcome {
+        debug_assert_ne!(line, INVALID, "the sentinel line address is reserved");
+        self.tick += 1;
+        let set = self.set_of(line);
+        let base = set * self.config.ways;
+        let ways = &mut self.tags[base..base + self.config.ways];
+
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.stamp[base + w] = self.tick;
+            if is_write {
+                self.dirty[base + w] = true;
+            }
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: pick an invalid way, else the LRU way.
+        let w = match ways.iter().position(|&t| t == INVALID) {
+            Some(w) => w,
+            None => {
+                let mut lru = 0usize;
+                for i in 1..self.config.ways {
+                    if self.stamp[base + i] < self.stamp[base + lru] {
+                        lru = i;
+                    }
+                }
+                lru
+            }
+        };
+        let victim = if self.tags[base + w] == INVALID {
+            None
+        } else {
+            Some(Victim {
+                line: self.tags[base + w],
+                dirty: self.dirty[base + w],
+            })
+        };
+        self.tags[base + w] = line;
+        self.dirty[base + w] = is_write;
+        self.stamp[base + w] = self.tick;
+        AccessOutcome::Miss { victim }
+    }
+
+    /// Checks for presence without touching LRU state or filling.
+    pub fn probe(&self, line: Line) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.config.ways;
+        self.tags[base..base + self.config.ways]
+            .iter()
+            .any(|&t| t == line)
+    }
+
+    /// Invalidates `line` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: Line) -> Option<bool> {
+        let set = self.set_of(line);
+        let base = set * self.config.ways;
+        for w in 0..self.config.ways {
+            if self.tags[base + w] == line {
+                self.tags[base + w] = INVALID;
+                let was_dirty = self.dirty[base + w];
+                self.dirty[base + w] = false;
+                return Some(was_dirty);
+            }
+        }
+        None
+    }
+
+    /// Writes back and invalidates everything, returning the dirty lines
+    /// (the mode-transition operation of §4.1).
+    pub fn writeback_invalidate_all(&mut self) -> Vec<Line> {
+        let mut dirty_lines = Vec::new();
+        for i in 0..self.tags.len() {
+            if self.tags[i] != INVALID && self.dirty[i] {
+                dirty_lines.push(self.tags[i]);
+            }
+            self.tags[i] = INVALID;
+            self.dirty[i] = false;
+        }
+        dirty_lines
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    /// Number of currently dirty lines.
+    pub fn dirty_count(&self) -> usize {
+        (0..self.tags.len())
+            .filter(|&i| self.tags[i] != INVALID && self.dirty[i])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 lines, 2 ways, 2 sets.
+        Cache::new(CacheConfig::new(256, 2))
+    }
+
+    #[test]
+    fn geometry_is_derived_correctly() {
+        let cfg = CacheConfig::new(48 * 1024, 12);
+        assert_eq!(cfg.num_sets(), 64);
+        assert_eq!(cfg.num_lines(), 768);
+    }
+
+    #[test]
+    #[should_panic]
+    fn undersized_cache_is_rejected() {
+        let _ = CacheConfig::new(64, 2);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).is_hit());
+        assert!(c.access(0, false).is_hit());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(); // 2 sets; lines 0,2,4 map to set 0
+        c.access(0, false);
+        c.access(2, false);
+        c.access(0, false); // 0 is now MRU
+        let out = c.access(4, false); // must evict 2
+        match out {
+            AccessOutcome::Miss { victim: Some(v) } => assert_eq!(v.line, 2),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.probe(0));
+        assert!(!c.probe(2));
+    }
+
+    #[test]
+    fn dirty_victims_are_reported() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(2, false);
+        c.access(4, false); // evicts 0 (LRU), which is dirty
+        let out = c.access(6, false); // evicts 2, clean
+        match out {
+            AccessOutcome::Miss { victim: Some(v) } => {
+                assert_eq!(v.line, 2);
+                assert!(!v.dirty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true);
+        assert_eq!(c.dirty_count(), 1);
+    }
+
+    #[test]
+    fn probe_does_not_fill() {
+        let c = tiny();
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(0, true);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert_eq!(c.invalidate(0), None);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn writeback_invalidate_all_returns_only_dirty() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(1, false);
+        c.access(2, true);
+        let mut dirty = c.writeback_invalidate_all();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![0, 2]);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_tracks_valid_lines() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        c.access(0, false);
+        c.access(1, false);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn sets_partition_the_line_space() {
+        let mut c = tiny(); // 2 sets, 2 ways: even lines -> set 0, odd -> set 1
+        c.access(0, false);
+        c.access(1, false);
+        c.access(2, false); // set 0 now holds {0, 2}
+        c.access(3, false); // set 1 now holds {1, 3}
+        assert!(c.probe(0) && c.probe(1) && c.probe(2) && c.probe(3));
+    }
+}

@@ -1,0 +1,206 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{ns_to_cycles, CacheConfig, Cycle, DramConfig, StlbConfig};
+
+/// Full memory-system configuration (the Table 1 parameters).
+///
+/// The same structure describes both the SPADE accelerator's view of the
+/// host memory system (agents = PEs, four PEs per L2 cluster, bypass
+/// buffers present) and the baseline CPU's view (agents = cores, one core
+/// per L2, no bypass buffers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Number of requesting agents (SPADE PEs or CPU cores).
+    pub num_agents: usize,
+    /// Agents sharing one L2 cache and one STLB (4 for SPADE, 1 for CPU).
+    pub agents_per_cluster: usize,
+    /// Per-agent L1 data cache.
+    pub l1: CacheConfig,
+    /// Per-agent bypass-buffer victim cache, if the agent has a BBF
+    /// (16 KiB, 2-way in Table 1). `None` for CPU cores.
+    pub victim: Option<CacheConfig>,
+    /// Per-cluster shared L2.
+    pub l2: CacheConfig,
+    /// Total last-level cache (shared by everyone, banked).
+    pub llc: CacheConfig,
+    /// Number of independent LLC banks (service rate: one line per cycle
+    /// per bank).
+    pub llc_banks: usize,
+    /// Main memory.
+    pub dram: DramConfig,
+    /// Secondary TLB shared per cluster.
+    pub stlb: StlbConfig,
+    /// Average round-trip PE↔memory-controller link latency in cycles,
+    /// excluding cache/DRAM service times (the LL knob of §7.B; 60 ns
+    /// default).
+    pub link_latency: Cycle,
+    /// L1 hit latency in cycles.
+    pub l1_latency: Cycle,
+    /// Additional latency of an L2 lookup.
+    pub l2_latency: Cycle,
+    /// Additional latency of an LLC lookup.
+    pub llc_latency: Cycle,
+}
+
+impl MemConfig {
+    /// The SPADE system of Table 1: `num_pes` PEs at 0.8 GHz, 32 KiB L1
+    /// per PE, 16 KiB victim cache per PE, 1.25 MiB L2 per 4 PEs, 1.5 MiB
+    /// of LLC per 4 PEs, and the dual-socket Ice Lake DRAM.
+    ///
+    /// With `num_pes = 224` this reproduces the paper's totals: 7.2 MiB of
+    /// PE L1, 70 MiB of L2 and 84 MiB of LLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is not a multiple of 4.
+    pub fn spade_table1(num_pes: usize) -> Self {
+        assert!(num_pes % 4 == 0, "SPADE clusters hold 4 PEs");
+        let clusters = num_pes / 4;
+        MemConfig {
+            num_agents: num_pes,
+            agents_per_cluster: 4,
+            l1: CacheConfig::new(32 * 1024, 8),
+            victim: Some(CacheConfig::new(16 * 1024, 2)),
+            l2: CacheConfig::new(1_310_720, 20), // 1.25 MiB
+            llc: CacheConfig::new(clusters * 1_572_864, 12), // 1.5 MiB per cluster
+            llc_banks: clusters.max(1) * 2,
+            dram: DramConfig::ice_lake(),
+            stlb: StlbConfig::ice_lake(),
+            link_latency: ns_to_cycles(60.0),
+            l1_latency: 2,
+            l2_latency: 14,
+            llc_latency: 30,
+        }
+    }
+
+    /// A proportionally scaled SPADE system: LLC capacity and DRAM
+    /// bandwidth shrink with the PE count so that the compute-to-memory
+    /// balance of the 224-PE system is preserved. Useful for fast
+    /// experiments and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is not a multiple of 4.
+    pub fn scaled(num_pes: usize) -> Self {
+        let mut cfg = Self::spade_table1(num_pes);
+        let ratio = num_pes as f64 / 224.0;
+        cfg.dram.bandwidth_gbps = (304.0 * ratio).max(4.0);
+        cfg.dram.channels = ((8.0 * ratio).round() as usize).max(1);
+        cfg
+    }
+
+    /// The SPADE*n* scale-up of §7.E: `factor`× the PE count, DRAM
+    /// bandwidth, LLC size *and link latency* of this configuration.
+    pub fn scaled_up(&self, factor: usize) -> Self {
+        let mut cfg = self.clone();
+        cfg.num_agents *= factor;
+        cfg.llc = CacheConfig::new(self.llc.size_bytes * factor, self.llc.ways);
+        cfg.llc_banks *= factor;
+        cfg.dram = self.dram.scaled_by(factor);
+        cfg.link_latency *= factor as Cycle;
+        cfg
+    }
+
+    /// The baseline dual-socket Ice Lake CPU of Table 1: 56 cores, 48 KiB
+    /// L1D, 1.25 MiB private L2 per core, 84 MiB LLC, same DRAM.
+    ///
+    /// Latencies are expressed in *PE* cycles (0.8 GHz) so that CPU and
+    /// SPADE timings share a time base; the CPU core model accounts for
+    /// its higher clock internally.
+    pub fn cpu_ice_lake(num_cores: usize) -> Self {
+        MemConfig {
+            num_agents: num_cores,
+            agents_per_cluster: 1,
+            l1: CacheConfig::new(48 * 1024, 12),
+            victim: None,
+            l2: CacheConfig::new(1_310_720, 20),
+            llc: CacheConfig::new(num_cores * 1_572_864, 12),
+            llc_banks: num_cores.max(1),
+            dram: DramConfig::ice_lake(),
+            stlb: StlbConfig::ice_lake(),
+            link_latency: ns_to_cycles(60.0),
+            l1_latency: 2,
+            l2_latency: 14,
+            llc_latency: 30,
+        }
+    }
+
+    /// A deliberately tiny hierarchy for unit tests: 512 B L1s, 2 KiB L2,
+    /// 8 KiB LLC, 2 DRAM channels.
+    pub fn small_test(num_agents: usize) -> Self {
+        MemConfig {
+            num_agents,
+            agents_per_cluster: 2,
+            l1: CacheConfig::new(512, 2),
+            victim: Some(CacheConfig::new(256, 2)),
+            l2: CacheConfig::new(2048, 4),
+            llc: CacheConfig::new(8192, 4),
+            llc_banks: 2,
+            dram: DramConfig {
+                channels: 2,
+                bandwidth_gbps: 51.2,
+                latency_cycles: 100,
+            },
+            stlb: StlbConfig {
+                entries: 16,
+                ways: 4,
+                page_bytes: 4096,
+                miss_penalty: 50,
+            },
+            link_latency: 48,
+            l1_latency: 2,
+            l2_latency: 14,
+            llc_latency: 30,
+        }
+    }
+
+    /// Number of L2 clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_agents.div_ceil(self.agents_per_cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_match_paper() {
+        let cfg = MemConfig::spade_table1(224);
+        // 7 MiB of PE L1 (paper: 7.2 MB), 70 MiB of L2, 84 MiB of LLC.
+        assert_eq!(cfg.num_clusters(), 56);
+        assert_eq!(cfg.l1.size_bytes * 224, 224 * 32 * 1024);
+        assert_eq!(cfg.l2.size_bytes * 56, 73_400_320); // 70 MiB
+        assert_eq!(cfg.llc.size_bytes, 88_080_384); // 84 MiB
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_multiple_of_four_is_rejected() {
+        let _ = MemConfig::spade_table1(10);
+    }
+
+    #[test]
+    fn scaled_preserves_balance() {
+        let cfg = MemConfig::scaled(56);
+        assert!((cfg.dram.bandwidth_gbps - 76.0).abs() < 0.1);
+        assert_eq!(cfg.llc.size_bytes, 14 * 1_572_864);
+    }
+
+    #[test]
+    fn scaled_up_doubles_everything() {
+        let base = MemConfig::spade_table1(224);
+        let up = base.scaled_up(2);
+        assert_eq!(up.num_agents, 448);
+        assert_eq!(up.llc.size_bytes, base.llc.size_bytes * 2);
+        assert!((up.dram.bandwidth_gbps - 608.0).abs() < 1e-9);
+        assert_eq!(up.link_latency, base.link_latency * 2);
+    }
+
+    #[test]
+    fn cpu_config_has_no_victim_cache() {
+        let cfg = MemConfig::cpu_ice_lake(56);
+        assert!(cfg.victim.is_none());
+        assert_eq!(cfg.num_clusters(), 56);
+    }
+}

@@ -1,0 +1,207 @@
+use serde::{Deserialize, Serialize};
+
+/// Which data structure an access belongs to. Determines the bypass policy
+/// applied by the SPADE pipeline and attributes traffic for the power
+/// breakdown (Figure 14) and the per-class analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataClass {
+    /// The input sparse matrix arrays (`r_ids`, `c_ids`, `vals`).
+    SparseIn,
+    /// The output sparse matrix values (SDDMM only).
+    SparseOut,
+    /// The dense matrix indexed by non-zero row ids (`D` in SpMM, `B` in
+    /// SDDMM).
+    RMatrix,
+    /// The dense matrix indexed by non-zero column ids (`B` in SpMM, `Cᵀ`
+    /// in SDDMM).
+    CMatrix,
+}
+
+impl DataClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [DataClass; 4] = [
+        DataClass::SparseIn,
+        DataClass::SparseOut,
+        DataClass::RMatrix,
+        DataClass::CMatrix,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            DataClass::SparseIn => 0,
+            DataClass::SparseOut => 1,
+            DataClass::RMatrix => 2,
+            DataClass::CMatrix => 3,
+        }
+    }
+}
+
+/// A level of the modeled hierarchy, for statistics attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LevelKind {
+    /// Per-PE (or per-core) L1 data cache.
+    L1,
+    /// Bypass buffer + victim cache.
+    Bbf,
+    /// Shared L2.
+    L2,
+    /// Last-level cache.
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+impl LevelKind {
+    /// All levels, for iteration in reports.
+    pub const ALL: [LevelKind; 5] = [
+        LevelKind::L1,
+        LevelKind::Bbf,
+        LevelKind::L2,
+        LevelKind::Llc,
+        LevelKind::Dram,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            LevelKind::L1 => 0,
+            LevelKind::Bbf => 1,
+            LevelKind::L2 => 2,
+            LevelKind::Llc => 3,
+            LevelKind::Dram => 4,
+        }
+    }
+}
+
+/// Access/hit/write-back counters for one hierarchy level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Lookups performed at this level.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Dirty lines written back *from* this level to the next.
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Misses (`accesses − hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit rate in `[0, 1]`; zero when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Aggregate statistics for a [`crate::MemorySystem`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    levels: [LevelStats; 5],
+    class_dram: [u64; 4],
+    /// Requests issued into the memory system by the compute pipelines
+    /// (used for the requests-per-cycle metric of Figure 10).
+    pub requests_issued: u64,
+    /// STLB page-walk count.
+    pub tlb_misses: u64,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters for `level`.
+    pub fn level(&self, level: LevelKind) -> &LevelStats {
+        &self.levels[level.index()]
+    }
+
+    pub(crate) fn record_access(&mut self, level: LevelKind, hit: bool) {
+        let l = &mut self.levels[level.index()];
+        l.accesses += 1;
+        if hit {
+            l.hits += 1;
+        }
+    }
+
+    pub(crate) fn record_writeback(&mut self, level: LevelKind) {
+        self.levels[level.index()].writebacks += 1;
+    }
+
+    pub(crate) fn record_dram(&mut self, class: DataClass) {
+        self.class_dram[class.index()] += 1;
+    }
+
+    /// DRAM accesses attributed to `class`.
+    pub fn dram_by_class(&self, class: DataClass) -> u64 {
+        self.class_dram[class.index()]
+    }
+
+    /// Total DRAM accesses (reads + write-backs).
+    pub fn dram_accesses(&self) -> u64 {
+        self.level(LevelKind::Dram).accesses
+    }
+
+    /// Total LLC lookups.
+    pub fn llc_accesses(&self) -> u64 {
+        self.level(LevelKind::Llc).accesses
+    }
+
+    /// Requests per cycle over an `elapsed` interval.
+    pub fn requests_per_cycle(&self, elapsed: crate::Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.requests_issued as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_stats_derive_misses_and_rate() {
+        let s = LevelStats {
+            accesses: 10,
+            hits: 7,
+            writebacks: 1,
+        };
+        assert_eq!(s.misses(), 3);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_level_has_zero_hit_rate() {
+        assert_eq!(LevelStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn mem_stats_attribute_by_level_and_class() {
+        let mut m = MemStats::new();
+        m.record_access(LevelKind::L1, true);
+        m.record_access(LevelKind::L1, false);
+        m.record_access(LevelKind::Dram, true);
+        m.record_dram(DataClass::CMatrix);
+        m.record_writeback(LevelKind::L2);
+        assert_eq!(m.level(LevelKind::L1).accesses, 2);
+        assert_eq!(m.level(LevelKind::L1).hits, 1);
+        assert_eq!(m.level(LevelKind::L2).writebacks, 1);
+        assert_eq!(m.dram_accesses(), 1);
+        assert_eq!(m.dram_by_class(DataClass::CMatrix), 1);
+        assert_eq!(m.dram_by_class(DataClass::RMatrix), 0);
+    }
+
+    #[test]
+    fn requests_per_cycle_handles_zero_elapsed() {
+        let m = MemStats::new();
+        assert_eq!(m.requests_per_cycle(0), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Strong scaling of a SPADE system (the Figure 12 experiment in
+//! miniature).
+//!
+//! ```text
+//! cargo run --release --example scaling
+//! ```
+//!
+//! Doubling a SPADE system (2× PEs, DRAM bandwidth, LLC and link latency)
+//! should roughly halve execution time — unless the matrix has too few
+//! row panels to keep the PEs busy, the load-imbalance exception the
+//! paper observes for MYC and KRO.
+
+use spade::core::{ExecutionPlan, Primitive, SpadeSystem, SystemConfig};
+use spade::matrix::generators::{Benchmark, Scale};
+use spade::matrix::DenseMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 32;
+    let base = SystemConfig::scaled(28);
+
+    println!("strong scaling, SpMM K={k} (base: {} PEs)\n", base.num_pes);
+    println!("{:<6} {:>10} {:>8} {:>8} {:>8}", "graph", "base (µs)", "2x", "4x", "ideal");
+    for bench in [Benchmark::Del, Benchmark::Pac, Benchmark::Myc] {
+        let a = bench.generate(Scale::Tiny);
+        let b = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r + c) % 9) as f32 * 0.2);
+        // Row panels sized so the base system has plenty of panels per PE
+        // (the paper's 256-row panels assume multi-million-row matrices).
+        let mut plan = ExecutionPlan::spmm_base(&a)?;
+        plan.tiling = spade::matrix::TilingConfig::new(8, a.num_cols().max(1))?;
+        let _ = Primitive::Spmm;
+
+        let t_base = SpadeSystem::new(base.clone())
+            .run_spmm(&a, &b, &plan)?
+            .report
+            .time_ns;
+        let mut speedups = Vec::new();
+        for factor in [2usize, 4] {
+            let cfg = base.scaled_up(factor);
+            let t = SpadeSystem::new(cfg).run_spmm(&a, &b, &plan)?.report.time_ns;
+            speedups.push(t_base / t);
+        }
+        println!(
+            "{:<6} {:>10.1} {:>7.2}x {:>7.2}x {:>8}",
+            bench.short_name(),
+            t_base / 1e3,
+            speedups[0],
+            speedups[1],
+            "2x/4x"
+        );
+    }
+    println!("\nMYC has very few rows (load imbalance), so it scales worst — the");
+    println!("same exception the paper reports in its Figure 12.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # SPADE — a flexible and scalable accelerator for SpMM and SDDMM
+//!
+//! This workspace reproduces the system described in *SPADE: A Flexible and
+//! Scalable Accelerator for SpMM and SDDMM* (ISCA 2023) as a full-system
+//! simulation in Rust. This facade crate re-exports the sub-crates:
+//!
+//! * [`matrix`] — sparse formats, Appendix-A tiling, synthetic benchmark
+//!   graphs, structure analysis, gold kernels.
+//! * [`sim`] — the memory-system substrate: caches, bypass buffers, DRAM
+//!   channels, on-chip links, TLBs, and the cycle engine.
+//! * [`core`] — the SPADE accelerator itself: tile ISA, control processing
+//!   element, PE pipeline, and the integrated multicore system.
+//! * [`baselines`] — the machines SPADE is compared against: a simulated
+//!   Ice Lake multicore, a V100 roofline model, an idealized Sextans
+//!   accelerator, and the PCIe transfer model.
+//! * [`energy`] — CACTI-style area/power/energy estimation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spade::core::{SpadeSystem, SystemConfig, ExecutionPlan};
+//! use spade::matrix::{generators::{Benchmark, Scale}, DenseMatrix, reference};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small Kronecker graph and run SpMM with K = 32 on a
+//! // scaled-down SPADE system.
+//! let a = Benchmark::Kro.generate(Scale::Tiny);
+//! let b = DenseMatrix::from_fn(a.num_cols(), 32, |r, c| (r + c) as f32 * 0.01);
+//!
+//! let config = SystemConfig::scaled(8); // 8 PEs
+//! let plan = ExecutionPlan::spmm_base(&a)?;
+//! let mut system = SpadeSystem::new(config);
+//! let result = system.run_spmm(&a, &b, &plan)?;
+//!
+//! // The simulated result matches the gold kernel.
+//! let gold = reference::spmm(&a, &b);
+//! assert!(reference::dense_close(&result.output, &gold, 1e-3));
+//! println!("cycles: {}", result.report.cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use spade_baselines as baselines;
+pub use spade_core as core;
+pub use spade_energy as energy;
+pub use spade_matrix as matrix;
+pub use spade_sim as sim;

@@ -1,0 +1,182 @@
+//! Failure-injection and edge-case tests: extreme queue sizes, degenerate
+//! matrices, and minimal systems must still produce gold-equivalent
+//! results (back-pressure correctness, not just the happy path).
+
+use spade::core::{
+    run_spmm_checked, ExecutionPlan, PipelineConfig, SpadeSystem, SystemConfig,
+};
+use spade::matrix::generators::{Benchmark, Scale};
+use spade::matrix::{reference, Coo, DenseMatrix, TilingConfig};
+
+fn dense(rows: usize, k: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, k, |r, c| ((r * 5 + c * 3) % 17) as f32 * 0.25 - 1.0)
+}
+
+/// The tightest pipeline that can still make progress: every queue at its
+/// minimum.
+fn strangled_pipeline() -> PipelineConfig {
+    PipelineConfig {
+        sparse_lq_entries: 1,
+        top_queue_entries: 1,
+        rs_entries: 1,
+        dense_lq_entries: 2, // one vOp needs up to two loads in flight
+        store_queue_entries: 1,
+        vrf_regs: 4,
+        ..PipelineConfig::table1()
+    }
+}
+
+#[test]
+fn minimal_queues_still_compute_correctly() {
+    let a = Benchmark::Kro.generate(Scale::Tiny);
+    let b = dense(a.num_cols(), 32);
+    let mut cfg = SystemConfig::scaled(4);
+    cfg.pipeline = strangled_pipeline();
+    let mut sys = SpadeSystem::new(cfg);
+    let run = run_spmm_checked(&mut sys, &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+    assert_eq!(run.report.total_vops, a.nnz() as u64 * 2);
+}
+
+#[test]
+fn minimal_queues_sddmm_is_correct() {
+    let a = Benchmark::Pap.generate(Scale::Tiny);
+    let b = dense(a.num_rows(), 32);
+    let c_t = dense(a.num_cols(), 32);
+    let mut cfg = SystemConfig::scaled(4);
+    cfg.pipeline = strangled_pipeline();
+    let mut sys = SpadeSystem::new(cfg);
+    let run = sys
+        .run_sddmm(&a, &b, &c_t, &ExecutionPlan::sddmm_base(&a).unwrap())
+        .unwrap();
+    let gold = reference::sddmm(&a, &b, &c_t);
+    assert!(reference::first_mismatch(run.output.vals(), &gold, 1e-3).is_none());
+}
+
+#[test]
+fn k_equal_to_one_cache_line() {
+    // K = 16: exactly one vOp per tuple, the smallest legal dense row.
+    let a = Benchmark::Del.generate(Scale::Tiny);
+    let b = dense(a.num_cols(), 16);
+    let mut sys = SpadeSystem::new(SystemConfig::scaled(8));
+    let run = run_spmm_checked(&mut sys, &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+    assert_eq!(run.report.total_vops, a.nnz() as u64);
+}
+
+#[test]
+fn one_by_one_matrix() {
+    let a = Coo::from_triplets(1, 1, &[(0, 0, 3.0)]).unwrap();
+    let b = dense(1, 16);
+    let mut sys = SpadeSystem::new(SystemConfig::scaled(4));
+    let run = run_spmm_checked(&mut sys, &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+    assert!((run.output.get(0, 0) - 3.0 * b.get(0, 0)).abs() < 1e-5);
+}
+
+#[test]
+fn matrix_with_empty_rows_and_columns() {
+    // Only two non-zeros in a 100x100 matrix: most tiles are empty.
+    let a = Coo::from_triplets(100, 100, &[(7, 93, 2.0), (93, 7, -1.0)]).unwrap();
+    let b = dense(100, 32);
+    let plan = ExecutionPlan {
+        tiling: TilingConfig::new(3, 5).unwrap(), // awkward panel sizes
+        ..ExecutionPlan::spmm_base(&a).unwrap()
+    };
+    let mut sys = SpadeSystem::new(SystemConfig::scaled(8));
+    run_spmm_checked(&mut sys, &a, &b, &plan);
+}
+
+#[test]
+fn single_nnz_per_tile_tiling() {
+    let a = Benchmark::Roa.generate(Scale::Tiny);
+    let b = dense(a.num_cols(), 16);
+    // 1x1 tiles: one tile instruction per non-zero — the degenerate
+    // extreme of "no upper/lower bound constraints on the tile size".
+    let plan = ExecutionPlan {
+        tiling: TilingConfig::new(1, 1).unwrap(),
+        ..ExecutionPlan::spmm_base(&a).unwrap()
+    };
+    let mut cfg = SystemConfig::scaled(4);
+    cfg.pipeline.instr_fetch_cycles = 1;
+    let mut sys = SpadeSystem::new(cfg);
+    // Keep it small: truncate to the first 2000 nnz worth of rows.
+    let small = Coo::from_triplets(
+        a.num_rows().min(1000),
+        a.num_cols(),
+        &a.iter()
+            .filter(|&(r, _, _)| (r as usize) < a.num_rows().min(1000))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    run_spmm_checked(&mut sys, &small, &b, &plan);
+}
+
+#[test]
+fn mini_spade_prototype_runs_both_kernels() {
+    let a = Benchmark::Myc.generate(Scale::Tiny);
+    let b = dense(a.num_rows().max(a.num_cols()), 16);
+    let c_t = dense(a.num_cols(), 16);
+    let mut sys = SpadeSystem::new(SystemConfig::mini_spade());
+    let run = run_spmm_checked(&mut sys, &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+    assert!(run.report.cycles > 0);
+    let sd = sys
+        .run_sddmm(&a, &b, &c_t, &ExecutionPlan::sddmm_base(&a).unwrap())
+        .unwrap();
+    let gold = reference::sddmm(&a, &b, &c_t);
+    assert!(reference::first_mismatch(sd.output.vals(), &gold, 1e-3).is_none());
+}
+
+#[test]
+fn spmv_and_sddvv_follow_the_paper_extension() {
+    let a = Benchmark::Kro.generate(Scale::Tiny);
+    let x: Vec<f32> = (0..a.num_cols()).map(|i| (i % 11) as f32 * 0.1).collect();
+    let y: Vec<f32> = (0..a.num_cols()).map(|i| (i % 7) as f32 * 0.2).collect();
+    let mut sys = SpadeSystem::new(SystemConfig::scaled(8));
+
+    let spmv = sys
+        .run_spmv(&a, &x, &ExecutionPlan::spmm_base(&a).unwrap())
+        .unwrap();
+    let bx = DenseMatrix::from_fn(a.num_cols(), 1, |r, _| x[r]);
+    let gold = reference::spmm(&a, &bx);
+    for r in 0..a.num_rows() {
+        assert!((spmv.output[r] - gold.get(r, 0)).abs() < 1e-3);
+    }
+
+    let sddvv = sys
+        .run_sddvv(&a, &x, &y, &ExecutionPlan::sddmm_base(&a).unwrap())
+        .unwrap();
+    for (r, c, v) in sddvv.output.iter() {
+        let orig = a
+            .iter()
+            .find(|&(rr, cc, _)| rr == r && cc == c)
+            .expect("same structure")
+            .2;
+        assert!((v - orig * x[r as usize] * y[c as usize]).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn zero_value_nonzeros_are_processed_not_skipped() {
+    // Explicit zeros are sampling positions for SDDMM and must flow
+    // through the pipeline like any non-zero.
+    let a = Coo::from_triplets(8, 8, &[(1, 2, 0.0), (3, 4, 1.0)]).unwrap();
+    let b = dense(8, 16);
+    let c_t = dense(8, 16);
+    let mut sys = SpadeSystem::new(SystemConfig::scaled(4));
+    let run = sys
+        .run_sddmm(&a, &b, &c_t, &ExecutionPlan::sddmm_base(&a).unwrap())
+        .unwrap();
+    assert_eq!(run.output.nnz(), 2);
+    assert_eq!(run.output.vals()[0], 0.0);
+    assert!(run.output.vals()[1].abs() > 0.0);
+}
+
+#[test]
+fn wide_k_with_tiny_vrf_backpressures_correctly() {
+    // K=128 needs 8 segments per tuple; a 6-register VRF forces constant
+    // eviction/refill traffic without breaking RAW chains.
+    let a = Benchmark::Myc.generate(Scale::Tiny);
+    let b = dense(a.num_cols(), 128);
+    let mut cfg = SystemConfig::scaled(4);
+    cfg.pipeline.vrf_regs = 6;
+    let mut sys = SpadeSystem::new(cfg);
+    run_spmm_checked(&mut sys, &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
+}

@@ -1,0 +1,175 @@
+//! Property-based tests over the whole stack: arbitrary sparse matrices,
+//! tilings, plans and machine shapes must always produce gold-equivalent
+//! results and respect the paper's structural invariants.
+
+use proptest::prelude::*;
+
+use spade::core::{
+    BarrierPolicy, CMatrixPolicy, ExecutionPlan, PeCommand, Primitive, RMatrixPolicy, Schedule,
+    SpadeSystem, SystemConfig,
+};
+use spade::matrix::{reference, Coo, DenseMatrix, TiledCoo, TilingConfig};
+
+/// Strategy: a small random sparse matrix.
+fn arb_coo(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
+    (2usize..max_dim, 2usize..max_dim).prop_flat_map(move |(rows, cols)| {
+        proptest::collection::vec(
+            (0..rows as u32, 0..cols as u32, -2.0f32..2.0),
+            0..max_nnz,
+        )
+        .prop_map(move |triplets| {
+            Coo::from_triplets(rows, cols, &triplets).expect("triplets are in range")
+        })
+    })
+}
+
+fn arb_tiling() -> impl Strategy<Value = TilingConfig> {
+    (1usize..40, 1usize..40)
+        .prop_map(|(rp, cp)| TilingConfig::new(rp, cp).expect("nonzero panels"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tiling_roundtrips_any_matrix(a in arb_coo(60, 200), t in arb_tiling()) {
+        let tiled = TiledCoo::new(&a, t).unwrap();
+        prop_assert_eq!(tiled.to_coo(), a);
+        // Offsets are consistent: tiles tile the nnz space exactly.
+        let total: usize = tiled.tiles().iter().map(|ti| ti.nnz).sum();
+        prop_assert_eq!(total, tiled.nnz());
+        for w in tiled.tiles().windows(2) {
+            prop_assert_eq!(w[0].sparse_in_start + w[0].nnz, w[1].sparse_in_start);
+            prop_assert!(w[1].sparse_out_start >= w[0].sparse_out_start + w[0].nnz);
+        }
+    }
+
+    #[test]
+    fn schedule_never_splits_row_panels(
+        a in arb_coo(60, 200),
+        t in arb_tiling(),
+        num_pes in 1usize..9,
+        barriers in prop_oneof![
+            Just(BarrierPolicy::None),
+            (1u32..4).prop_map(|g| BarrierPolicy::EveryColumnPanels { group: g })
+        ],
+    ) {
+        let tiled = TiledCoo::new(&a, t).unwrap();
+        let s = Schedule::build(&tiled, num_pes, Primitive::Spmm, barriers);
+        // Every tile exactly once; row panel -> single PE.
+        let mut owner = std::collections::HashMap::new();
+        let mut seen = vec![false; tiled.tiles().len()];
+        for pe in 0..num_pes {
+            for cmd in s.commands(pe) {
+                if let PeCommand::Tile { tile_idx } = cmd {
+                    prop_assert!(!seen[*tile_idx]);
+                    seen[*tile_idx] = true;
+                    let rp = tiled.tiles()[*tile_idx].row_panel;
+                    let prev = owner.insert(rp, pe);
+                    prop_assert!(prev.is_none() || prev == Some(pe),
+                        "row panel {} split across PEs", rp);
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn reference_spmm_linearity(a in arb_coo(30, 80)) {
+        // SpMM is linear in B: A(B1 + B2) = AB1 + AB2.
+        let k = 16;
+        let b1 = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r + c) % 5) as f32);
+        let b2 = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r * c) % 3) as f32);
+        let sum = DenseMatrix::from_fn(a.num_cols(), k, |r, c| b1.get(r, c) + b2.get(r, c));
+        let d1 = reference::spmm(&a, &b1);
+        let d2 = reference::spmm(&a, &b2);
+        let ds = reference::spmm(&a, &sum);
+        for r in 0..a.num_rows() {
+            for c in 0..k {
+                prop_assert!((ds.get(r, c) - d1.get(r, c) - d2.get(r, c)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn sddmm_scales_with_sparse_values(a in arb_coo(30, 80)) {
+        // Doubling the sampled values doubles the output.
+        let k = 16;
+        let b = DenseMatrix::from_fn(a.num_rows(), k, |r, c| ((r + 2 * c) % 7) as f32 * 0.5);
+        let ct = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((2 * r + c) % 5) as f32 * 0.5);
+        let v1 = reference::sddmm(&a, &b, &ct);
+        let doubled = a.map_values(|_, _, v| 2.0 * v);
+        let v2 = reference::sddmm(&doubled, &b, &ct);
+        for (x, y) in v1.iter().zip(&v2) {
+            prop_assert!((2.0 * x - y).abs() < 1e-3);
+        }
+    }
+}
+
+proptest! {
+    // Full-system property tests are more expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulated_spmm_equals_gold_for_any_matrix_and_plan(
+        a in arb_coo(80, 300),
+        rp in 1usize..40,
+        cp in 1usize..80,
+        r_policy in prop_oneof![
+            Just(RMatrixPolicy::Cache),
+            Just(RMatrixPolicy::Bypass),
+            Just(RMatrixPolicy::BypassVictim)
+        ],
+        c_policy in prop_oneof![Just(CMatrixPolicy::Cache), Just(CMatrixPolicy::Bypass)],
+        barriers in prop_oneof![
+            Just(BarrierPolicy::None),
+            Just(BarrierPolicy::per_column_panel())
+        ],
+    ) {
+        let k = 32;
+        let b = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r * 13 + c) % 9) as f32 * 0.25);
+        let plan = ExecutionPlan {
+            tiling: TilingConfig::new(rp, cp).unwrap(),
+            r_policy,
+            c_policy,
+            barriers,
+        };
+        let mut sys = SpadeSystem::new(SystemConfig::scaled(8));
+        let run = sys.run_spmm(&a, &b, &plan).unwrap();
+        let gold = reference::spmm(&a, &b);
+        prop_assert!(reference::dense_close(&run.output, &gold, 1e-3));
+    }
+
+    #[test]
+    fn simulated_sddmm_equals_gold_for_any_matrix(
+        a in arb_coo(80, 300),
+        rp in 1usize..40,
+        cp in 1usize..80,
+    ) {
+        let k = 32;
+        let b = DenseMatrix::from_fn(a.num_rows(), k, |r, c| ((r + c * 3) % 11) as f32 * 0.2);
+        let ct = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r * 7 + c) % 13) as f32 * 0.2);
+        let plan = ExecutionPlan {
+            tiling: TilingConfig::new(rp, cp).unwrap(),
+            r_policy: RMatrixPolicy::Cache,
+            c_policy: CMatrixPolicy::Cache,
+            barriers: BarrierPolicy::None,
+        };
+        let mut sys = SpadeSystem::new(SystemConfig::scaled(8));
+        let run = sys.run_sddmm(&a, &b, &ct, &plan).unwrap();
+        let gold = reference::sddmm(&a, &b, &ct);
+        prop_assert!(
+            reference::first_mismatch(run.output.vals(), &gold, 1e-3).is_none()
+        );
+    }
+
+    #[test]
+    fn cpu_model_equals_gold_for_any_matrix(a in arb_coo(60, 200)) {
+        let b = DenseMatrix::from_fn(a.num_cols(), 16, |r, c| ((r + c) % 7) as f32);
+        let cpu = spade::baselines::cpu::CpuModel::new(
+            spade::baselines::cpu::CpuConfig::small_test(3),
+        );
+        let run = cpu.run_spmm(&a, &b);
+        prop_assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-4));
+    }
+}
