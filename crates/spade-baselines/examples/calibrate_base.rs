@@ -1,22 +1,34 @@
 //! Developer probe: kernel times of the three baseline machines.
 
-use std::time::Instant;
 use spade_baselines::cpu::{CpuConfig, CpuModel};
 use spade_baselines::gpu::{GpuConfig, GpuModel};
 use spade_baselines::sextans::{SextansConfig, SextansModel};
 use spade_matrix::generators::{Benchmark, Scale};
 use spade_matrix::DenseMatrix;
+use std::time::Instant;
 fn main() {
     let k = 32;
-    for bench in [Benchmark::Roa, Benchmark::Kro, Benchmark::Ork, Benchmark::Del, Benchmark::Myc] {
+    for bench in [
+        Benchmark::Roa,
+        Benchmark::Kro,
+        Benchmark::Ork,
+        Benchmark::Del,
+        Benchmark::Myc,
+    ] {
         let a = bench.generate(Scale::Default);
         let b = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r + c) % 17) as f32 * 0.1);
         let t0 = Instant::now();
         let cpu = CpuModel::new(CpuConfig::ice_lake()).run_spmm(&a, &b);
         let gpu = GpuModel::new(GpuConfig::v100()).run_spmm(&a, &b);
         let sex = SextansModel::new(SextansConfig::idealized()).run_spmm(&a, &b);
-        println!("{}: CPU {:.0}us gbps={:.0} | GPU {:.0}us | Sextans {:.0}us (host {:.1}s)",
-                 bench.short_name(), cpu.report.kernel_ns/1e3, cpu.report.achieved_gbps,
-                 gpu.report.kernel_ns/1e3, sex.report.kernel_ns/1e3, t0.elapsed().as_secs_f64());
+        println!(
+            "{}: CPU {:.0}us gbps={:.0} | GPU {:.0}us | Sextans {:.0}us (host {:.1}s)",
+            bench.short_name(),
+            cpu.report.kernel_ns / 1e3,
+            cpu.report.achieved_gbps,
+            gpu.report.kernel_ns / 1e3,
+            sex.report.kernel_ns / 1e3,
+            t0.elapsed().as_secs_f64()
+        );
     }
 }

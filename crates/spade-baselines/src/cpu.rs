@@ -216,7 +216,7 @@ impl CpuModel {
                     let base_idx = csr.row_ptr()[row] as u64;
                     for (j, &c) in cols.iter().enumerate() {
                         let idx = base_idx + j as u64;
-                        if idx % FLOATS_PER_LINE as u64 == 0 || j == 0 {
+                        if idx.is_multiple_of(FLOATS_PER_LINE as u64) || j == 0 {
                             ops.push(Op {
                                 line: cols_base + idx * 4 / 64,
                                 class: DataClass::SparseIn,
@@ -290,7 +290,7 @@ impl CpuModel {
                     let base_idx = csr.row_ptr()[row] as u64;
                     for (j, &c) in cols.iter().enumerate() {
                         let idx = base_idx + j as u64;
-                        if idx % FLOATS_PER_LINE as u64 == 0 || j == 0 {
+                        if idx.is_multiple_of(FLOATS_PER_LINE as u64) || j == 0 {
                             ops.push(Op {
                                 line: cols_base + idx * 4 / 64,
                                 class: DataClass::SparseIn,
@@ -379,7 +379,11 @@ mod tests {
         let b = dense(a.num_cols(), 32);
         let model = CpuModel::new(CpuConfig::small_test(4));
         let run = model.run_spmm(&a, &b);
-        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-5));
+        assert!(reference::dense_close(
+            &run.output,
+            &reference::spmm(&a, &b),
+            1e-5
+        ));
         assert!(run.report.kernel_ns > 0.0);
         assert!(run.report.dram_accesses > 0);
     }
@@ -413,8 +417,14 @@ mod tests {
     fn larger_k_takes_longer() {
         let a = Benchmark::Del.generate(Scale::Tiny);
         let model = CpuModel::new(CpuConfig::small_test(4));
-        let t32 = model.run_spmm(&a, &dense(a.num_cols(), 32)).report.kernel_ns;
-        let t128 = model.run_spmm(&a, &dense(a.num_cols(), 128)).report.kernel_ns;
+        let t32 = model
+            .run_spmm(&a, &dense(a.num_cols(), 32))
+            .report
+            .kernel_ns;
+        let t128 = model
+            .run_spmm(&a, &dense(a.num_cols(), 128))
+            .report
+            .kernel_ns;
         assert!(t128 > t32 * 1.5);
     }
 

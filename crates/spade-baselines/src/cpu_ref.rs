@@ -44,10 +44,10 @@ pub fn spmm_threaded(a: &Coo, b: &DenseMatrix, threads: usize) -> RefRun<DenseMa
         rest = tail;
     }
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (&(row_start, row_end), chunk) in ranges.iter().zip(slices) {
             let csr = &csr;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for row in row_start..row_end {
                     let (cols, vals) = csr.row_entries(row);
                     let off = (row - row_start) * stride;
@@ -61,8 +61,7 @@ pub fn spmm_threaded(a: &Coo, b: &DenseMatrix, threads: usize) -> RefRun<DenseMa
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     RefRun {
         output: d,
@@ -102,10 +101,10 @@ pub fn sddmm_threaded(
         }
     }
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (&(row_start, row_end), chunk) in ranges.iter().zip(slices) {
             let csr = &csr;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = csr.row_ptr()[row_start];
                 for row in row_start..row_end {
                     let (cols, vals) = csr.row_entries(row);
@@ -119,8 +118,7 @@ pub fn sddmm_threaded(
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     RefRun {
         output: out,
@@ -167,7 +165,11 @@ mod tests {
         let a = Benchmark::Kro.generate(Scale::Tiny);
         let b = dense(a.num_cols(), 32);
         let run = spmm_threaded(&a, &b, 4);
-        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-4));
+        assert!(reference::dense_close(
+            &run.output,
+            &reference::spmm(&a, &b),
+            1e-4
+        ));
         assert!(run.wall_ns > 0.0);
     }
 
@@ -176,7 +178,11 @@ mod tests {
         let a = Benchmark::Del.generate(Scale::Tiny);
         let b = dense(a.num_cols(), 32);
         let run = spmm_threaded(&a, &b, 1);
-        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-4));
+        assert!(reference::dense_close(
+            &run.output,
+            &reference::spmm(&a, &b),
+            1e-4
+        ));
     }
 
     #[test]
@@ -202,6 +208,10 @@ mod tests {
         let a = Coo::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 2.0)]).unwrap();
         let b = dense(4, 16);
         let run = spmm_threaded(&a, &b, 16);
-        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-5));
+        assert!(reference::dense_close(
+            &run.output,
+            &reference::spmm(&a, &b),
+            1e-5
+        ));
     }
 }

@@ -225,7 +225,11 @@ mod tests {
         let a = Benchmark::Del.generate(Scale::Tiny);
         let b = dense(a.num_cols(), 32);
         let run = GpuModel::new(GpuConfig::v100()).run_spmm(&a, &b);
-        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 0.0));
+        assert!(reference::dense_close(
+            &run.output,
+            &reference::spmm(&a, &b),
+            0.0
+        ));
         assert!(run.fits_memory);
         assert!(run.report.kernel_ns > 0.0);
     }

@@ -28,10 +28,8 @@ pub mod gpu;
 pub mod sextans;
 pub mod transfer;
 
-use serde::{Deserialize, Serialize};
-
 /// Timing summary shared by all baseline models.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BaselineReport {
     /// Kernel execution time in nanoseconds (excludes any host↔device
     /// transfer).
@@ -60,7 +58,11 @@ impl BaselineReport {
             dram_accesses,
             dram_bytes,
             achieved_gbps: achieved,
-            utilization: if peak_gbps > 0.0 { achieved / peak_gbps } else { 0.0 },
+            utilization: if peak_gbps > 0.0 {
+                achieved / peak_gbps
+            } else {
+                0.0
+            },
         }
     }
 }

@@ -104,7 +104,9 @@ impl SextansModel {
         let pass_out_bytes = rows * self.config.cols_per_pass as u64 * 4;
         // Scratchpad holds the output chunk plus streaming buffers; charge
         // the whole scratchpad to the output chunk (idealized).
-        let output_chunks = pass_out_bytes.div_ceil(self.config.scratchpad_bytes.max(1)).max(1);
+        let output_chunks = pass_out_bytes
+            .div_ceil(self.config.scratchpad_bytes.max(1))
+            .max(1);
         let sparse_passes = k.div_ceil(self.config.cols_per_pass as u64).max(1);
 
         // Traffic per §7.F:
@@ -144,7 +146,11 @@ mod tests {
         let a = Benchmark::Kro.generate(Scale::Tiny);
         let b = dense(a.num_cols(), 32);
         let run = SextansModel::new(SextansConfig::idealized()).run_spmm(&a, &b);
-        assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 0.0));
+        assert!(reference::dense_close(
+            &run.output,
+            &reference::spmm(&a, &b),
+            0.0
+        ));
     }
 
     #[test]
@@ -176,8 +182,13 @@ mod tests {
     #[test]
     fn utilization_is_capped_at_half() {
         let a = Benchmark::Kro.generate(Scale::Tiny);
-        let run = SextansModel::new(SextansConfig::idealized()).run_spmm(&a, &dense(a.num_cols(), 32));
-        assert!(run.report.utilization <= 0.500001, "{}", run.report.utilization);
+        let run =
+            SextansModel::new(SextansConfig::idealized()).run_spmm(&a, &dense(a.num_cols(), 32));
+        assert!(
+            run.report.utilization <= 0.500001,
+            "{}",
+            run.report.utilization
+        );
         assert!(run.report.utilization > 0.49);
     }
 }

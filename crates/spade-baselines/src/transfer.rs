@@ -7,11 +7,10 @@
 //! measurements could not separate from the raw transfer. SPADE eliminates
 //! both by sharing the host's memory system and virtual addresses.
 
-use serde::{Deserialize, Serialize};
 use spade_matrix::{Coo, DenseMatrix};
 
 /// PCIe + address-mapping transfer cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferModel {
     /// Host-to-device effective bandwidth in GB/s.
     pub h2d_gbps: f64,

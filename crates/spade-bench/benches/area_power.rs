@@ -51,8 +51,14 @@ fn main() {
     table::print_table(
         &["Metric", "Value"],
         &[
-            vec!["Die area (65 nm)".into(), format!("{} mm²", MiniSpade::DIE_MM2)],
-            vec!["Power at 200 MHz".into(), format!("{} W", MiniSpade::POWER_W)],
+            vec![
+                "Die area (65 nm)".into(),
+                format!("{} mm²", MiniSpade::DIE_MM2),
+            ],
+            vec![
+                "Power at 200 MHz".into(),
+                format!("{} W", MiniSpade::POWER_W),
+            ],
             vec![
                 "Model consistency ratio".into(),
                 format!("{:.2}", MiniSpade::area_consistency_ratio(&area)),

@@ -6,7 +6,13 @@
 //! row panel (maximizes cMatrix reuse); DEL (low RU) wants a column panel
 //! spanning all columns; MYC (few rows) wants small row panels to fight
 //! load imbalance.
+//!
+//! The whole 3-graph × 3×3-cell grid is one job list for the parallel
+//! experiment engine.
 
+use std::sync::Arc;
+
+use spade_bench::parallel::{self, Job};
 use spade_bench::{bench_pes, bench_scale, machines, runner, suite::Workload, table};
 use spade_core::{BarrierPolicy, CMatrixPolicy, ExecutionPlan, Primitive, RMatrixPolicy};
 use spade_matrix::generators::Benchmark;
@@ -14,22 +20,22 @@ use spade_matrix::generators::Benchmark;
 fn main() {
     let pes = bench_pes();
     let scale = bench_scale();
-    let cfg = machines::spade_system(pes);
+    let cfg = Arc::new(machines::spade_system(pes));
     // The bench-scaled analogue of the paper's {8k, 500k, MAX} × {64, 256,
     // 1024} grid (no bypassing, no barriers).
     let col_panels = [1_024usize, 8_192, usize::MAX];
     let row_panels = [4usize, 16, 64];
+    let graphs = [Benchmark::Kro, Benchmark::Del, Benchmark::Myc];
 
-    for b in [Benchmark::Kro, Benchmark::Del, Benchmark::Myc] {
-        let w = Workload::prepare(b, scale, 32);
-        table::banner(
-            &format!("Figure 11({}): SpMM K=32 tile-size sensitivity", b.short_name()),
-            "Times normalized to the worst setting; lower is better.",
-        );
-        let mut times = vec![vec![0f64; col_panels.len()]; row_panels.len()];
-        let mut worst = 0f64;
-        for (i, &rp) in row_panels.iter().enumerate() {
-            for (j, &cp) in col_panels.iter().enumerate() {
+    // Build the full grid as one job list.
+    let workloads: Vec<Arc<Workload>> = graphs
+        .iter()
+        .map(|&b| Arc::new(Workload::prepare(b, scale, 32)))
+        .collect();
+    let mut jobs = Vec::new();
+    for w in &workloads {
+        for &rp in &row_panels {
+            for &cp in &col_panels {
                 let plan = ExecutionPlan::with_knobs(
                     rp,
                     cp.min(w.a.num_cols().max(1)),
@@ -38,7 +44,23 @@ fn main() {
                     BarrierPolicy::None,
                 )
                 .expect("valid tile knobs");
-                let r = runner::run_spade(&cfg, &w, Primitive::Spmm, &plan);
+                jobs.push(Job::new(w, &cfg, Primitive::Spmm, plan));
+            }
+        }
+    }
+    let reports = parallel::run_and_summarize(&jobs);
+
+    let cells = row_panels.len() * col_panels.len();
+    for (g, w) in workloads.iter().enumerate() {
+        table::banner(
+            &format!("Figure 11({}): SpMM K=32 tile-size sensitivity", w.name),
+            "Times normalized to the worst setting; lower is better.",
+        );
+        let mut times = vec![vec![0f64; col_panels.len()]; row_panels.len()];
+        let mut worst = 0f64;
+        for (i, _) in row_panels.iter().enumerate() {
+            for (j, _) in col_panels.iter().enumerate() {
+                let r = &reports[g * cells + i * col_panels.len() + j];
                 times[i][j] = r.time_ns;
                 worst = worst.max(r.time_ns);
             }
@@ -46,9 +68,7 @@ fn main() {
         let mut rows = Vec::new();
         for (i, &rp) in row_panels.iter().enumerate() {
             let mut row = vec![format!("RP={rp}")];
-            for j in 0..col_panels.len() {
-                row.push(table::f2(times[i][j] / worst));
-            }
+            row.extend(times[i].iter().map(|&t| table::f2(t / worst)));
             rows.push(row);
         }
         table::print_table(&["", "CP=1k", "CP=8k", "CP=MAX"], &rows);

@@ -1,67 +1,87 @@
-//! Criterion micro-benchmarks of the core data structures: cache lookups,
-//! VRF tag-CAM allocation, tiling, and the gold kernels. These guard the
+//! Micro-benchmarks of the core data structures: cache lookups, VRF
+//! tag-CAM allocation, tiling, and the gold kernels. These guard the
 //! simulator's own performance (host seconds per simulated cycle).
+//!
+//! Plain timing harness (the workspace is dependency-free): each target
+//! is warmed up, then timed over enough iterations to smooth noise, and
+//! reported as ns/iter.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
 use spade_core::vrf::{AllocOutcome, Vrf};
 use spade_matrix::generators::{Benchmark, Scale};
 use spade_matrix::{reference, DenseMatrix, TiledCoo, TilingConfig};
 use spade_sim::{Cache, CacheConfig, DataClass};
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_access_32k_8way", |bencher| {
-        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8));
-        let mut line = 0u64;
-        bencher.iter(|| {
-            line = (line * 2862933555777941757 + 3037000493) % 65_536;
-            std::hint::black_box(cache.access(line, line % 4 == 0));
-        });
+/// Times `f` and prints ns/iter: a short warm-up, then batches until
+/// ~200 ms of measurement have accumulated.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..100 {
+        f();
+    }
+    let mut iters = 0u64;
+    let mut batch = 100u64;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 200 {
+        for _ in 0..batch {
+            f();
+        }
+        iters += batch;
+        batch = batch.saturating_mul(2).min(1 << 20);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<32} {ns:>12.1} ns/iter  ({iters} iters)");
+}
+
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8));
+    let mut line = 0u64;
+    bench("cache_access_32k_8way", || {
+        line = (line
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493))
+            % 65_536;
+        std::hint::black_box(cache.access(line, line.is_multiple_of(4)));
     });
 }
 
-fn bench_vrf(c: &mut Criterion) {
-    c.bench_function("vrf_lookup_or_alloc_64", |bencher| {
-        let mut vrf = Vrf::new(64);
-        let mut line = 0u64;
-        bencher.iter(|| {
-            line = (line + 17) % 256;
-            match vrf.lookup_or_alloc(line, DataClass::CMatrix) {
-                AllocOutcome::Allocated(id) => vrf.set_ready(id),
-                AllocOutcome::Reused(_) => {}
-                AllocOutcome::Stall => {
-                    vrf.drain_dirty();
-                }
+fn bench_vrf() {
+    let mut vrf = Vrf::new(64);
+    let mut line = 0u64;
+    bench("vrf_lookup_or_alloc_64", || {
+        line = (line + 17) % 256;
+        match vrf.lookup_or_alloc(line, DataClass::CMatrix) {
+            AllocOutcome::Allocated(id) => vrf.set_ready(id),
+            AllocOutcome::Reused(_) => {}
+            AllocOutcome::Stall => {
+                vrf.drain_dirty();
             }
-        });
+        }
     });
 }
 
-fn bench_tiling(c: &mut Criterion) {
+fn bench_tiling() {
     let a = Benchmark::Kro.generate(Scale::Tiny);
-    c.bench_function("tile_kro_tiny_16x1024", |bencher| {
-        bencher.iter_batched(
-            || a.clone(),
-            |a| TiledCoo::new(&a, TilingConfig::new(16, 1024).unwrap()).unwrap(),
-            BatchSize::SmallInput,
-        );
+    bench("tile_kro_tiny_16x1024", || {
+        std::hint::black_box(TiledCoo::new(&a, TilingConfig::new(16, 1024).unwrap()).unwrap());
     });
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn bench_kernels() {
     let a = Benchmark::Del.generate(Scale::Tiny);
     let b = DenseMatrix::from_fn(a.num_cols(), 32, |r, cc| ((r + cc) % 7) as f32);
-    c.bench_function("reference_spmm_del_tiny_k32", |bencher| {
-        bencher.iter(|| std::hint::black_box(reference::spmm(&a, &b)));
+    bench("reference_spmm_del_tiny_k32", || {
+        std::hint::black_box(reference::spmm(&a, &b));
     });
     let c_t = DenseMatrix::from_fn(a.num_cols(), 32, |r, cc| ((r * cc) % 5) as f32);
-    c.bench_function("reference_sddmm_del_tiny_k32", |bencher| {
-        bencher.iter(|| std::hint::black_box(reference::sddmm(&a, &b, &c_t)));
+    bench("reference_sddmm_del_tiny_k32", || {
+        std::hint::black_box(reference::sddmm(&a, &b, &c_t));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_cache, bench_vrf, bench_tiling, bench_kernels
+fn main() {
+    bench_cache();
+    bench_vrf();
+    bench_tiling();
+    bench_kernels();
 }
-criterion_main!(benches);

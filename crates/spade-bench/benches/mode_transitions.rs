@@ -57,7 +57,12 @@ fn main() {
         ]);
     }
     table::print_table(
-        &["Graph", "SpMM termination", "Start-up (cold)", "SDDMM termination"],
+        &[
+            "Graph",
+            "SpMM termination",
+            "Start-up (cold)",
+            "SDDMM termination",
+        ],
         &rows,
     );
     println!(

@@ -5,15 +5,22 @@
 //! Paper reading: matrix-dependent — up to +80.5 % (ASI SpMM K=128) and
 //! down to −57.1 % (ORK SpMM K=128). High-RU matrices benefit; low-RU
 //! matrices are hurt.
+//!
+//! Every (combo, graph, barriers on/off) cell is one job; the whole table
+//! runs as a single fan-out through the parallel experiment engine.
 
-use spade_bench::{bench_pes, bench_scale, fast_mode, machines, runner, suite::Workload, table};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use spade_bench::parallel::{self, Job};
+use spade_bench::{bench_pes, bench_scale, fast_mode, machines, suite::Workload, table};
 use spade_core::{BarrierPolicy, CMatrixPolicy, ExecutionPlan, Primitive, RMatrixPolicy};
 use spade_matrix::generators::Benchmark;
 
 fn main() {
     let pes = bench_pes();
     let scale = bench_scale();
-    let cfg = machines::spade_system(pes);
+    let cfg = Arc::new(machines::spade_system(pes));
     let combos: &[(Primitive, usize)] = if fast_mode() {
         &[(Primitive::Spmm, 32)]
     } else if spade_bench::full_search() {
@@ -31,11 +38,17 @@ fn main() {
         "Table 5: % change in execution time from scheduling barriers",
         "Medium RP/CP, no bypassing. Positive numbers are slowdowns.",
     );
-    let mut rows = Vec::new();
+
+    // Workloads are shared across the two barrier settings of each combo
+    // (and across combos with the same K).
+    let mut workloads: HashMap<(Benchmark, usize), Arc<Workload>> = HashMap::new();
+    let mut jobs = Vec::new();
     for &(kernel, k) in combos {
-        let mut row = vec![format!("{kernel}{k}")];
-        for b in Benchmark::ALL {
-            let w = Workload::prepare(b, scale, k);
+        for &b in &Benchmark::ALL {
+            let w = workloads
+                .entry((b, k))
+                .or_insert_with(|| Arc::new(Workload::prepare(b, scale, k)))
+                .clone();
             let space = machines::search_space(k);
             // The smallest row panel of the scaled space plays the role of
             // the paper's "medium" 256-row panel: it keeps several row
@@ -46,18 +59,29 @@ fn main() {
             // medium panel is a comparable fraction of its matrices),
             // bounded by the absolute medium size of the search space.
             let cp = (w.a.num_cols() / 8).clamp(64, space.col_panels[1]);
-            let make = |barriers| {
-                ExecutionPlan::with_knobs(
+            for barriers in [BarrierPolicy::None, BarrierPolicy::per_column_panel()] {
+                let plan = ExecutionPlan::with_knobs(
                     rp,
                     cp,
                     RMatrixPolicy::Cache,
                     CMatrixPolicy::Cache,
                     barriers,
                 )
-                .expect("valid knobs")
-            };
-            let without = runner::run_spade(&cfg, &w, kernel, &make(BarrierPolicy::None));
-            let with = runner::run_spade(&cfg, &w, kernel, &make(BarrierPolicy::per_column_panel()));
+                .expect("valid knobs");
+                jobs.push(Job::new(&w, &cfg, kernel, plan));
+            }
+        }
+    }
+    let reports = parallel::run_and_summarize(&jobs);
+
+    let mut rows = Vec::new();
+    let mut cursor = 0;
+    for &(kernel, k) in combos {
+        let mut row = vec![format!("{kernel}{k}")];
+        for _ in Benchmark::ALL {
+            let without = &reports[cursor];
+            let with = &reports[cursor + 1];
+            cursor += 2;
             let change = (with.time_ns - without.time_ns) / without.time_ns * 100.0;
             row.push(format!("{change:+.1}"));
         }

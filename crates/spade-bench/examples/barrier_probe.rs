@@ -12,12 +12,26 @@ fn main() {
         let w = Workload::prepare(b, Scale::Default, 32);
         let cp = (w.a.num_cols() / 8).max(64);
         for barriers in [BarrierPolicy::None, BarrierPolicy::per_column_panel()] {
-            let plan = ExecutionPlan::with_knobs(4, cp, RMatrixPolicy::Cache, CMatrixPolicy::Cache, barriers).unwrap();
+            let plan = ExecutionPlan::with_knobs(
+                4,
+                cp,
+                RMatrixPolicy::Cache,
+                CMatrixPolicy::Cache,
+                barriers,
+            )
+            .unwrap();
             let r = runner::run_spade(&cfg, &w, Primitive::Spmm, &plan);
             let llc = r.mem.level(LevelKind::Llc);
-            println!("{} barriers={}: time={:.0}us dram={} llc_hit={:.2} cmatrix_dram={} stall_vr={}",
-                b.short_name(), barriers.is_enabled(), r.time_ns/1e3, r.dram_accesses,
-                llc.hit_rate(), r.mem.dram_by_class(spade_sim::DataClass::CMatrix), r.stall_no_vr);
+            println!(
+                "{} barriers={}: time={:.0}us dram={} llc_hit={:.2} cmatrix_dram={} stall_vr={}",
+                b.short_name(),
+                barriers.is_enabled(),
+                r.time_ns / 1e3,
+                r.dram_accesses,
+                llc.hit_rate(),
+                r.mem.dram_by_class(spade_sim::DataClass::CMatrix),
+                r.stall_no_vr
+            );
         }
     }
 }

@@ -1,0 +1,58 @@
+//! Measures the wall-clock win of the parallel experiment engine: the
+//! quick Opt search over the Tiny suite, serial (1 thread) vs. the
+//! environment default, asserting bit-identical selected plans/cycles.
+//!
+//! ```text
+//! cargo run --release -p spade-bench --example opt_speedup
+//! ```
+
+use std::time::Instant;
+
+use spade_bench::parallel::{num_threads, Job, ParallelRunner};
+use spade_bench::{machines, runner, suite::Workload};
+use spade_core::Primitive;
+use spade_matrix::generators::Scale;
+
+fn main() {
+    let cfg = std::sync::Arc::new(machines::spade_system(8));
+    let workloads: Vec<_> = Workload::suite(Scale::Tiny, 32)
+        .into_iter()
+        .map(std::sync::Arc::new)
+        .collect();
+
+    // The full quick-search job list for the suite, both primitives.
+    let mut jobs = Vec::new();
+    for w in &workloads {
+        for primitive in [Primitive::Spmm, Primitive::Sddmm] {
+            for plan in runner::opt_candidates(w, true) {
+                jobs.push(Job::new(w, &cfg, primitive, plan));
+            }
+        }
+    }
+    eprintln!("{} jobs over {} workloads", jobs.len(), workloads.len());
+
+    let t0 = Instant::now();
+    let serial = ParallelRunner::new(1).run(&jobs);
+    let serial_wall = t0.elapsed();
+
+    let threads = num_threads();
+    let t1 = Instant::now();
+    let parallel = ParallelRunner::new(threads).run(&jobs);
+    let parallel_wall = t1.elapsed();
+
+    assert_eq!(serial, parallel, "parallel run diverged from serial");
+    let total_cycles: u64 = parallel.iter().map(|r| r.cycles).sum();
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64();
+    eprintln!(
+        "serial: {serial_wall:?} | {threads} threads: {parallel_wall:?} | speedup {speedup:.2}x"
+    );
+    eprintln!(
+        "throughput: {:.1} Mcycle/s serial -> {:.1} Mcycle/s parallel",
+        total_cycles as f64 / serial_wall.as_secs_f64() / 1e6,
+        total_cycles as f64 / parallel_wall.as_secs_f64() / 1e6,
+    );
+    assert!(
+        speedup >= 2.0 || threads < 3,
+        "expected >=2x wall-clock win from the parallel engine, got {speedup:.2}x"
+    );
+}

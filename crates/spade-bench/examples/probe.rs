@@ -1,18 +1,29 @@
 //! Developer probe: per-benchmark timing of the suite-scaled SPADE
 //! system against its budget.
 
-use std::time::Instant;
 use spade_bench::{machines, runner, suite::Workload};
 use spade_core::Primitive;
 use spade_matrix::generators::{Benchmark, Scale};
+use std::time::Instant;
 fn main() {
     let cfg = machines::spade_system(224);
-    for b in [Benchmark::Asi, Benchmark::Ork, Benchmark::Kro, Benchmark::Roa] {
+    for b in [
+        Benchmark::Asi,
+        Benchmark::Ork,
+        Benchmark::Kro,
+        Benchmark::Roa,
+    ] {
         for k in [32usize, 128] {
             let w = Workload::prepare(b, Scale::Default, k);
             let t0 = Instant::now();
             let r = runner::run_base(&cfg, &w, Primitive::Spmm);
-            println!("{} K={k}: {:.0}us sim, host {:.1}s, gbps={:.0}", b.short_name(), r.time_ns/1e3, t0.elapsed().as_secs_f64(), r.achieved_gbps);
+            println!(
+                "{} K={k}: {:.0}us sim, host {:.1}s, gbps={:.0}",
+                b.short_name(),
+                r.time_ns / 1e3,
+                t0.elapsed().as_secs_f64(),
+                r.achieved_gbps
+            );
         }
     }
 }

@@ -24,10 +24,14 @@
 //! * `SPADE_BENCH_FAST=1` — quarter-size suite and fewer PEs, for smoke
 //!   runs.
 //! * `SPADE_BENCH_PES=n` — override the SPADE PE count (default 224).
+//! * `SPADE_THREADS=n` — worker threads for the [`parallel`] experiment
+//!   engine (default: the host's available parallelism; `1` forces the
+//!   serial path). Results are bit-identical for every thread count.
 
 #![warn(missing_docs)]
 
 pub mod machines;
+pub mod parallel;
 pub mod runner;
 pub mod suite;
 pub mod table;
@@ -47,13 +51,13 @@ pub const CAPACITY_SCALE: f64 = 160.0;
 
 /// Whether fast (smoke-test) mode is enabled via `SPADE_BENCH_FAST`.
 pub fn fast_mode() -> bool {
-    std::env::var("SPADE_BENCH_FAST").map_or(false, |v| v == "1")
+    std::env::var("SPADE_BENCH_FAST").is_ok_and(|v| v == "1")
 }
 
 /// Whether the full Table 3 plan search is enabled via
 /// `SPADE_BENCH_FULL` (default: the reduced quick search).
 pub fn full_search() -> bool {
-    std::env::var("SPADE_BENCH_FULL").map_or(false, |v| v == "1")
+    std::env::var("SPADE_BENCH_FULL").is_ok_and(|v| v == "1")
 }
 
 /// The SPADE PE count used by the benches (default 224, the paper's

@@ -5,7 +5,9 @@ use spade_baselines::cpu::{CpuConfig, CpuModel};
 use spade_baselines::gpu::{GpuConfig, GpuModel};
 use spade_baselines::sextans::{SextansConfig, SextansModel};
 use spade_baselines::transfer::TransferModel;
-use spade_core::{BarrierPolicy, CMatrixPolicy, ExecutionPlan, PlanSearchSpace, RMatrixPolicy, SystemConfig};
+use spade_core::{
+    BarrierPolicy, CMatrixPolicy, ExecutionPlan, PlanSearchSpace, RMatrixPolicy, SystemConfig,
+};
 use spade_matrix::Coo;
 use spade_sim::{ns_to_cycles, CacheConfig, DramConfig, MemConfig, StlbConfig};
 
@@ -117,7 +119,11 @@ pub fn base_plan(a: &Coo) -> ExecutionPlan {
 /// the medium sized to roughly the LLC working set, rMatrix bypass on/off,
 /// barriers on the medium column panel.
 pub fn search_space(k: usize) -> PlanSearchSpace {
-    let (small_cp, mid_cp) = if k >= 128 { (256, 2_048) } else { (1_024, 8_192) };
+    let (small_cp, mid_cp) = if k >= 128 {
+        (256, 2_048)
+    } else {
+        (1_024, 8_192)
+    };
     PlanSearchSpace {
         row_panels: vec![4, 16, 64],
         col_panels: vec![small_cp, mid_cp, usize::MAX],
@@ -160,9 +166,7 @@ mod tests {
     fn cpu_and_spade_share_dram() {
         let cpu = cpu_model();
         let spade = spade_system(224);
-        assert_eq!(
-            cpu.config().cores, 56,
-        );
+        assert_eq!(cpu.config().cores, 56,);
         assert_eq!(spade.mem.dram.bandwidth_gbps, 304.0);
     }
 

@@ -1,22 +1,36 @@
 //! Run helpers: execute SPADE variants (Base / Opt / scaled-up) on a
-//! workload, with functional validation against the gold kernels.
+//! workload, with functional validation against the memoized gold kernels.
+//!
+//! All sweeps route through the [`crate::parallel::ParallelRunner`]; the
+//! helpers here build job lists and fold their reports. `find_opt` fans the
+//! whole candidate space out across host cores and picks the winner with
+//! the same tie-breaking the historical serial loop used (first
+//! strictly-better candidate in enumeration order wins), so the selected
+//! plan and its report are identical to a serial search.
 
-use spade_core::{
-    run_sddmm_checked, run_spmm_checked, ExecutionPlan, Primitive, RunReport, SpadeSystem,
-    SystemConfig,
-};
+use std::sync::Arc;
+
+use spade_core::{ExecutionPlan, Primitive, RunReport, SystemConfig};
 
 use crate::machines;
+use crate::parallel::{Job, ParallelRunner};
 use crate::suite::Workload;
 
 /// Runs one SPADE execution of `primitive` on `w` under `plan`, validating
-/// the functional result.
-pub fn run_spade(config: &SystemConfig, w: &Workload, primitive: Primitive, plan: &ExecutionPlan) -> RunReport {
-    let mut sys = SpadeSystem::new(config.clone());
-    match primitive {
-        Primitive::Spmm => run_spmm_checked(&mut sys, &w.a, w.b_for_spmm(), plan).report,
-        Primitive::Sddmm => run_sddmm_checked(&mut sys, &w.a, &w.b, &w.c_t, plan).report,
-    }
+/// the functional result against the workload's cached gold output.
+pub fn run_spade(
+    config: &SystemConfig,
+    w: &Workload,
+    primitive: Primitive,
+    plan: &ExecutionPlan,
+) -> RunReport {
+    Job::new(
+        &Arc::new(w.clone()),
+        &Arc::new(config.clone()),
+        primitive,
+        *plan,
+    )
+    .execute()
 }
 
 /// The SPADE Base report for a workload.
@@ -24,15 +38,11 @@ pub fn run_base(config: &SystemConfig, w: &Workload, primitive: Primitive) -> Ru
     run_spade(config, w, primitive, &machines::base_plan(&w.a))
 }
 
-/// Searches the (quick) Table 3-shaped space and returns the best plan and
-/// its report — the SPADE Opt methodology (§7.A). MYC-like matrices with
-/// very few rows also try a tiny row panel, per the paper.
-pub fn find_opt(
-    config: &SystemConfig,
-    w: &Workload,
-    primitive: Primitive,
-    quick: bool,
-) -> (ExecutionPlan, RunReport) {
+/// The Opt candidate set for a workload: the (quick) Table 3-shaped space,
+/// with the tiny row panel MYC-like matrices also try (§7.A), followed by
+/// the Base plan (SPADE Opt can never be worse than Base). The ordering is
+/// the contract [`select_opt`] relies on.
+pub fn opt_candidates(w: &Workload, quick: bool) -> Vec<ExecutionPlan> {
     let mut space = if quick {
         machines::quick_search_space(w.k)
     } else {
@@ -41,24 +51,51 @@ pub fn find_opt(
     if w.a.num_rows() < 4_096 {
         space = space.with_row_panel(2);
     }
-    let mut best: Option<(ExecutionPlan, RunReport)> = None;
-    for plan in space.enumerate(&w.a) {
-        let report = run_spade(config, w, primitive, &plan);
-        let better = best
-            .as_ref()
-            .map_or(true, |(_, b)| report.cycles < b.cycles);
-        if better {
-            best = Some((plan, report));
+    let mut plans = space.enumerate(&w.a);
+    plans.push(machines::base_plan(&w.a));
+    plans
+}
+
+/// Folds the reports of [`opt_candidates`] back into the best (plan,
+/// report) pair: the first strictly-fastest searched candidate, unless the
+/// Base plan (last entry) ties or beats it.
+///
+/// # Panics
+///
+/// Panics if `plans`/`reports` are empty or their lengths differ.
+pub fn select_opt(plans: &[ExecutionPlan], reports: &[RunReport]) -> (ExecutionPlan, RunReport) {
+    assert_eq!(plans.len(), reports.len(), "one report per candidate");
+    assert!(!plans.is_empty(), "empty candidate set");
+    let (searched, base) = (&reports[..reports.len() - 1], &reports[reports.len() - 1]);
+    let mut best: Option<usize> = None;
+    for (i, r) in searched.iter().enumerate() {
+        if best.is_none_or(|b| r.cycles < searched[b].cycles) {
+            best = Some(i);
         }
     }
-    // The Base plan is also part of the candidate set (SPADE Opt can never
-    // be worse than Base).
-    let base_plan = machines::base_plan(&w.a);
-    let base = run_spade(config, w, primitive, &base_plan);
     match best {
-        Some((_, ref b)) if b.cycles <= base.cycles => best.expect("just matched"),
-        _ => (base_plan, base),
+        Some(i) if searched[i].cycles <= base.cycles => (plans[i], searched[i].clone()),
+        _ => (plans[plans.len() - 1], base.clone()),
     }
+}
+
+/// Searches the (quick) Table 3-shaped space in parallel and returns the
+/// best plan and its report — the SPADE Opt methodology (§7.A).
+pub fn find_opt(
+    config: &SystemConfig,
+    w: &Workload,
+    primitive: Primitive,
+    quick: bool,
+) -> (ExecutionPlan, RunReport) {
+    let workload = Arc::new(w.clone());
+    let config = Arc::new(config.clone());
+    let plans = opt_candidates(w, quick);
+    let jobs: Vec<Job> = plans
+        .iter()
+        .map(|&plan| Job::new(&workload, &config, primitive, plan))
+        .collect();
+    let reports = ParallelRunner::from_env().run(&jobs);
+    select_opt(&plans, &reports)
 }
 
 /// Geometric mean of a non-empty slice.
@@ -95,5 +132,23 @@ mod tests {
         let cfg = machines::spade_system(8);
         let r = run_base(&cfg, &w, Primitive::Sddmm);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn candidates_end_with_the_base_plan() {
+        let w = Workload::prepare(Benchmark::Kro, Scale::Tiny, 32);
+        let plans = opt_candidates(&w, true);
+        assert_eq!(*plans.last().unwrap(), machines::base_plan(&w.a));
+        // MYC-sized matrices add the tiny row panel.
+        assert!(plans.iter().any(|p| p.tiling.row_panel_size == 2));
+    }
+
+    #[test]
+    fn reports_carry_host_wall_clock_and_throughput() {
+        let w = Workload::prepare(Benchmark::Myc, Scale::Tiny, 32);
+        let cfg = machines::spade_system(4);
+        let r = run_base(&cfg, &w, Primitive::Spmm);
+        assert!(r.host_wall_ns > 0.0);
+        assert!(r.sim_cycles_per_host_sec() > 0.0);
     }
 }

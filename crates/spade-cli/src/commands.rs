@@ -2,15 +2,18 @@
 
 use std::fs::File;
 use std::io::BufReader;
+use std::sync::Arc;
+use std::time::Instant;
 
-use serde::Serialize;
+use spade_bench::parallel::{self, Job, ParallelRunner};
+use spade_bench::suite::Workload;
 use spade_core::{
-    advisor, run_sddmm_checked, run_spmm_checked, BarrierPolicy, CMatrixPolicy, ExecutionPlan,
-    PlanSearchSpace, Primitive, RMatrixPolicy, RunReport, SpadeSystem, SystemConfig,
+    advisor, BarrierPolicy, CMatrixPolicy, ExecutionPlan, PlanSearchSpace, Primitive,
+    RMatrixPolicy, RunReport, SystemConfig,
 };
 use spade_matrix::analysis::MatrixStats;
 use spade_matrix::generators::{Benchmark, Scale};
-use spade_matrix::{mm, Coo, DenseMatrix};
+use spade_matrix::{mm, Coo};
 
 use crate::args::Args;
 
@@ -71,7 +74,7 @@ fn parse_benchmark(args: &Args) -> Result<Benchmark, String> {
 
 fn parse_system(args: &Args) -> Result<SystemConfig, String> {
     let pes: usize = args.get_parsed("pes", 56)?;
-    if pes == 0 || pes % 4 != 0 {
+    if pes == 0 || !pes.is_multiple_of(4) {
         return Err("--pes must be a positive multiple of 4".into());
     }
     Ok(SystemConfig::scaled(pes))
@@ -126,7 +129,6 @@ fn parse_plan(args: &Args, a: &Coo) -> Result<ExecutionPlan, String> {
     Ok(plan)
 }
 
-#[derive(Serialize)]
 struct RunSummary<'a> {
     benchmark: &'a str,
     kernel: String,
@@ -136,34 +138,103 @@ struct RunSummary<'a> {
     report: &'a RunReport,
 }
 
+impl RunSummary<'_> {
+    /// Hand-rolled JSON (the workspace is dependency-free); fields mirror
+    /// the plain-text report.
+    fn to_json(&self) -> String {
+        let p = self.plan;
+        let r = self.report;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": {},\n",
+                "  \"kernel\": {},\n",
+                "  \"k\": {},\n",
+                "  \"pes\": {},\n",
+                "  \"plan\": {{\n",
+                "    \"row_panel_size\": {},\n",
+                "    \"col_panel_size\": {},\n",
+                "    \"r_policy\": {},\n",
+                "    \"c_policy\": {},\n",
+                "    \"barriers\": {}\n",
+                "  }},\n",
+                "  \"report\": {{\n",
+                "    \"cycles\": {},\n",
+                "    \"time_ns\": {},\n",
+                "    \"total_vops\": {},\n",
+                "    \"dram_accesses\": {},\n",
+                "    \"llc_accesses\": {},\n",
+                "    \"requests_per_cycle\": {},\n",
+                "    \"achieved_gbps\": {},\n",
+                "    \"host_wall_ns\": {},\n",
+                "    \"sim_cycles_per_host_sec\": {}\n",
+                "  }}\n",
+                "}}"
+            ),
+            json_str(self.benchmark),
+            json_str(&self.kernel),
+            self.k,
+            self.pes,
+            p.tiling.row_panel_size,
+            p.tiling.col_panel_size,
+            json_str(&format!("{:?}", p.r_policy)),
+            json_str(&format!("{:?}", p.c_policy)),
+            p.barriers.is_enabled(),
+            r.cycles,
+            r.time_ns,
+            r.total_vops,
+            r.dram_accesses,
+            r.llc_accesses,
+            r.requests_per_cycle,
+            r.achieved_gbps,
+            r.host_wall_ns,
+            r.sim_cycles_per_host_sec(),
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn execute(
     system_config: &SystemConfig,
     a: &Coo,
+    name: &str,
     k: usize,
     kernel: Primitive,
     plan: &ExecutionPlan,
 ) -> RunReport {
-    let b = DenseMatrix::from_fn(a.num_rows().max(a.num_cols()), k, |r, c| {
-        ((r * 31 + c * 7) % 23) as f32 * 0.0625 - 0.5
-    });
-    let mut sys = SpadeSystem::new(system_config.clone());
-    match kernel {
-        Primitive::Spmm => run_spmm_checked(&mut sys, a, &b, plan).report,
-        Primitive::Sddmm => {
-            let c_t = DenseMatrix::from_fn(a.num_cols(), k, |r, c| {
-                ((r * 13 + c * 11) % 19) as f32 * 0.0625 - 0.4
-            });
-            run_sddmm_checked(&mut sys, a, &b, &c_t, plan).report
-        }
-    }
+    // Route through the bench workload so the gold kernel is computed once
+    // and the run validates against the shared cached result.
+    let w = Workload::from_matrix(name.to_string(), a.clone(), k);
+    let job = Job::new(
+        &Arc::new(w),
+        &Arc::new(system_config.clone()),
+        kernel,
+        *plan,
+    );
+    job.execute()
 }
 
 fn print_report(report: &RunReport, json: bool, ctx: RunSummary<'_>) -> Result<(), String> {
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&ctx).map_err(|e| e.to_string())?
-        );
+        println!("{}", ctx.to_json());
     } else {
         println!("cycles            : {}", report.cycles);
         println!("time              : {:.1} µs", report.time_ns / 1e3);
@@ -176,8 +247,26 @@ fn print_report(report: &RunReport, json: bool, ctx: RunSummary<'_>) -> Result<(
             "termination cost  : {:.2}%",
             report.termination_fraction() * 100.0
         );
+        println!(
+            "host wall clock   : {:.1} ms ({:.1} Mcycle/s simulated)",
+            report.host_wall_ns / 1e6,
+            report.sim_cycles_per_host_sec() / 1e6
+        );
     }
     Ok(())
+}
+
+/// Parses `--k`, rejecting values the simulator cannot run (K must fill
+/// whole cache lines) before any simulation work starts.
+fn parse_k(args: &Args) -> Result<usize, String> {
+    let k: usize = args.get_parsed("k", 32)?;
+    let line = spade_matrix::FLOATS_PER_LINE;
+    if k == 0 || !k.is_multiple_of(line) {
+        return Err(format!(
+            "--k: {k} is not a multiple of the cache line ({line} floats)"
+        ));
+    }
+    Ok(k)
 }
 
 fn parse_kernel(args: &Args) -> Result<Primitive, String> {
@@ -192,12 +281,12 @@ fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &["json", "barriers"])?;
     let bench = parse_benchmark(&args)?;
     let scale = parse_scale(&args)?;
-    let k: usize = args.get_parsed("k", 32)?;
+    let k = parse_k(&args)?;
     let kernel = parse_kernel(&args)?;
     let system_config = parse_system(&args)?;
     let a = bench.generate(scale);
     let plan = parse_plan(&args, &a)?;
-    let report = execute(&system_config, &a, k, kernel, &plan);
+    let report = execute(&system_config, &a, bench.short_name(), k, kernel, &plan);
     print_report(
         &report,
         args.has("json"),
@@ -216,7 +305,7 @@ fn advise_cmd(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     let bench = parse_benchmark(&args)?;
     let scale = parse_scale(&args)?;
-    let k: usize = args.get_parsed("k", 32)?;
+    let k = parse_k(&args)?;
     let system_config = parse_system(&args)?;
     let a = bench.generate(scale);
     let stats = MatrixStats::compute(&a);
@@ -243,7 +332,7 @@ fn search(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &["full"])?;
     let bench = parse_benchmark(&args)?;
     let scale = parse_scale(&args)?;
-    let k: usize = args.get_parsed("k", 32)?;
+    let k = parse_k(&args)?;
     let system_config = parse_system(&args)?;
     let a = bench.generate(scale);
     let space = if args.has("full") {
@@ -251,11 +340,28 @@ fn search(argv: &[String]) -> Result<(), String> {
     } else {
         PlanSearchSpace::quick(k)
     };
-    let mut results: Vec<(ExecutionPlan, u64)> = Vec::new();
-    for plan in space.enumerate(&a) {
-        let report = execute(&system_config, &a, k, Primitive::Spmm, &plan);
-        results.push((plan, report.cycles));
-    }
+    // Fan the candidate sweep across host cores (SPADE_THREADS overrides).
+    let workload = Arc::new(Workload::from_matrix(
+        bench.short_name().to_string(),
+        a.clone(),
+        k,
+    ));
+    let config = Arc::new(system_config);
+    let plans = space.enumerate(&a);
+    let jobs: Vec<Job> = plans
+        .iter()
+        .map(|&plan| Job::new(&workload, &config, Primitive::Spmm, plan))
+        .collect();
+    let start = Instant::now();
+    let reports = ParallelRunner::from_env().run(&jobs);
+    println!(
+        "{}",
+        parallel::throughput_summary(&reports, start.elapsed())
+    );
+    let mut results: Vec<(ExecutionPlan, u64)> = plans
+        .into_iter()
+        .zip(reports.iter().map(|r| r.cycles))
+        .collect();
     results.sort_by_key(|&(_, c)| c);
     println!("{} plans searched; best first:", results.len());
     for (plan, cycles) in results.iter().take(5) {
@@ -276,10 +382,10 @@ fn run_mm(argv: &[String]) -> Result<(), String> {
     let path = args.get("file").ok_or("--file is required")?;
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let a = mm::read_matrix_market(BufReader::new(file)).map_err(|e| e.to_string())?;
-    let k: usize = args.get_parsed("k", 32)?;
+    let k = parse_k(&args)?;
     let system_config = parse_system(&args)?;
     let plan = advisor::advise(&a, k, &system_config).map_err(|e| e.to_string())?;
-    let report = execute(&system_config, &a, k, Primitive::Spmm, &plan);
+    let report = execute(&system_config, &a, path, k, Primitive::Spmm, &plan);
     print_report(
         &report,
         args.has("json"),

@@ -1,20 +1,34 @@
 //! Developer probe: wall-clock cost and headline metrics of single
 //! simulated runs (used to budget the benchmark suite).
 
-use std::time::Instant;
 use spade_core::{ExecutionPlan, SpadeSystem, SystemConfig};
 use spade_matrix::generators::{Benchmark, Scale};
 use spade_matrix::DenseMatrix;
+use std::time::Instant;
 fn main() {
-    let pes = 224; let k = 32;
-    for bench in [Benchmark::Roa, Benchmark::Kro, Benchmark::Ork, Benchmark::Del, Benchmark::Myc] {
+    let pes = 224;
+    let k = 32;
+    for bench in [
+        Benchmark::Roa,
+        Benchmark::Kro,
+        Benchmark::Ork,
+        Benchmark::Del,
+        Benchmark::Myc,
+    ] {
         let a = bench.generate(Scale::Default);
         let b = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r + c) % 17) as f32 * 0.1);
         let mut sys = SpadeSystem::new(SystemConfig::with_pes(pes));
         let t0 = Instant::now();
-        let spade = sys.run_spmm(&a, &b, &ExecutionPlan::spmm_base(&a).unwrap()).unwrap();
+        let spade = sys
+            .run_spmm(&a, &b, &ExecutionPlan::spmm_base(&a).unwrap())
+            .unwrap();
         let t_spade = t0.elapsed().as_secs_f64();
-        println!("{}: SPADE base {:.0}us gbps={:.0} (host {:.1}s)", bench.short_name(),
-                 spade.report.time_ns/1e3, spade.report.achieved_gbps, t_spade);
+        println!(
+            "{}: SPADE base {:.0}us gbps={:.0} (host {:.1}s)",
+            bench.short_name(),
+            spade.report.time_ns / 1e3,
+            spade.report.achieved_gbps,
+            t_spade
+        );
     }
 }

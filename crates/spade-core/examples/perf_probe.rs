@@ -1,13 +1,17 @@
 //! Developer probe: wall-clock cost and headline metrics of single
 //! simulated runs (used to budget the benchmark suite).
 
-use std::time::Instant;
 use spade_core::{ExecutionPlan, SpadeSystem, SystemConfig};
 use spade_matrix::generators::{Benchmark, Scale};
 use spade_matrix::DenseMatrix;
+use std::time::Instant;
 
 fn main() {
-    for (bench, pes) in [(Benchmark::Kro, 224usize), (Benchmark::Roa, 224), (Benchmark::Ork, 56)] {
+    for (bench, pes) in [
+        (Benchmark::Kro, 224usize),
+        (Benchmark::Roa, 224),
+        (Benchmark::Ork, 56),
+    ] {
         let a = bench.generate(Scale::Default);
         let b = DenseMatrix::from_fn(a.num_cols(), 32, |r, c| ((r + c) % 17) as f32 * 0.1);
         let mut sys = SpadeSystem::new(SystemConfig::with_pes(pes));
@@ -16,9 +20,15 @@ fn main() {
         let run = sys.run_spmm(&a, &b, &plan).unwrap();
         println!(
             "{} pes={} nnz={} cycles={} time_ms={:.1} host_s={:.2} rpc={:.2} gbps={:.1} dram={}",
-            bench.short_name(), pes, a.nnz(), run.report.cycles,
-            run.report.time_ns / 1e6, t0.elapsed().as_secs_f64(),
-            run.report.requests_per_cycle, run.report.achieved_gbps, run.report.dram_accesses
+            bench.short_name(),
+            pes,
+            a.nnz(),
+            run.report.cycles,
+            run.report.time_ns / 1e6,
+            t0.elapsed().as_secs_f64(),
+            run.report.requests_per_cycle,
+            run.report.achieved_gbps,
+            run.report.dram_accesses
         );
     }
 }

@@ -63,7 +63,12 @@ impl AddressMap {
         Self::layout(a, b, c_t, a.out_len_padded() as u64 * 4)
     }
 
-    fn layout(a: &TiledCoo, r_matrix: &DenseMatrix, c_matrix: &DenseMatrix, out_bytes: u64) -> Self {
+    fn layout(
+        a: &TiledCoo,
+        r_matrix: &DenseMatrix,
+        c_matrix: &DenseMatrix,
+        out_bytes: u64,
+    ) -> Self {
         let nnz_bytes = a.nnz() as u64 * 4;
         let mut cursor = PAGE; // leave page 0 unmapped
         let r_ids_base = cursor;
@@ -115,15 +120,13 @@ impl AddressMap {
     /// First cache line of rMatrix row `row`.
     #[inline]
     pub fn r_matrix_line(&self, row: u64, line_in_row: u64) -> Line {
-        (self.r_matrix_base + row * self.dense_stride_bytes) / CACHE_LINE_BYTES as u64
-            + line_in_row
+        (self.r_matrix_base + row * self.dense_stride_bytes) / CACHE_LINE_BYTES as u64 + line_in_row
     }
 
     /// First cache line of cMatrix row `row`.
     #[inline]
     pub fn c_matrix_line(&self, row: u64, line_in_row: u64) -> Line {
-        (self.c_matrix_base + row * self.dense_stride_bytes) / CACHE_LINE_BYTES as u64
-            + line_in_row
+        (self.c_matrix_base + row * self.dense_stride_bytes) / CACHE_LINE_BYTES as u64 + line_in_row
     }
 
     /// Cache line holding output value `idx` of the SDDMM output array.

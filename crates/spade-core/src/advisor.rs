@@ -77,11 +77,7 @@ pub fn advise(a: &Coo, k: usize, system: &SystemConfig) -> Result<ExecutionPlan,
     // reuse beyond the VRF, so bypassing avoids cache pollution — provided
     // the per-panel rMatrix footprint fits the victim cache (the Table 6
     // overflow hazard).
-    let vc_bytes = system
-        .mem
-        .victim
-        .map(|v| v.size_bytes)
-        .unwrap_or(0);
+    let vc_bytes = system.mem.victim.map(|v| v.size_bytes).unwrap_or(0);
     let panel_r_bytes = row_panel * dense_row_bytes;
     let r_policy = if vc_bytes > 0 && panel_r_bytes <= vc_bytes / 2 {
         RMatrixPolicy::BypassVictim

@@ -1,11 +1,10 @@
 //! SPADE system configuration: the Table 1 microarchitecture and the
 //! Table 4 feature-progression configurations (CFG0–CFG5).
 
-use serde::{Deserialize, Serialize};
 use spade_sim::{Cycle, MemConfig};
 
 /// Per-PE pipeline parameters (the SPADE column of Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// Entries in the sparse load queue; each entry stages one cache line
     /// of each of the three sparse arrays (16 non-zeros). Table 1: 6.
@@ -40,6 +39,36 @@ pub struct PipelineConfig {
 }
 
 impl PipelineConfig {
+    /// Checks the structural minimums the pipeline model needs to make
+    /// forward progress. Notably, issuing one vOp reserves up to two
+    /// dense-load-queue slots (the rMatrix and cMatrix operand lines), so
+    /// `dense_lq_entries` below 2 can never issue and the PE livelocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a parameter is below its
+    /// structural minimum.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dense_lq_entries < 2 {
+            return Err(format!(
+                "dense_lq_entries = {} but a vOp issues up to 2 dense loads; the PE could never issue",
+                self.dense_lq_entries
+            ));
+        }
+        for (name, v) in [
+            ("sparse_lq_entries", self.sparse_lq_entries),
+            ("top_queue_entries", self.top_queue_entries),
+            ("rs_entries", self.rs_entries),
+            ("store_queue_entries", self.store_queue_entries),
+            ("vrf_regs", self.vrf_regs),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+        }
+        Ok(())
+    }
+
     /// The Table 1 SPADE PE.
     pub fn table1() -> Self {
         PipelineConfig {
@@ -66,7 +95,7 @@ impl Default for PipelineConfig {
 }
 
 /// A full SPADE system: PE count, pipeline and memory hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Number of PEs.
     pub num_pes: usize,
@@ -201,7 +230,7 @@ impl SystemConfig {
         let mut cfg = base.clone();
         if level <= 1 {
             assert!(
-                base.num_pes % 16 == 0,
+                base.num_pes.is_multiple_of(16),
                 "CFG0/1 use a quarter of the PEs in clusters of 4"
             );
             cfg.num_pes = base.num_pes / 4;

@@ -6,10 +6,8 @@
 //! *WB&Invalidate* and *Termination*. Instructions are tile-granular, so
 //! PEs never fetch or decode fine-grained instruction streams (§4.2).
 
-use serde::{Deserialize, Serialize};
-
 /// Which kernel a SPADE-mode section executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Primitive {
     /// Sparse × dense → dense.
     Spmm,
@@ -32,7 +30,7 @@ impl std::fmt::Display for Primitive {
 /// PE, so caching it can pollute the shared caches. SPADE exposes three
 /// choices: cache it normally, bypass all caches, or bypass while staging
 /// the small reused working set in the BBF's victim cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RMatrixPolicy {
     /// Through the cache hierarchy.
     Cache,
@@ -48,7 +46,7 @@ pub enum RMatrixPolicy {
 /// The cMatrix is shared across PEs and processed in row order inside a
 /// tile, so VRF reuse is rare and caching is usually best (§5.2); bypass
 /// remains available as a knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CMatrixPolicy {
     /// Through the cache hierarchy (the recommended default).
     Cache,
@@ -60,7 +58,7 @@ pub enum CMatrixPolicy {
 /// work, carrying base addresses, bypass strategies and data-shape
 /// parameters. PEs store it in special registers and reconfigure their
 /// hardware (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InitInstruction {
     /// SpMM or SDDMM.
     pub primitive: Primitive,
@@ -93,7 +91,7 @@ pub struct InitInstruction {
 
 /// The *Tile* instruction: process one tile of the sparse input (§4.2).
 /// Arguments come straight from the Appendix A tiling metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileInstruction {
     /// Offset (in non-zeros) of the tile's first entry in the tiled arrays
     /// (`sparse_in start offset`).
@@ -107,7 +105,7 @@ pub struct TileInstruction {
 }
 
 /// One instruction as delivered by the CPE to a PE.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instruction {
     /// Configure the PE for a kernel.
     Init(InitInstruction),

@@ -43,8 +43,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod advisor;
 mod addr;
+pub mod advisor;
 mod config;
 mod error;
 mod isa;

@@ -25,7 +25,7 @@ use spade_matrix::{DenseMatrix, TiledCoo, FLOATS_PER_LINE};
 use spade_sim::{AccessPath, Cycle, DataClass, Line, MemorySystem};
 
 use crate::vrf::{AllocOutcome, VrId, Vrf};
-use crate::{CMatrixPolicy, AddressMap, PeCommand, PipelineConfig, Primitive, RMatrixPolicy};
+use crate::{AddressMap, CMatrixPolicy, PeCommand, PipelineConfig, Primitive, RMatrixPolicy};
 
 /// Functional operand/result arrays for the kernel being simulated.
 ///
@@ -528,11 +528,7 @@ impl Pe {
                         self.stats.tuples += 1;
                         progressed = true;
                     }
-                    if self
-                        .sparse_lq
-                        .front()
-                        .is_some_and(|e| e.tuples.is_empty())
-                    {
+                    if self.sparse_lq.front().is_some_and(|e| e.tuples.is_empty()) {
                         self.sparse_lq.pop_front();
                     }
                 }
@@ -545,8 +541,20 @@ impl Pe {
             let line_cap = FLOATS_PER_LINE as u64 - (idx % FLOATS_PER_LINE as u64);
             let chunk = self.tile_remaining.min(line_cap);
             let path = self.sparse_path();
-            let t1 = mem.read(self.id, addr.r_ids_line(idx), path, DataClass::SparseIn, now);
-            let t2 = mem.read(self.id, addr.c_ids_line(idx), path, DataClass::SparseIn, now);
+            let t1 = mem.read(
+                self.id,
+                addr.r_ids_line(idx),
+                path,
+                DataClass::SparseIn,
+                now,
+            );
+            let t2 = mem.read(
+                self.id,
+                addr.c_ids_line(idx),
+                path,
+                DataClass::SparseIn,
+                now,
+            );
             let t3 = mem.read(self.id, addr.vals_line(idx), path, DataClass::SparseIn, now);
             let ready_at = t1.max(t2).max(t3);
             let mut tuples = VecDeque::with_capacity(chunk as usize);
@@ -606,7 +614,13 @@ impl Pe {
         let op1 = match self.vrf.lookup_or_alloc(op1_line, op1_class) {
             AllocOutcome::Reused(id) => id,
             AllocOutcome::Allocated(id) => {
-                let done = mem.read(self.id, op1_line, self.path_for_class(op1_class), op1_class, now);
+                let done = mem.read(
+                    self.id,
+                    op1_line,
+                    self.path_for_class(op1_class),
+                    op1_class,
+                    now,
+                );
                 self.vrf.set_loading(id, done);
                 self.dense_loads.push(Reverse((done, id)));
                 id
@@ -617,7 +631,13 @@ impl Pe {
         let op2 = match self.vrf.lookup_or_alloc(op2_line, op2_class) {
             AllocOutcome::Reused(id) => id,
             AllocOutcome::Allocated(id) => {
-                let done = mem.read(self.id, op2_line, self.path_for_class(op2_class), op2_class, now);
+                let done = mem.read(
+                    self.id,
+                    op2_line,
+                    self.path_for_class(op2_class),
+                    op2_class,
+                    now,
+                );
                 self.vrf.set_loading(id, done);
                 self.dense_loads.push(Reverse((done, id)));
                 id
@@ -779,7 +799,7 @@ impl Pe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{AddressMap, BarrierPolicy, Schedule, PlanSearchSpace};
+    use crate::{AddressMap, BarrierPolicy, PlanSearchSpace, Schedule};
     use spade_matrix::{Coo, TiledCoo, TilingConfig};
     use spade_sim::{MemConfig, MemorySystem};
 
@@ -821,7 +841,11 @@ mod tests {
                 TickResult::Done => return now,
                 TickResult::Progressed => now += 1,
                 TickResult::Waiting(t) => {
-                    now = if t == Cycle::MAX { now + 1 } else { t.max(now + 1) }
+                    now = if t == Cycle::MAX {
+                        now + 1
+                    } else {
+                        t.max(now + 1)
+                    }
                 }
             }
         }
@@ -832,7 +856,12 @@ mod tests {
     fn single_pe_processes_all_tiles_and_terminates() {
         let (tiled, addr, b, mut d) = fixture();
         let schedule = Schedule::build(&tiled, 1, Primitive::Spmm, BarrierPolicy::None);
-        let mut pe = Pe::new(0, PipelineConfig::table1(), params(), schedule.commands(0).to_vec());
+        let mut pe = Pe::new(
+            0,
+            PipelineConfig::table1(),
+            params(),
+            schedule.commands(0).to_vec(),
+        );
         let mut mem = MemorySystem::new(MemConfig::small_test(1));
         let mut barriers = BarrierSync::new(1);
         let mut data = KernelData::Spmm { b: &b, d: &mut d };
@@ -840,7 +869,7 @@ mod tests {
         assert!(pe.is_done());
         assert_eq!(pe.stats().tuples, tiled.nnz() as u64);
         assert_eq!(pe.stats().vops, tiled.nnz() as u64); // K=16 -> 1 vOp/nnz
-        // All dirty state flushed at termination.
+                                                         // All dirty state flushed at termination.
         assert_eq!(mem.l1_occupancy(0), 0);
     }
 
@@ -873,9 +902,21 @@ mod tests {
             let mut mem = MemorySystem::new(MemConfig::small_test(1));
             let mut barriers = BarrierSync::new(1);
             let mut data = KernelData::Spmm { b: &b, d: &mut d };
-            times.push(drive(&mut pe, &mut mem, &mut barriers, &addr, &tiled, &mut data));
+            times.push(drive(
+                &mut pe,
+                &mut mem,
+                &mut barriers,
+                &addr,
+                &tiled,
+                &mut data,
+            ));
         }
-        assert!(times[1] < times[0], "ooo {} vs in-order {}", times[1], times[0]);
+        assert!(
+            times[1] < times[0],
+            "ooo {} vs in-order {}",
+            times[1],
+            times[0]
+        );
     }
 
     #[test]
@@ -908,16 +949,30 @@ mod tests {
         };
         let addr2 = AddressMap::for_spmm(&tiled, &b, &d);
         let _ = addr;
-        let schedule = Schedule::build(&tiled, 2, Primitive::Spmm, BarrierPolicy::per_column_panel());
+        let schedule = Schedule::build(
+            &tiled,
+            2,
+            Primitive::Spmm,
+            BarrierPolicy::per_column_panel(),
+        );
         assert!(schedule.num_barriers() > 0);
-        let mut pe0 = Pe::new(0, PipelineConfig::table1(), params(), schedule.commands(0).to_vec());
-        let mut pe1 = Pe::new(1, PipelineConfig::table1(), params(), schedule.commands(1).to_vec());
+        let mut pe0 = Pe::new(
+            0,
+            PipelineConfig::table1(),
+            params(),
+            schedule.commands(0).to_vec(),
+        );
+        let mut pe1 = Pe::new(
+            1,
+            PipelineConfig::table1(),
+            params(),
+            schedule.commands(1).to_vec(),
+        );
         let mut mem = MemorySystem::new(MemConfig::small_test(2));
         let mut barriers = BarrierSync::new(2);
         let mut data = KernelData::Spmm { b: &b, d: &mut d };
-        let mut now = 0;
         let mut done = (false, false);
-        for _ in 0..5_000_000u64 {
+        for now in 0..5_000_000u64 {
             let r0 = pe0.tick(now, &mut mem, &mut barriers, &addr2, &tiled, &mut data);
             let r1 = pe1.tick(now, &mut mem, &mut barriers, &addr2, &tiled, &mut data);
             barriers.try_release();
@@ -926,13 +981,12 @@ mod tests {
                 break;
             }
             let _ = (r0, r1);
-            now += 1;
         }
-        assert!(done.0 && done.1, "both PEs must pass the barrier and finish");
-        assert_eq!(
-            pe0.stats().tuples + pe1.stats().tuples,
-            tiled.nnz() as u64
+        assert!(
+            done.0 && done.1,
+            "both PEs must pass the barrier and finish"
         );
+        assert_eq!(pe0.stats().tuples + pe1.stats().tuples, tiled.nnz() as u64);
         let _ = PlanSearchSpace::table3(32);
     }
 
@@ -953,7 +1007,12 @@ mod tests {
         let mut d = DenseMatrix::zeros(8, 16);
         let addr = AddressMap::for_spmm(&tiled, &b, &d);
         let schedule = Schedule::build(&tiled, 1, Primitive::Spmm, BarrierPolicy::None);
-        let mut pe = Pe::new(0, PipelineConfig::table1(), params(), schedule.commands(0).to_vec());
+        let mut pe = Pe::new(
+            0,
+            PipelineConfig::table1(),
+            params(),
+            schedule.commands(0).to_vec(),
+        );
         let mut mem = MemorySystem::new(MemConfig::small_test(1));
         let mut barriers = BarrierSync::new(1);
         let mut data = KernelData::Spmm { b: &b, d: &mut d };

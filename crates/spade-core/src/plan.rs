@@ -6,13 +6,12 @@
 //! order tile execution across PEs. `SPADE Base` uses no knobs; `SPADE Opt`
 //! is, per matrix, the best-performing plan from the Table 3 search space.
 
-use serde::{Deserialize, Serialize};
 use spade_matrix::{Coo, TilingConfig};
 
 use crate::{CMatrixPolicy, RMatrixPolicy, SpadeError};
 
 /// Whether and how the CPE inserts scheduling barriers (Figure 5b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BarrierPolicy {
     /// Tiles execute in row-panel order per PE; no cross-PE ordering.
     None,
@@ -38,7 +37,7 @@ impl BarrierPolicy {
 }
 
 /// A complete setting of SPADE's flexibility knobs for one kernel run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecutionPlan {
     /// Sparse-matrix tiling (row/column panel sizes).
     pub tiling: TilingConfig,
@@ -102,7 +101,7 @@ impl ExecutionPlan {
 /// and {2048, 131072, all} for K=128; rMatrix bypass on/off; barriers only
 /// for the medium column panel. For matrices with very few rows (MYC) the
 /// caller may add a row panel of 16 (§7.A).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanSearchSpace {
     /// Row panel sizes to try.
     pub row_panels: Vec<usize>,
@@ -159,16 +158,15 @@ impl PlanSearchSpace {
             for &cp_raw in &self.col_panels {
                 let cp = cp_raw.min(ncols);
                 for &rpol in &self.r_policies {
-                    let barrier_options: &[BarrierPolicy] = if cp_raw == self.barrier_col_panel
-                        && cp < ncols
-                    {
-                        &[
-                            BarrierPolicy::None,
-                            BarrierPolicy::EveryColumnPanels { group: 1 },
-                        ]
-                    } else {
-                        &[BarrierPolicy::None]
-                    };
+                    let barrier_options: &[BarrierPolicy] =
+                        if cp_raw == self.barrier_col_panel && cp < ncols {
+                            &[
+                                BarrierPolicy::None,
+                                BarrierPolicy::EveryColumnPanels { group: 1 },
+                            ]
+                        } else {
+                            &[BarrierPolicy::None]
+                        };
                     for &b in barrier_options {
                         if let Ok(plan) =
                             ExecutionPlan::with_knobs(rp, cp, rpol, CMatrixPolicy::Cache, b)
@@ -243,7 +241,9 @@ mod tests {
 
     #[test]
     fn with_row_panel_prepends_once() {
-        let s = PlanSearchSpace::table3(32).with_row_panel(16).with_row_panel(16);
+        let s = PlanSearchSpace::table3(32)
+            .with_row_panel(16)
+            .with_row_panel(16);
         assert_eq!(s.row_panels, vec![16, 64, 256, 1024]);
     }
 

@@ -1,13 +1,16 @@
 //! Execution reports: the metrics every figure and table of the evaluation
 //! is built from.
 
-use serde::{Deserialize, Serialize};
 use spade_sim::{cycles_to_ns, Cycle, MemStats};
 
 use crate::pe::PeStats;
 
 /// Timing and traffic summary of one simulated SPADE-mode section.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores [`RunReport::host_wall_ns`]: two runs of the same job
+/// are *deterministically equal* when every simulated metric matches, even
+/// though the host needed different amounts of real time for them.
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Total SPADE-mode cycles (0.8 GHz PE cycles), including the
     /// termination flush.
@@ -44,10 +47,37 @@ pub struct RunReport {
     pub stall_no_vr: u64,
     /// Aggregate reservation-station-full stall cycles.
     pub stall_no_rs: u64,
+    /// Host wall-clock nanoseconds the simulation itself took. This is a
+    /// property of the host machine, not of the modelled hardware; it is
+    /// excluded from equality comparisons.
+    pub host_wall_ns: f64,
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except host_wall_ns: simulated metrics only.
+        self.cycles == other.cycles
+            && self.time_ns == other.time_ns
+            && self.dram_accesses == other.dram_accesses
+            && self.llc_accesses == other.llc_accesses
+            && self.requests_per_cycle == other.requests_per_cycle
+            && self.achieved_gbps == other.achieved_gbps
+            && self.dram_utilization == other.dram_utilization
+            && self.total_nnz == other.total_nnz
+            && self.max_pe_nnz == other.max_pe_nnz
+            && self.num_barriers == other.num_barriers
+            && self.termination_cycles == other.termination_cycles
+            && self.tlb_misses == other.tlb_misses
+            && self.mem == other.mem
+            && self.total_vops == other.total_vops
+            && self.stall_no_vr == other.stall_no_vr
+            && self.stall_no_rs == other.stall_no_rs
+    }
 }
 
 impl RunReport {
     /// Builds a report from the end-of-run state.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn collect(
         cycles: Cycle,
         mem_stats: MemStats,
@@ -58,7 +88,11 @@ impl RunReport {
         max_pe_nnz: u64,
         num_barriers: u32,
     ) -> Self {
-        let compute_end = pe_stats.iter().map(|s| s.flush_started_at).max().unwrap_or(0);
+        let compute_end = pe_stats
+            .iter()
+            .map(|s| s.flush_started_at)
+            .max()
+            .unwrap_or(0);
         RunReport {
             cycles,
             time_ns: cycles_to_ns(cycles),
@@ -76,6 +110,19 @@ impl RunReport {
             stall_no_vr: pe_stats.iter().map(|s| s.stall_no_vr).sum(),
             stall_no_rs: pe_stats.iter().map(|s| s.stall_no_rs).sum(),
             mem: mem_stats,
+            host_wall_ns: 0.0,
+        }
+    }
+
+    /// Simulation throughput: simulated PE cycles per host wall-clock
+    /// second. The figure of merit for simulator-performance work — a
+    /// faster simulator moves this up with `cycles` unchanged. Zero when no
+    /// host time was recorded.
+    pub fn sim_cycles_per_host_sec(&self) -> f64 {
+        if self.host_wall_ns <= 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / (self.host_wall_ns / 1e9)
         }
     }
 

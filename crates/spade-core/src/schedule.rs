@@ -8,13 +8,12 @@
 //! (Figure 5b): every PE finishes its tiles of one group before any PE
 //! starts the next.
 
-use serde::{Deserialize, Serialize};
 use spade_matrix::TiledCoo;
 
 use crate::{BarrierPolicy, Primitive};
 
 /// One entry of a PE's command stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeCommand {
     /// Process tile `tile_idx` of the tiled matrix.
     Tile {
@@ -35,7 +34,7 @@ pub enum PeCommand {
 }
 
 /// A full tile-to-PE assignment produced by the CPE.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     per_pe: Vec<Vec<PeCommand>>,
     num_barriers: u32,
@@ -207,7 +206,12 @@ mod tests {
     #[test]
     fn barriers_are_uniform_across_pes() {
         let tiled = tiled_4x4(); // 2 column panels -> 1 barrier
-        let s = Schedule::build(&tiled, 2, Primitive::Spmm, BarrierPolicy::per_column_panel());
+        let s = Schedule::build(
+            &tiled,
+            2,
+            Primitive::Spmm,
+            BarrierPolicy::per_column_panel(),
+        );
         assert_eq!(s.num_barriers(), 1);
         for pe in 0..2 {
             let barriers: Vec<u32> = s
@@ -225,7 +229,12 @@ mod tests {
     #[test]
     fn barrier_orders_column_panels() {
         let tiled = tiled_4x4();
-        let s = Schedule::build(&tiled, 2, Primitive::Spmm, BarrierPolicy::per_column_panel());
+        let s = Schedule::build(
+            &tiled,
+            2,
+            Primitive::Spmm,
+            BarrierPolicy::per_column_panel(),
+        );
         for pe in 0..2 {
             let mut seen_barrier = false;
             for cmd in s.commands(pe) {
@@ -257,7 +266,11 @@ mod tests {
         let tiled = tiled_4x4(); // 2 row panels
         let s = Schedule::build(&tiled, 8, Primitive::Spmm, BarrierPolicy::None);
         let busy = (0..8)
-            .filter(|&pe| s.commands(pe).iter().any(|c| matches!(c, PeCommand::Tile { .. })))
+            .filter(|&pe| {
+                s.commands(pe)
+                    .iter()
+                    .any(|c| matches!(c, PeCommand::Tile { .. }))
+            })
             .count();
         assert_eq!(busy, 2);
     }

@@ -5,9 +5,7 @@ use spade_matrix::{reference, Coo, DenseMatrix, TiledCoo, FLOATS_PER_LINE};
 use spade_sim::{Cycle, MemorySystem};
 
 use crate::pe::{BarrierSync, KernelData, Pe, PeStats, RuntimeParams, TickResult};
-use crate::{
-    AddressMap, ExecutionPlan, Primitive, RunReport, Schedule, SpadeError, SystemConfig,
-};
+use crate::{AddressMap, ExecutionPlan, Primitive, RunReport, Schedule, SpadeError, SystemConfig};
 
 /// Result of an SpMM run: the output dense matrix and the run report.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +64,7 @@ pub struct SpadeSystem {
     config: SystemConfig,
     mem: Option<MemorySystem>,
     keep_warm: bool,
+    fast_forward: bool,
 }
 
 impl SpadeSystem {
@@ -75,6 +74,7 @@ impl SpadeSystem {
             config,
             mem: None,
             keep_warm: false,
+            fast_forward: true,
         }
     }
 
@@ -91,6 +91,19 @@ impl SpadeSystem {
         self
     }
 
+    /// Enables or disables idle fast-forwarding (enabled by default).
+    ///
+    /// When every PE is stalled waiting on memory, the fast-forwarded loop
+    /// jumps `now` directly to the earliest wake cycle instead of ticking
+    /// through empty cycles. Disabling it forces the naive cycle-by-cycle
+    /// loop — useful only as a cross-check that fast-forwarding is
+    /// behaviour-preserving (see the `fast_forward` property tests); both
+    /// modes report identical cycle counts and outputs.
+    pub fn set_fast_forward(&mut self, enabled: bool) -> &mut Self {
+        self.fast_forward = enabled;
+        self
+    }
+
     /// Runs `D = A × B` under `plan`.
     ///
     /// # Errors
@@ -104,6 +117,7 @@ impl SpadeSystem {
         b: &DenseMatrix,
         plan: &ExecutionPlan,
     ) -> Result<SpmmRun, SpadeError> {
+        self.validate_config()?;
         validate_k(b.num_cols())?;
         if b.num_rows() < a.num_cols() {
             return Err(SpadeError::ShapeMismatch {
@@ -140,6 +154,7 @@ impl SpadeSystem {
         c_t: &DenseMatrix,
         plan: &ExecutionPlan,
     ) -> Result<SddmmRun, SpadeError> {
+        self.validate_config()?;
         validate_k(b.num_cols())?;
         if b.num_rows() < a.num_rows() || c_t.num_rows() < a.num_cols() {
             return Err(SpadeError::ShapeMismatch {
@@ -195,7 +210,11 @@ impl SpadeSystem {
     ) -> Result<SpmvRun, SpadeError> {
         if x.len() < a.num_cols() {
             return Err(SpadeError::ShapeMismatch {
-                reason: format!("x has {} entries but A has {} columns", x.len(), a.num_cols()),
+                reason: format!(
+                    "x has {} entries but A has {} columns",
+                    x.len(),
+                    a.num_cols()
+                ),
             });
         }
         let b = DenseMatrix::from_fn(a.num_cols(), 1, |r, _| x[r]);
@@ -262,6 +281,7 @@ impl SpadeSystem {
         schedule: &Schedule,
         data: &mut KernelData<'_>,
     ) -> RunReport {
+        let host_start = std::time::Instant::now();
         let num_pes = self.config.num_pes;
         let mut mem = match (self.keep_warm, self.mem.take()) {
             (true, Some(mut m)) if *m.config() == self.config.mem => {
@@ -351,7 +371,16 @@ impl SpadeSystem {
                 now += 1;
                 idle_iters = 0;
             } else if next_event != Cycle::MAX && next_event > now {
-                now = next_event;
+                // Idle fast-forward: every live PE is waiting, so nothing
+                // can change state before the earliest wake cycle. The
+                // naive loop ticks through the gap instead; both arrive at
+                // `next_event` with identical PE and memory state, so the
+                // reported cycles and outputs are bit-identical.
+                now = if self.fast_forward {
+                    next_event
+                } else {
+                    now + 1
+                };
                 idle_iters = 0;
             } else {
                 now += 1;
@@ -364,7 +393,7 @@ impl SpadeSystem {
         }
 
         let pe_stats: Vec<PeStats> = pes.iter().map(|p| *p.stats()).collect();
-        let report = RunReport::collect(
+        let mut report = RunReport::collect(
             now,
             mem.stats().clone(),
             mem.dram().achieved_gbps(now),
@@ -374,13 +403,23 @@ impl SpadeSystem {
             schedule.max_pe_nnz(tiled),
             schedule.num_barriers(),
         );
+        report.host_wall_ns = host_start.elapsed().as_nanos() as f64;
         self.mem = Some(mem);
         report
     }
 }
 
+impl SpadeSystem {
+    fn validate_config(&self) -> Result<(), SpadeError> {
+        self.config
+            .pipeline
+            .validate()
+            .map_err(|reason| SpadeError::InvalidConfig { reason })
+    }
+}
+
 fn validate_k(k: usize) -> Result<(), SpadeError> {
-    if k == 0 || k % FLOATS_PER_LINE != 0 {
+    if k == 0 || !k.is_multiple_of(FLOATS_PER_LINE) {
         return Err(SpadeError::UnalignedK { k });
     }
     Ok(())
@@ -472,8 +511,13 @@ mod tests {
         let a = small_matrix();
         let b = dense(32);
         let c_t = dense(32);
-        let run =
-            run_sddmm_checked(&mut sys(), &a, &b, &c_t, &ExecutionPlan::sddmm_base(&a).unwrap());
+        let run = run_sddmm_checked(
+            &mut sys(),
+            &a,
+            &b,
+            &c_t,
+            &ExecutionPlan::sddmm_base(&a).unwrap(),
+        );
         assert!(run.report.cycles > 0);
         assert_eq!(run.output.nnz(), a.nnz());
     }

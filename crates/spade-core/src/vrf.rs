@@ -159,7 +159,9 @@ impl Vrf {
         }
         self.regs[id] = Vr {
             tag: line,
-            state: VrState::Loading { ready_at: Cycle::MAX },
+            state: VrState::Loading {
+                ready_at: Cycle::MAX,
+            },
             dirty: false,
             refs: 0,
             last_write_done: 0,
@@ -333,7 +335,10 @@ mod tests {
         };
         assert_eq!(c, b, "LRU clean register must be evicted");
         // Line 2's tag must be gone from the CAM.
-        assert!(matches!(v.lookup_or_alloc(2, CL), AllocOutcome::Stall | AllocOutcome::Allocated(_)));
+        assert!(matches!(
+            v.lookup_or_alloc(2, CL),
+            AllocOutcome::Stall | AllocOutcome::Allocated(_)
+        ));
     }
 
     #[test]
@@ -348,7 +353,10 @@ mod tests {
         v.add_ref(a); // referenced -> still not evictable
         assert_eq!(v.lookup_or_alloc(2, CL), AllocOutcome::Stall);
         v.release_ref(a);
-        assert!(matches!(v.lookup_or_alloc(2, CL), AllocOutcome::Allocated(_)));
+        assert!(matches!(
+            v.lookup_or_alloc(2, CL),
+            AllocOutcome::Allocated(_)
+        ));
     }
 
     #[test]
@@ -438,7 +446,10 @@ mod tests {
         assert!(v.is_quiescent());
         // Every register is reusable again.
         for line in 10..14 {
-            assert!(matches!(v.lookup_or_alloc(line, CL), AllocOutcome::Allocated(_)));
+            assert!(matches!(
+                v.lookup_or_alloc(line, CL),
+                AllocOutcome::Allocated(_)
+            ));
         }
     }
 

@@ -1,9 +1,9 @@
-//! Property tests of the vector register file: CAM consistency, reference
-//! counting, and write-back eligibility under arbitrary operation
-//! sequences.
+//! Randomized tests of the vector register file: CAM consistency,
+//! reference counting, and write-back eligibility under arbitrary
+//! operation sequences drawn from a deterministic RNG stream.
 
-use proptest::prelude::*;
 use spade_core::vrf::{AllocOutcome, Vrf};
+use spade_matrix::rng::Rng64;
 use spade_sim::DataClass;
 
 /// A randomized VRF workout: allocate/reuse lines, complete loads, write,
@@ -17,21 +17,23 @@ enum Op {
     CleanCandidate(u64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..32).prop_map(Op::Lookup),
-        (0u64..2000).prop_map(Op::CompleteLoads),
-        ((0usize..8), (0u64..2000)).prop_map(|(i, t)| Op::Write(i, t)),
-        Just(Op::ReleaseOne),
-        (0u64..4000).prop_map(Op::CleanCandidate),
-    ]
+fn random_op(rng: &mut Rng64) -> Op {
+    match rng.bounded(5) {
+        0 => Op::Lookup(rng.gen_range(0..32u64)),
+        1 => Op::CompleteLoads(rng.gen_range(0..2000u64)),
+        2 => Op::Write(rng.gen_range(0..8usize), rng.gen_range(0..2000u64)),
+        3 => Op::ReleaseOne,
+        _ => Op::CleanCandidate(rng.gen_range(0..4000u64)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn vrf_invariants_hold_under_arbitrary_sequences() {
+    let mut rng = Rng64::seed_from_u64(0x0e4f);
+    for case in 0..256 {
+        let num_ops = rng.gen_range(1usize..200);
+        let ops: Vec<Op> = (0..num_ops).map(|_| random_op(&mut rng)).collect();
 
-    #[test]
-    fn vrf_invariants_hold_under_arbitrary_sequences(ops in proptest::collection::vec(arb_op(), 1..200)) {
         let mut vrf = Vrf::new(8);
         // Shadow state: how many refs we have taken, per register.
         let mut refs_taken: Vec<u32> = vec![0; 8];
@@ -50,9 +52,10 @@ proptest! {
                             vrf.add_ref(id);
                             refs_taken[id] += 1;
                             // A second lookup of the same line must reuse.
-                            prop_assert_eq!(
+                            assert_eq!(
                                 vrf.lookup_or_alloc(line, DataClass::CMatrix),
-                                AllocOutcome::Reused(id)
+                                AllocOutcome::Reused(id),
+                                "case {case}"
                             );
                         }
                         AllocOutcome::Reused(id) => {
@@ -62,11 +65,11 @@ proptest! {
                         AllocOutcome::Stall => {
                             // Legal only when every register is pinned:
                             // loading, referenced, or dirty.
-                            prop_assert!(
+                            assert!(
                                 (0..8).all(|i| refs_taken[i] > 0
                                     || vrf.ready_at(i) > 0
                                     || vrf.dirty_count() > 0),
-                                "stall with a free register"
+                                "case {case}: stall with a free register"
                             );
                         }
                     }
@@ -84,7 +87,7 @@ proptest! {
                     let id = i % 8;
                     if ready[id] && vrf.ready_at(id) == 0 {
                         vrf.record_write(id, t);
-                        prop_assert!(vrf.last_write_done(id) >= t);
+                        assert!(vrf.last_write_done(id) >= t, "case {case}");
                     }
                 }
                 Op::ReleaseOne => {
@@ -97,17 +100,20 @@ proptest! {
                     now = now.max(t);
                     if let Some(id) = vrf.writeback_candidate(now) {
                         // Eligibility contract.
-                        prop_assert_eq!(refs_taken[id], 0, "writeback of a referenced register");
-                        prop_assert!(vrf.last_write_done(id) <= now);
+                        assert_eq!(
+                            refs_taken[id], 0,
+                            "case {case}: writeback of a referenced register"
+                        );
+                        assert!(vrf.last_write_done(id) <= now, "case {case}");
                         let before = vrf.dirty_count();
                         vrf.clean(id);
-                        prop_assert_eq!(vrf.dirty_count(), before - 1);
+                        assert_eq!(vrf.dirty_count(), before - 1, "case {case}");
                     }
                 }
             }
-            prop_assert!(vrf.dirty_count() <= vrf.num_regs());
+            assert!(vrf.dirty_count() <= vrf.num_regs());
             let frac = vrf.dirty_fraction();
-            prop_assert!((0.0..=1.0).contains(&frac));
+            assert!((0.0..=1.0).contains(&frac));
         }
 
         // Drain: afterwards the VRF is pristine.
@@ -118,8 +124,8 @@ proptest! {
             *taken = 0;
         }
         let drained = vrf.drain_dirty();
-        prop_assert!(drained.len() <= 8);
-        prop_assert_eq!(vrf.dirty_count(), 0);
-        prop_assert!(vrf.is_quiescent());
+        assert!(drained.len() <= 8);
+        assert_eq!(vrf.dirty_count(), 0);
+        assert!(vrf.is_quiescent(), "case {case}: VRF not quiescent");
     }
 }

@@ -29,13 +29,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use serde::{Deserialize, Serialize};
 use spade_core::RunReport;
 use spade_sim::LevelKind;
 
 /// Technology-node scaling, after Stillmaker & Baas (ref.\[66\] of the paper): area and power
 /// factors relative to 32 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechNode {
     /// Feature size in nanometres.
     pub nm: u32,
@@ -75,7 +74,7 @@ impl TechNode {
 }
 
 /// Per-PE area contributions in mm² at 32 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaModel {
     /// 32 KiB L1 data cache.
     pub l1_mm2: f64,
@@ -113,8 +112,8 @@ impl AreaModel {
     /// Area of one PE (with its L1, BBF and victim cache) at the model's
     /// node, in mm².
     pub fn per_pe_mm2(&self) -> f64 {
-        let raw = self.l1_mm2 + self.bbf_mm2 + self.victim_mm2 + self.pipeline_sram_mm2
-            + self.simd_mm2;
+        let raw =
+            self.l1_mm2 + self.bbf_mm2 + self.victim_mm2 + self.pipeline_sram_mm2 + self.simd_mm2;
         raw * (1.0 + self.logic_overhead) * self.node.area_factor
     }
 
@@ -132,7 +131,7 @@ impl AreaModel {
 
 /// Per-access energies (nanojoules) and static powers (watts) for the
 /// power breakdown of Figure 14.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Energy per L1 access.
     pub l1_nj: f64,
@@ -211,7 +210,7 @@ impl EnergyModel {
 }
 
 /// The Figure 14 power categories, in watts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PowerBreakdown {
     /// SPADE PEs with their L1s, BBFs and victim caches.
     pub pe_group_w: f64,

@@ -5,12 +5,10 @@
 //! bypassing (§6.B). RU depends on the reuse structure of the matrix, which
 //! this module quantifies with cheap, purely structural statistics.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Coo;
 
 /// How much a matrix benefits from SPADE's flexibility knobs (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RestructuringUtility {
     /// Rarely benefits: little reuse to exploit (road graphs, meshes).
     Low,
@@ -32,7 +30,7 @@ impl std::fmt::Display for RestructuringUtility {
 
 /// Structural statistics of a sparse matrix (the Table 2 columns plus the
 /// locality measures the RU classifier uses).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixStats {
     /// Number of rows.
     pub num_rows: usize,
@@ -75,7 +73,11 @@ impl MatrixStats {
             nnz as f64 / num_rows as f64
         };
         let dim = num_rows.max(num_cols).max(1) as f64;
-        let normalized_bandwidth = if nnz == 0 { 0.0 } else { band_sum / nnz as f64 / dim };
+        let normalized_bandwidth = if nnz == 0 {
+            0.0
+        } else {
+            band_sum / nnz as f64 / dim
+        };
 
         // Column reuse within 256-row windows: walk the (row-major) entries
         // and count columns already seen in the current window.
@@ -94,7 +96,11 @@ impl MatrixStats {
             }
             *count += 1;
         }
-        let local_column_reuse = if nnz == 0 { 0.0 } else { reused as f64 / nnz as f64 };
+        let local_column_reuse = if nnz == 0 {
+            0.0
+        } else {
+            reused as f64 / nnz as f64
+        };
 
         MatrixStats {
             num_rows,
@@ -135,7 +141,7 @@ impl MatrixStats {
 
 /// Per-row degree histogram with logarithmic buckets; used by the workload
 /// reports to show degree skew.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DegreeHistogram {
     /// `buckets[i]` counts rows with degree in `[2^i, 2^(i+1))`; bucket 0
     /// also counts degree-0 rows.
@@ -151,7 +157,11 @@ impl DegreeHistogram {
         }
         let mut buckets = Vec::new();
         for d in degree {
-            let b = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+            let b = if d <= 1 {
+                0
+            } else {
+                (usize::BITS - d.leading_zeros()) as usize - 1
+            };
             if buckets.len() <= b {
                 buckets.resize(b + 1, 0);
             }

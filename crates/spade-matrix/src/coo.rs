@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Csr, MatrixError};
 
 /// A sparse matrix in coordinate (COO) format.
@@ -21,7 +19,7 @@ use crate::{Csr, MatrixError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Coo {
     num_rows: usize,
     num_cols: usize,
@@ -226,7 +224,8 @@ mod tests {
 
     #[test]
     fn sorted_arrays_reject_unsorted_input() {
-        let err = Coo::from_sorted_arrays(2, 2, vec![1, 0], vec![0, 0], vec![1.0, 1.0]).unwrap_err();
+        let err =
+            Coo::from_sorted_arrays(2, 2, vec![1, 0], vec![0, 0], vec![1.0, 1.0]).unwrap_err();
         assert!(matches!(err, MatrixError::Parse { .. }));
     }
 

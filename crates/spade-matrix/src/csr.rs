@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::Coo;
 
 /// A sparse matrix in compressed sparse row (CSR) format.
@@ -22,7 +20,7 @@ use crate::Coo;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Csr {
     num_rows: usize,
     num_cols: usize,
@@ -129,14 +127,19 @@ impl Csr {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::Coo;
 
     fn sample() -> Coo {
         Coo::from_triplets(
             4,
             4,
-            &[(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (3, 0, 4.0), (3, 3, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (2, 1, 3.0),
+                (3, 0, 4.0),
+                (3, 3, 5.0),
+            ],
         )
         .unwrap()
     }

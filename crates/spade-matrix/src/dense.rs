@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::CACHE_LINE_BYTES;
 
 /// Number of `f32` elements in one cache line.
@@ -25,7 +23,7 @@ pub const FLOATS_PER_LINE: usize = CACHE_LINE_BYTES / std::mem::size_of::<f32>()
 /// // 20 columns are stored with a 32-element stride (two cache lines).
 /// assert_eq!(m.row_stride(), 2 * FLOATS_PER_LINE);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {
     num_rows: usize,
     num_cols: usize,
@@ -58,7 +56,11 @@ impl DenseMatrix {
     }
 
     /// Creates a matrix from a generator function `f(row, col)`.
-    pub fn from_fn(num_rows: usize, num_cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+    pub fn from_fn(
+        num_rows: usize,
+        num_cols: usize,
+        mut f: impl FnMut(usize, usize) -> f32,
+    ) -> Self {
         let mut m = Self::zeros(num_rows, num_cols);
         for r in 0..num_rows {
             for c in 0..num_cols {

@@ -24,15 +24,12 @@
 //! assert_eq!(kro.num_rows(), kro.num_cols());
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 use crate::analysis::RestructuringUtility;
+use crate::rng::Rng64;
 use crate::Coo;
 
 /// Size preset for the generated benchmark suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// ~1/16 of [`Scale::Default`]; for unit tests.
     Tiny,
@@ -57,7 +54,7 @@ impl Scale {
 }
 
 /// One of the ten evaluation graphs of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// `asia_osm` — road graph, low RU.
     Asi,
@@ -231,7 +228,7 @@ fn symmetric_from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -
 /// lattice neighbours, with a fraction `highway` of longer-range shortcuts.
 /// Average degree lands near 2.2 like `asia_osm` / `road_usa`.
 pub fn road_graph(n: usize, highway: f64, seed: u64) -> Coo {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     // A thin strip: road networks are nearly one-dimensional at scale.
     let width = (n as f64).sqrt().max(2.0) as usize / 2 + 2;
     let mut edges = Vec::with_capacity(n * 2);
@@ -279,7 +276,7 @@ pub fn mesh2d(w: usize, h: usize) -> Coo {
 /// proportional to `(i+1)^(-1/(alpha-1))`, producing a degree distribution
 /// with exponent ≈ `alpha` like social networks.
 pub fn chung_lu(n: usize, num_edges: usize, alpha: f64, seed: u64) -> Coo {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let beta = 1.0 / (alpha - 1.0);
     let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-beta)).collect();
     let mut cum: Vec<f64> = Vec::with_capacity(n);
@@ -289,8 +286,8 @@ pub fn chung_lu(n: usize, num_edges: usize, alpha: f64, seed: u64) -> Coo {
         cum.push(acc);
     }
     let total = acc;
-    let sample = |rng: &mut SmallRng| -> u32 {
-        let x = rng.gen::<f64>() * total;
+    let sample = |rng: &mut Rng64| -> u32 {
+        let x = rng.gen_f64() * total;
         cum.partition_point(|&c| c < x).min(n - 1) as u32
     };
     // Hubs are the low node ids; permute deterministically so the hot rows
@@ -316,7 +313,7 @@ pub fn chung_lu(n: usize, num_edges: usize, alpha: f64, seed: u64) -> Coo {
 /// near-cliques, plus a `cross` fraction of inter-community edges. Produces
 /// the block-clustered structure of co-authorship/citation graphs.
 pub fn citation_graph(n: usize, community: usize, cross: f64, seed: u64) -> Coo {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let community = community.max(2);
     let mut edges = Vec::new();
     let num_comm = n.div_ceil(community);
@@ -356,14 +353,14 @@ pub fn rmat(n: usize, num_edges: usize, probs: [f64; 3], seed: u64) -> Coo {
     let [a, b, c] = probs;
     assert!(a + b + c <= 1.0, "quadrant probabilities exceed 1");
     let levels = n.trailing_zeros();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let edges = (0..num_edges)
         .map(|_| {
             let (mut r, mut cc) = (0u32, 0u32);
             for _ in 0..levels {
                 r <<= 1;
                 cc <<= 1;
-                let x = rng.gen::<f64>();
+                let x = rng.gen_f64();
                 if x < a {
                     // top-left
                 } else if x < a + b {
@@ -416,7 +413,7 @@ pub fn mycielskian(iters: u32) -> Coo {
 pub fn mycielskian_for_budget(budget: usize) -> Coo {
     let mut iters = 0;
     let mut n = 2usize;
-    while 2 * n + 1 <= budget {
+    while 2 * n < budget {
         n = 2 * n + 1;
         iters += 1;
     }
@@ -468,7 +465,7 @@ pub fn stencil3d(x: usize, y: usize, z: usize) -> Coo {
 /// each coupling is a dense `dof × dof` block, like the `Serena` reservoir
 /// matrix.
 pub fn fem_blocks(nodes: usize, dof: usize, neighbors: usize, seed: u64) -> Coo {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let n = nodes * dof;
     let mut edges = Vec::new();
     for u in 0..nodes {
@@ -558,10 +555,7 @@ mod tests {
         }
         let max = *deg.iter().max().unwrap();
         let avg = g.nnz() as f64 / g.num_rows() as f64;
-        assert!(
-            max as f64 > avg * 8.0,
-            "expected hubs: max={max} avg={avg}"
-        );
+        assert!(max as f64 > avg * 8.0, "expected hubs: max={max} avg={avg}");
     }
 
     #[test]

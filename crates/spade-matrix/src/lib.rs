@@ -55,6 +55,7 @@ pub mod generators;
 pub mod mm;
 pub mod reference;
 pub mod reorder;
+pub mod rng;
 mod tiled;
 
 pub use coo::Coo;

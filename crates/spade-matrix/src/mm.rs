@@ -36,7 +36,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Coo, MatrixError> {
     if header[2] != "coordinate" {
         return Err(MatrixError::Parse {
             line: 1,
-            reason: format!("unsupported format '{}', only coordinate is supported", header[2]),
+            reason: format!(
+                "unsupported format '{}', only coordinate is supported",
+                header[2]
+            ),
         });
     }
     let field = header[3].as_str();
@@ -119,10 +122,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Coo, MatrixError> {
     Coo::from_triplets(num_rows, num_cols, &triplets)
 }
 
-fn parse_tok<'a>(
-    tok: &mut impl Iterator<Item = &'a str>,
-    line: usize,
-) -> Result<u32, MatrixError> {
+fn parse_tok<'a>(tok: &mut impl Iterator<Item = &'a str>, line: usize) -> Result<u32, MatrixError> {
     tok.next()
         .ok_or(MatrixError::Parse {
             line,

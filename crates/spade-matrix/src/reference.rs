@@ -48,7 +48,10 @@ pub fn spmm(a: &Coo, b: &DenseMatrix) -> DenseMatrix {
 /// Panics if `B` has fewer rows than `A`, if `Cᵀ` has fewer rows than `A`
 /// has columns, or if `B` and `Cᵀ` disagree on `K`.
 pub fn sddmm(a: &Coo, b: &DenseMatrix, c_t: &DenseMatrix) -> Vec<f32> {
-    assert!(b.num_rows() >= a.num_rows(), "B must have a row per row of A");
+    assert!(
+        b.num_rows() >= a.num_rows(),
+        "B must have a row per row of A"
+    );
     assert!(
         c_t.num_rows() >= a.num_cols(),
         "Cᵀ must have a row per column of A"

@@ -77,7 +77,11 @@ impl Permutation {
     ///
     /// Panics if the matrix is not square with dimension `len()`.
     pub fn permute_symmetric(&self, a: &Coo) -> Coo {
-        assert_eq!(a.num_rows(), a.num_cols(), "symmetric permutation needs a square matrix");
+        assert_eq!(
+            a.num_rows(),
+            a.num_cols(),
+            "symmetric permutation needs a square matrix"
+        );
         assert_eq!(a.num_rows(), self.len(), "permutation size mismatch");
         let triplets: Vec<(u32, u32, f32)> = a
             .iter()
@@ -249,8 +253,12 @@ mod tests {
 
     #[test]
     fn rcm_handles_disconnected_graphs_and_isolated_vertices() {
-        let a = Coo::from_triplets(10, 10, &[(0, 1, 1.0), (1, 0, 1.0), (5, 6, 1.0), (6, 5, 1.0)])
-            .unwrap();
+        let a = Coo::from_triplets(
+            10,
+            10,
+            &[(0, 1, 1.0), (1, 0, 1.0), (5, 6, 1.0), (6, 5, 1.0)],
+        )
+        .unwrap();
         let p = reverse_cuthill_mckee(&a);
         assert_eq!(p.len(), 10);
         let b = p.permute_symmetric(&a);

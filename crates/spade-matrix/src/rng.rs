@@ -1,0 +1,177 @@
+//! A small, dependency-free deterministic PRNG for the synthetic graph
+//! generators and the randomized test suites.
+//!
+//! The generators only need a reproducible stream with decent statistical
+//! quality — cryptographic strength is irrelevant — so this is SplitMix64
+//! (Steele et al., "Fast splittable pseudorandom number generators"), the
+//! same mixer `rand` uses to seed its small RNGs. Every stream is fully
+//! determined by the `u64` seed, on every platform and build.
+//!
+//! # Example
+//!
+//! ```
+//! use spade_matrix::rng::Rng64;
+//!
+//! let mut a = Rng64::seed_from_u64(7);
+//! let mut b = Rng64::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert!(a.gen_range(0usize..10) < 10);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+
+    /// A uniform index in `[0, n)` (unbiased via rejection).
+    pub fn bounded(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range on an empty range");
+        // Rejection sampling on the top bits: the bias of a plain modulo
+        // would be invisible here, but rejection is just as cheap.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % n;
+            }
+        }
+    }
+}
+
+/// Range types [`Rng64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Out;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng64) -> Self::Out;
+}
+
+impl SampleRange for Range<usize> {
+    type Out = usize;
+    fn sample(self, rng: &mut Rng64) -> usize {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + rng.bounded((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Out = usize;
+    fn sample(self, rng: &mut Rng64) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on an empty range");
+        lo + rng.bounded((hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Out = u32;
+    fn sample(self, rng: &mut Rng64) -> u32 {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + rng.bounded((self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Out = u64;
+    fn sample(self, rng: &mut Rng64) -> u64 {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + rng.bounded(self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(r.gen_range(3usize..17) >= 3);
+            assert!(r.gen_range(3usize..17) < 17);
+            assert!(r.gen_range(5usize..=5) == 5);
+            assert!(r.gen_range(0u32..7) < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng64::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = Rng64::seed_from_u64(6);
+        let mut counts = [0usize; 8];
+        for _ in 0..8_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1_200).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Coo, MatrixError, FLOATS_PER_LINE};
 
 /// Tiling parameters for the sparse input matrix (Figure 4a of the paper).
@@ -9,7 +7,7 @@ use crate::{Coo, MatrixError, FLOATS_PER_LINE};
 /// intersection. SPADE imposes no upper or lower bound on tile sizes
 /// (§4.2) — a column panel as wide as the whole matrix reproduces the
 /// untiled row-panel execution of SPADE Base.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TilingConfig {
     /// Rows per row panel.
     pub row_panel_size: usize,
@@ -53,7 +51,7 @@ impl TilingConfig {
 
 /// Metadata describing one tile of a [`TiledCoo`] — the per-tile entries of
 /// the Appendix A tiling metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileInfo {
     /// Offset of the tile's first non-zero in the reordered `r_ids` /
     /// `c_ids` / `vals` arrays (`sparse_in_start_offset`).
@@ -94,7 +92,7 @@ pub struct TileInfo {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TiledCoo {
     num_rows: usize,
     num_cols: usize,

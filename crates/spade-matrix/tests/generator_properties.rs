@@ -1,82 +1,120 @@
-//! Property tests of the matrix substrate: format round trips, generator
-//! invariants and MatrixMarket I/O.
+//! Randomized tests of the matrix substrate: format round trips,
+//! generator invariants and MatrixMarket I/O, driven by the crate's own
+//! deterministic [`Rng64`] stream.
 
-use proptest::prelude::*;
 use spade_matrix::generators::{self, Benchmark, Scale};
+use spade_matrix::rng::Rng64;
 use spade_matrix::{mm, Coo, Csr, DenseMatrix, TiledCoo, TilingConfig};
 
-fn arb_coo() -> impl Strategy<Value = Coo> {
-    (2usize..50, 2usize..50).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec((0..rows as u32, 0..cols as u32, -5.0f32..5.0), 0..150)
-            .prop_map(move |t| Coo::from_triplets(rows, cols, &t).expect("in range"))
-    })
+fn random_coo(rng: &mut Rng64) -> Coo {
+    let rows = rng.gen_range(2usize..50);
+    let cols = rng.gen_range(2usize..50);
+    let nnz = rng.gen_range(0usize..150);
+    let triplets: Vec<(u32, u32, f32)> = (0..nnz)
+        .map(|_| {
+            (
+                rng.gen_range(0..rows as u32),
+                rng.gen_range(0..cols as u32),
+                (rng.gen_f64() * 10.0 - 5.0) as f32,
+            )
+        })
+        .collect();
+    Coo::from_triplets(rows, cols, &triplets).expect("in range")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn csr_roundtrip(a in arb_coo()) {
-        prop_assert_eq!(a.to_csr().to_coo(), a);
+#[test]
+fn csr_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0xc5);
+    for _ in 0..96 {
+        let a = random_coo(&mut rng);
+        assert_eq!(a.to_csr().to_coo(), a);
     }
+}
 
-    #[test]
-    fn csr_row_ptr_is_monotone(a in arb_coo()) {
+#[test]
+fn csr_row_ptr_is_monotone() {
+    let mut rng = Rng64::seed_from_u64(0xc6);
+    for _ in 0..96 {
+        let a = random_coo(&mut rng);
         let csr = Csr::from_coo(&a);
         for w in csr.row_ptr().windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
-        prop_assert_eq!(*csr.row_ptr().last().unwrap(), a.nnz());
+        assert_eq!(*csr.row_ptr().last().unwrap(), a.nnz());
     }
+}
 
-    #[test]
-    fn matrix_market_roundtrip(a in arb_coo()) {
+#[test]
+fn matrix_market_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x33);
+    for _ in 0..96 {
+        let a = random_coo(&mut rng);
         let mut buf = Vec::new();
         mm::write_matrix_market(&a, &mut buf).unwrap();
         let b = mm::read_matrix_market(std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(a.num_rows(), b.num_rows());
-        prop_assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(a.num_rows(), b.num_rows());
+        assert_eq!(a.nnz(), b.nnz());
         for ((r1, c1, v1), (r2, c2, v2)) in a.iter().zip(b.iter()) {
-            prop_assert_eq!((r1, c1), (r2, c2));
-            prop_assert!((v1 - v2).abs() <= v1.abs() * 1e-5 + 1e-6);
+            assert_eq!((r1, c1), (r2, c2));
+            assert!((v1 - v2).abs() <= v1.abs() * 1e-5 + 1e-6);
         }
     }
+}
 
-    #[test]
-    fn tiled_out_offsets_are_line_aligned(a in arb_coo(), rp in 1usize..20, cp in 1usize..20) {
+#[test]
+fn tiled_out_offsets_are_line_aligned() {
+    let mut rng = Rng64::seed_from_u64(0x71);
+    for _ in 0..96 {
+        let a = random_coo(&mut rng);
+        let rp = rng.gen_range(1usize..20);
+        let cp = rng.gen_range(1usize..20);
         let tiled = TiledCoo::new(&a, TilingConfig::new(rp, cp).unwrap()).unwrap();
         for t in tiled.tiles() {
-            prop_assert_eq!(t.sparse_out_start % 16, 0);
-            prop_assert!(t.nnz > 0, "empty tiles must not be materialized");
+            assert_eq!(t.sparse_out_start % 16, 0);
+            assert!(t.nnz > 0, "empty tiles must not be materialized");
         }
     }
+}
 
-    #[test]
-    fn dense_matrix_rows_are_line_aligned(rows in 1usize..20, cols in 1usize..100) {
+#[test]
+fn dense_matrix_rows_are_line_aligned() {
+    let mut rng = Rng64::seed_from_u64(0xde);
+    for _ in 0..96 {
+        let rows = rng.gen_range(1usize..20);
+        let cols = rng.gen_range(1usize..100);
         let m = DenseMatrix::zeros(rows, cols);
-        prop_assert_eq!(m.row_stride() % 16, 0);
-        prop_assert!(m.row_stride() >= cols);
-        prop_assert!(m.row_stride() < cols + 16);
+        assert_eq!(m.row_stride() % 16, 0);
+        assert!(m.row_stride() >= cols);
+        assert!(m.row_stride() < cols + 16);
     }
+}
 
-    #[test]
-    fn rmat_stays_in_bounds(scale_bits in 3u32..8, edges in 1usize..500) {
+#[test]
+fn rmat_stays_in_bounds() {
+    let mut rng = Rng64::seed_from_u64(0x42);
+    for _ in 0..32 {
+        let scale_bits = rng.gen_range(3..8u32);
+        let edges = rng.gen_range(1usize..500);
         let n = 1usize << scale_bits;
         let g = generators::rmat(n, edges, [0.57, 0.19, 0.19], 42);
-        prop_assert_eq!(g.num_rows(), n);
+        assert_eq!(g.num_rows(), n);
         for (r, c, _) in g.iter() {
-            prop_assert!((r as usize) < n && (c as usize) < n);
-            prop_assert!(r != c, "self-loops must be dropped");
+            assert!((r as usize) < n && (c as usize) < n);
+            assert!(r != c, "self-loops must be dropped");
         }
     }
+}
 
-    #[test]
-    fn chung_lu_is_symmetric(n in 16usize..200, m in 1usize..400) {
+#[test]
+fn chung_lu_is_symmetric() {
+    let mut rng = Rng64::seed_from_u64(0xc1);
+    for _ in 0..32 {
+        let n = rng.gen_range(16usize..200);
+        let m = rng.gen_range(1usize..400);
         let g = generators::chung_lu(n, m, 2.2, 7);
-        let set: std::collections::HashSet<(u32, u32)> =
-            g.iter().map(|(r, c, _)| (r, c)).collect();
+        let set: std::collections::HashSet<(u32, u32)> = g.iter().map(|(r, c, _)| (r, c)).collect();
         for &(r, c) in &set {
-            prop_assert!(set.contains(&(c, r)));
+            assert!(set.contains(&(c, r)));
         }
     }
 }
@@ -92,7 +130,11 @@ fn every_benchmark_has_no_duplicates_and_graphs_have_no_self_loops() {
             if b != Benchmark::Ser {
                 assert_ne!(r, c, "{}: self loop", b.short_name());
             }
-            assert!(seen.insert((r, c)), "{}: duplicate ({r},{c})", b.short_name());
+            assert!(
+                seen.insert((r, c)),
+                "{}: duplicate ({r},{c})",
+                b.short_name()
+            );
         }
     }
 }

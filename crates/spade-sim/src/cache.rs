@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Line, LINE_BYTES};
 
 /// Geometry of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -169,9 +167,7 @@ impl Cache {
     pub fn probe(&self, line: Line) -> bool {
         let set = self.set_of(line);
         let base = set * self.config.ways;
-        self.tags[base..base + self.config.ways]
-            .iter()
-            .any(|&t| t == line)
+        self.tags[base..base + self.config.ways].contains(&line)
     }
 
     /// Invalidates `line` if present, returning whether it was dirty.

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{ns_to_cycles, CacheConfig, Cycle, DramConfig, StlbConfig};
 
 /// Full memory-system configuration (the Table 1 parameters).
@@ -8,7 +6,7 @@ use crate::{ns_to_cycles, CacheConfig, Cycle, DramConfig, StlbConfig};
 /// host memory system (agents = PEs, four PEs per L2 cluster, bypass
 /// buffers present) and the baseline CPU's view (agents = cores, one core
 /// per L2, no bypass buffers).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
     /// Number of requesting agents (SPADE PEs or CPU cores).
     pub num_agents: usize,
@@ -54,7 +52,7 @@ impl MemConfig {
     ///
     /// Panics if `num_pes` is not a multiple of 4.
     pub fn spade_table1(num_pes: usize) -> Self {
-        assert!(num_pes % 4 == 0, "SPADE clusters hold 4 PEs");
+        assert!(num_pes.is_multiple_of(4), "SPADE clusters hold 4 PEs");
         let clusters = num_pes / 4;
         MemConfig {
             num_agents: num_pes,

@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{gbps_to_bytes_per_cycle, Cycle, Line, LINE_BYTES};
 
 /// DRAM configuration: channel count, bandwidth and idle latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Number of independent channels (requests interleave by line address).
     pub channels: usize,

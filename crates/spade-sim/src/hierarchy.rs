@@ -1,6 +1,4 @@
-use crate::{
-    Cache, Cycle, DataClass, Dram, LevelKind, Line, MemConfig, MemStats, Stlb,
-};
+use crate::{Cache, Cycle, DataClass, Dram, LevelKind, Line, MemConfig, MemStats, Stlb};
 
 /// Which path an access takes through the memory system.
 ///

@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 /// Which data structure an access belongs to. Determines the bypass policy
 /// applied by the SPADE pipeline and attributes traffic for the power
 /// breakdown (Figure 14) and the per-class analyses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataClass {
     /// The input sparse matrix arrays (`r_ids`, `c_ids`, `vals`).
     SparseIn,
@@ -37,7 +35,7 @@ impl DataClass {
 }
 
 /// A level of the modeled hierarchy, for statistics attribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LevelKind {
     /// Per-PE (or per-core) L1 data cache.
     L1,
@@ -73,7 +71,7 @@ impl LevelKind {
 }
 
 /// Access/hit/write-back counters for one hierarchy level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LevelStats {
     /// Lookups performed at this level.
     pub accesses: u64,
@@ -100,7 +98,7 @@ impl LevelStats {
 }
 
 /// Aggregate statistics for a [`crate::MemorySystem`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemStats {
     levels: [LevelStats; 5],
     class_dram: [u64; 4],

@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Cache, CacheConfig, Cycle, Line, LINE_BYTES};
 
 /// Secondary-TLB configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StlbConfig {
     /// Number of entries.
     pub entries: usize,

@@ -1,45 +1,83 @@
-//! Property tests of the memory-system invariants.
+//! Randomized tests of the memory-system invariants, driven by a
+//! deterministic SplitMix64 stream (spade-sim sits below the matrix crate,
+//! so it carries its own tiny generator copy).
 
-use proptest::prelude::*;
-use spade_sim::{AccessOutcome, AccessPath, Cache, CacheConfig, DataClass, MemConfig, MemorySystem};
+use spade_sim::{
+    AccessOutcome, AccessPath, Cache, CacheConfig, DataClass, MemConfig, MemorySystem,
+};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// SplitMix64 — the same stream `spade_matrix::rng::Rng64` produces.
+struct Rng(u64);
 
-    /// A cache never holds more lines than its capacity, never duplicates
-    /// a tag, and an access to a just-filled line always hits.
-    #[test]
-    fn cache_capacity_and_uniqueness(
-        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..300),
-        ways in 1usize..5,
-    ) {
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)` (rejection sampling).
+    fn bounded(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A cache never holds more lines than its capacity, never duplicates
+/// a tag, and an access to a just-filled line always hits.
+#[test]
+fn cache_capacity_and_uniqueness() {
+    let mut rng = Rng(0xcac4e);
+    for case in 0..128 {
+        let num_accesses = 1 + rng.bounded(299) as usize;
+        let ways = 1 + rng.bounded(4) as usize;
         let config = CacheConfig::new(1024, ways); // 16 lines
         let mut cache = Cache::new(config);
         let mut resident: std::collections::HashSet<u64> = Default::default();
-        for (line, write) in accesses {
+        for _ in 0..num_accesses {
+            let line = rng.bounded(64);
+            let write = rng.gen_bool();
             let out = cache.access(line, write);
             match out {
-                AccessOutcome::Hit => prop_assert!(resident.contains(&line)),
+                AccessOutcome::Hit => assert!(resident.contains(&line), "case {case}"),
                 AccessOutcome::Miss { victim } => {
-                    prop_assert!(!resident.contains(&line));
+                    assert!(!resident.contains(&line), "case {case}");
                     if let Some(v) = victim {
-                        prop_assert!(resident.remove(&v.line), "victim {} was not resident", v.line);
+                        assert!(
+                            resident.remove(&v.line),
+                            "case {case}: victim {} was not resident",
+                            v.line
+                        );
                     }
                     resident.insert(line);
                 }
             }
-            prop_assert!(cache.occupancy() <= config.num_lines());
-            prop_assert_eq!(cache.occupancy(), resident.len());
-            prop_assert!(cache.probe(line));
+            assert!(cache.occupancy() <= config.num_lines());
+            assert_eq!(cache.occupancy(), resident.len());
+            assert!(cache.probe(line));
         }
     }
+}
 
-    /// Write-back-invalidate returns exactly the lines written and not yet
-    /// evicted-with-writeback.
-    #[test]
-    fn writeback_invalidate_returns_all_dirty(
-        writes in proptest::collection::vec(0u64..32, 0..100),
-    ) {
+/// Write-back-invalidate returns exactly the lines written and not yet
+/// evicted-with-writeback.
+#[test]
+fn writeback_invalidate_returns_all_dirty() {
+    let mut rng = Rng(0xd124);
+    for case in 0..128 {
+        let writes: Vec<u64> = (0..rng.bounded(100)).map(|_| rng.bounded(32)).collect();
         let mut cache = Cache::new(CacheConfig::new(4096, 4)); // 64 lines >= universe
         for &line in &writes {
             cache.access(line, true);
@@ -49,54 +87,69 @@ proptest! {
         let mut expected: Vec<u64> = writes.clone();
         expected.sort_unstable();
         expected.dedup();
-        prop_assert_eq!(dirty, expected);
-        prop_assert_eq!(cache.occupancy(), 0);
+        assert_eq!(dirty, expected, "case {case}");
+        assert_eq!(cache.occupancy(), 0);
     }
+}
 
-    /// Completion times from the hierarchy are never earlier than issue
-    /// time plus the L1 latency, and monotonically consistent with path
-    /// length (a hit is never slower than the preceding miss of the same
-    /// line at the same level).
-    #[test]
-    fn hierarchy_latency_sanity(
-        lines in proptest::collection::vec(0u64..256, 1..200),
-        agent in 0usize..4,
-    ) {
+/// Completion times from the hierarchy are never earlier than issue
+/// time plus the L1 latency.
+#[test]
+fn hierarchy_latency_sanity() {
+    let mut rng = Rng(0x1a7);
+    for _ in 0..128 {
+        let agent = rng.bounded(4) as usize;
+        let num = 1 + rng.bounded(199) as usize;
         let mut mem = MemorySystem::new(MemConfig::small_test(4));
         let mut now = 0u64;
-        for line in lines {
+        for _ in 0..num {
+            let line = rng.bounded(256);
             let done = mem.read(agent, line, AccessPath::Cached, DataClass::CMatrix, now);
-            prop_assert!(done >= now + mem.config().l1_latency);
+            assert!(done >= now + mem.config().l1_latency);
             now = done;
         }
         // Conservation: every DRAM access was a miss somewhere above.
         let s = mem.stats();
-        prop_assert!(s.dram_accesses() <= s.requests_issued + s.level(spade_sim::LevelKind::Llc).writebacks);
+        assert!(
+            s.dram_accesses() <= s.requests_issued + s.level(spade_sim::LevelKind::Llc).writebacks
+        );
     }
+}
 
-    /// Bypass reads never change any cache state.
-    #[test]
-    fn bypass_reads_leave_caches_cold(
-        lines in proptest::collection::vec(0u64..1024, 1..100),
-    ) {
+/// Bypass reads never change any cache state.
+#[test]
+fn bypass_reads_leave_caches_cold() {
+    let mut rng = Rng(0xb497);
+    for _ in 0..128 {
+        let num = 1 + rng.bounded(99) as usize;
         let mut mem = MemorySystem::new(MemConfig::small_test(2));
-        for line in lines {
+        for _ in 0..num {
+            let line = rng.bounded(1024);
             mem.read(0, line, AccessPath::Bypass, DataClass::SparseIn, 0);
         }
-        prop_assert_eq!(mem.l1_occupancy(0), 0);
-        prop_assert_eq!(mem.llc_occupancy(), 0);
-        prop_assert_eq!(mem.stats().dram_accesses(), mem.stats().requests_issued);
+        assert_eq!(mem.l1_occupancy(0), 0);
+        assert_eq!(mem.llc_occupancy(), 0);
+        assert_eq!(mem.stats().dram_accesses(), mem.stats().requests_issued);
     }
+}
 
-    /// The flush operation leaves no dirty state behind: a second flush
-    /// returns zero lines.
-    #[test]
-    fn flush_is_idempotent(
-        ops in proptest::collection::vec((0u64..128, any::<bool>(), 0usize..2), 1..150),
-    ) {
+/// The flush operation leaves no dirty state behind: a second flush
+/// returns zero lines.
+#[test]
+fn flush_is_idempotent() {
+    let mut rng = Rng(0xf1a5);
+    for case in 0..128 {
+        let num = 1 + rng.bounded(149) as usize;
         let mut mem = MemorySystem::new(MemConfig::small_test(2));
-        for (line, write, agent) in ops {
-            let path = if line % 3 == 0 { AccessPath::BypassVictim } else { AccessPath::Cached };
+        for _ in 0..num {
+            let line = rng.bounded(128);
+            let write = rng.gen_bool();
+            let agent = rng.bounded(2) as usize;
+            let path = if line.is_multiple_of(3) {
+                AccessPath::BypassVictim
+            } else {
+                AccessPath::Cached
+            };
             if write {
                 mem.write(agent, line, path, DataClass::RMatrix, 0);
             } else {
@@ -105,6 +158,6 @@ proptest! {
         }
         mem.flush_all(1_000);
         let again = mem.flush_all(2_000);
-        prop_assert_eq!(again, 0);
+        assert_eq!(again, 0, "case {case}: second flush found dirty lines");
     }
 }

@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = Benchmark::Kro.generate(Scale::Tiny);
     let n = graph.num_rows();
     let damping = 0.85f32;
-    println!("PageRank on {} ({} vertices, {} edges)", Benchmark::Kro.full_name(), n, graph.nnz());
+    println!(
+        "PageRank on {} ({} vertices, {} edges)",
+        Benchmark::Kro.full_name(),
+        n,
+        graph.nnz()
+    );
 
     // Column-normalize: A[r, c] = 1 / outdegree(c), so that rank flows
     // from c to its neighbours r.

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = SystemConfig::scaled(28);
 
     println!("strong scaling, SpMM K={k} (base: {} PEs)\n", base.num_pes);
-    println!("{:<6} {:>10} {:>8} {:>8} {:>8}", "graph", "base (µs)", "2x", "4x", "ideal");
+    println!(
+        "{:<6} {:>10} {:>8} {:>8} {:>8}",
+        "graph", "base (µs)", "2x", "4x", "ideal"
+    );
     for bench in [Benchmark::Del, Benchmark::Pac, Benchmark::Myc] {
         let a = bench.generate(Scale::Tiny);
         let b = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r + c) % 9) as f32 * 0.2);
@@ -36,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut speedups = Vec::new();
         for factor in [2usize, 4] {
             let cfg = base.scaled_up(factor);
-            let t = SpadeSystem::new(cfg).run_spmm(&a, &b, &plan)?.report.time_ns;
+            let t = SpadeSystem::new(cfg)
+                .run_spmm(&a, &b, &plan)?
+                .report
+                .time_ns;
             speedups.push(t_base / t);
         }
         println!(

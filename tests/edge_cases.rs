@@ -2,9 +2,7 @@
 //! matrices, and minimal systems must still produce gold-equivalent
 //! results (back-pressure correctness, not just the happy path).
 
-use spade::core::{
-    run_spmm_checked, ExecutionPlan, PipelineConfig, SpadeSystem, SystemConfig,
-};
+use spade::core::{run_spmm_checked, ExecutionPlan, PipelineConfig, SpadeSystem, SystemConfig};
 use spade::matrix::generators::{Benchmark, Scale};
 use spade::matrix::{reference, Coo, DenseMatrix, TilingConfig};
 

@@ -100,15 +100,27 @@ fn cpu_gpu_sextans_agree_functionally() {
     let gold = reference::spmm(&a, &bm);
 
     let cpu = spade::baselines::cpu::CpuModel::new(spade::baselines::cpu::CpuConfig::small_test(4));
-    assert!(reference::dense_close(&cpu.run_spmm(&a, &bm).output, &gold, 1e-4));
+    assert!(reference::dense_close(
+        &cpu.run_spmm(&a, &bm).output,
+        &gold,
+        1e-4
+    ));
 
     let gpu = spade::baselines::gpu::GpuModel::new(spade::baselines::gpu::GpuConfig::v100());
-    assert!(reference::dense_close(&gpu.run_spmm(&a, &bm).output, &gold, 1e-4));
+    assert!(reference::dense_close(
+        &gpu.run_spmm(&a, &bm).output,
+        &gold,
+        1e-4
+    ));
 
     let sx = spade::baselines::sextans::SextansModel::new(
         spade::baselines::sextans::SextansConfig::idealized(),
     );
-    assert!(reference::dense_close(&sx.run_spmm(&a, &bm).output, &gold, 1e-4));
+    assert!(reference::dense_close(
+        &sx.run_spmm(&a, &bm).output,
+        &gold,
+        1e-4
+    ));
 
     let threaded = spade::baselines::cpu_ref::spmm_threaded(&a, &bm, 4);
     assert!(reference::dense_close(&threaded.output, &gold, 1e-4));

@@ -1,59 +1,71 @@
-//! Property-based tests over the whole stack: arbitrary sparse matrices,
-//! tilings, plans and machine shapes must always produce gold-equivalent
-//! results and respect the paper's structural invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests over the whole stack: arbitrary sparse
+//! matrices, tilings, plans and machine shapes must always produce
+//! gold-equivalent results and respect the paper's structural invariants.
+//!
+//! Cases are drawn from the workspace's own deterministic [`Rng64`]
+//! stream (the workspace is dependency-free), so every run tests the
+//! exact same inputs.
 
 use spade::core::{
     BarrierPolicy, CMatrixPolicy, ExecutionPlan, PeCommand, Primitive, RMatrixPolicy, Schedule,
     SpadeSystem, SystemConfig,
 };
+use spade::matrix::rng::Rng64;
 use spade::matrix::{reference, Coo, DenseMatrix, TiledCoo, TilingConfig};
 
-/// Strategy: a small random sparse matrix.
-fn arb_coo(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
-    (2usize..max_dim, 2usize..max_dim).prop_flat_map(move |(rows, cols)| {
-        proptest::collection::vec(
-            (0..rows as u32, 0..cols as u32, -2.0f32..2.0),
-            0..max_nnz,
-        )
-        .prop_map(move |triplets| {
-            Coo::from_triplets(rows, cols, &triplets).expect("triplets are in range")
+/// A small random sparse matrix.
+fn random_coo(rng: &mut Rng64, max_dim: usize, max_nnz: usize) -> Coo {
+    let rows = rng.gen_range(2..max_dim);
+    let cols = rng.gen_range(2..max_dim);
+    let nnz = rng.gen_range(0..max_nnz);
+    let triplets: Vec<(u32, u32, f32)> = (0..nnz)
+        .map(|_| {
+            (
+                rng.gen_range(0..rows as u32),
+                rng.gen_range(0..cols as u32),
+                (rng.gen_f64() * 4.0 - 2.0) as f32,
+            )
         })
-    })
+        .collect();
+    Coo::from_triplets(rows, cols, &triplets).expect("triplets are in range")
 }
 
-fn arb_tiling() -> impl Strategy<Value = TilingConfig> {
-    (1usize..40, 1usize..40)
-        .prop_map(|(rp, cp)| TilingConfig::new(rp, cp).expect("nonzero panels"))
+fn random_tiling(rng: &mut Rng64) -> TilingConfig {
+    TilingConfig::new(rng.gen_range(1usize..40), rng.gen_range(1usize..40)).expect("nonzero panels")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tiling_roundtrips_any_matrix(a in arb_coo(60, 200), t in arb_tiling()) {
+#[test]
+fn tiling_roundtrips_any_matrix() {
+    let mut rng = Rng64::seed_from_u64(0x7111);
+    for _ in 0..64 {
+        let a = random_coo(&mut rng, 60, 200);
+        let t = random_tiling(&mut rng);
         let tiled = TiledCoo::new(&a, t).unwrap();
-        prop_assert_eq!(tiled.to_coo(), a);
+        assert_eq!(tiled.to_coo(), a);
         // Offsets are consistent: tiles tile the nnz space exactly.
         let total: usize = tiled.tiles().iter().map(|ti| ti.nnz).sum();
-        prop_assert_eq!(total, tiled.nnz());
+        assert_eq!(total, tiled.nnz());
         for w in tiled.tiles().windows(2) {
-            prop_assert_eq!(w[0].sparse_in_start + w[0].nnz, w[1].sparse_in_start);
-            prop_assert!(w[1].sparse_out_start >= w[0].sparse_out_start + w[0].nnz);
+            assert_eq!(w[0].sparse_in_start + w[0].nnz, w[1].sparse_in_start);
+            assert!(w[1].sparse_out_start >= w[0].sparse_out_start + w[0].nnz);
         }
     }
+}
 
-    #[test]
-    fn schedule_never_splits_row_panels(
-        a in arb_coo(60, 200),
-        t in arb_tiling(),
-        num_pes in 1usize..9,
-        barriers in prop_oneof![
-            Just(BarrierPolicy::None),
-            (1u32..4).prop_map(|g| BarrierPolicy::EveryColumnPanels { group: g })
-        ],
-    ) {
+#[test]
+fn schedule_never_splits_row_panels() {
+    let mut rng = Rng64::seed_from_u64(0x5c4e);
+    for case in 0..64 {
+        let a = random_coo(&mut rng, 60, 200);
+        let t = random_tiling(&mut rng);
+        let num_pes = rng.gen_range(1usize..9);
+        let barriers = if rng.gen_bool(0.5) {
+            BarrierPolicy::None
+        } else {
+            BarrierPolicy::EveryColumnPanels {
+                group: rng.gen_range(1..4u32),
+            }
+        };
         let tiled = TiledCoo::new(&a, t).unwrap();
         let s = Schedule::build(&tiled, num_pes, Primitive::Spmm, barriers);
         // Every tile exactly once; row panel -> single PE.
@@ -62,21 +74,27 @@ proptest! {
         for pe in 0..num_pes {
             for cmd in s.commands(pe) {
                 if let PeCommand::Tile { tile_idx } = cmd {
-                    prop_assert!(!seen[*tile_idx]);
+                    assert!(!seen[*tile_idx], "case {case}: tile replayed");
                     seen[*tile_idx] = true;
                     let rp = tiled.tiles()[*tile_idx].row_panel;
                     let prev = owner.insert(rp, pe);
-                    prop_assert!(prev.is_none() || prev == Some(pe),
-                        "row panel {} split across PEs", rp);
+                    assert!(
+                        prev.is_none() || prev == Some(pe),
+                        "case {case}: row panel {rp} split across PEs"
+                    );
                 }
             }
         }
-        prop_assert!(seen.iter().all(|&x| x));
+        assert!(seen.iter().all(|&x| x), "case {case}: tile dropped");
     }
+}
 
-    #[test]
-    fn reference_spmm_linearity(a in arb_coo(30, 80)) {
-        // SpMM is linear in B: A(B1 + B2) = AB1 + AB2.
+#[test]
+fn reference_spmm_linearity() {
+    // SpMM is linear in B: A(B1 + B2) = AB1 + AB2.
+    let mut rng = Rng64::seed_from_u64(0x11ea);
+    for _ in 0..64 {
+        let a = random_coo(&mut rng, 30, 80);
         let k = 16;
         let b1 = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r + c) % 5) as f32);
         let b2 = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r * c) % 3) as f32);
@@ -86,14 +104,18 @@ proptest! {
         let ds = reference::spmm(&a, &sum);
         for r in 0..a.num_rows() {
             for c in 0..k {
-                prop_assert!((ds.get(r, c) - d1.get(r, c) - d2.get(r, c)).abs() < 1e-3);
+                assert!((ds.get(r, c) - d1.get(r, c) - d2.get(r, c)).abs() < 1e-3);
             }
         }
     }
+}
 
-    #[test]
-    fn sddmm_scales_with_sparse_values(a in arb_coo(30, 80)) {
-        // Doubling the sampled values doubles the output.
+#[test]
+fn sddmm_scales_with_sparse_values() {
+    // Doubling the sampled values doubles the output.
+    let mut rng = Rng64::seed_from_u64(0x5dd3);
+    for _ in 0..64 {
+        let a = random_coo(&mut rng, 30, 80);
         let k = 16;
         let b = DenseMatrix::from_fn(a.num_rows(), k, |r, c| ((r + 2 * c) % 7) as f32 * 0.5);
         let ct = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((2 * r + c) % 5) as f32 * 0.5);
@@ -101,31 +123,34 @@ proptest! {
         let doubled = a.map_values(|_, _, v| 2.0 * v);
         let v2 = reference::sddmm(&doubled, &b, &ct);
         for (x, y) in v1.iter().zip(&v2) {
-            prop_assert!((2.0 * x - y).abs() < 1e-3);
+            assert!((2.0 * x - y).abs() < 1e-3);
         }
     }
 }
 
-proptest! {
+#[test]
+fn simulated_spmm_equals_gold_for_any_matrix_and_plan() {
     // Full-system property tests are more expensive: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn simulated_spmm_equals_gold_for_any_matrix_and_plan(
-        a in arb_coo(80, 300),
-        rp in 1usize..40,
-        cp in 1usize..80,
-        r_policy in prop_oneof![
-            Just(RMatrixPolicy::Cache),
-            Just(RMatrixPolicy::Bypass),
-            Just(RMatrixPolicy::BypassVictim)
-        ],
-        c_policy in prop_oneof![Just(CMatrixPolicy::Cache), Just(CMatrixPolicy::Bypass)],
-        barriers in prop_oneof![
-            Just(BarrierPolicy::None),
-            Just(BarrierPolicy::per_column_panel())
-        ],
-    ) {
+    let mut rng = Rng64::seed_from_u64(0x901d);
+    for case in 0..12 {
+        let a = random_coo(&mut rng, 80, 300);
+        let rp = rng.gen_range(1usize..40);
+        let cp = rng.gen_range(1usize..80);
+        let r_policy = match rng.bounded(3) {
+            0 => RMatrixPolicy::Cache,
+            1 => RMatrixPolicy::Bypass,
+            _ => RMatrixPolicy::BypassVictim,
+        };
+        let c_policy = if rng.gen_bool(0.5) {
+            CMatrixPolicy::Cache
+        } else {
+            CMatrixPolicy::Bypass
+        };
+        let barriers = if rng.gen_bool(0.5) {
+            BarrierPolicy::None
+        } else {
+            BarrierPolicy::per_column_panel()
+        };
         let k = 32;
         let b = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r * 13 + c) % 9) as f32 * 0.25);
         let plan = ExecutionPlan {
@@ -137,15 +162,20 @@ proptest! {
         let mut sys = SpadeSystem::new(SystemConfig::scaled(8));
         let run = sys.run_spmm(&a, &b, &plan).unwrap();
         let gold = reference::spmm(&a, &b);
-        prop_assert!(reference::dense_close(&run.output, &gold, 1e-3));
+        assert!(
+            reference::dense_close(&run.output, &gold, 1e-3),
+            "case {case}: SpMM diverged from gold under {plan:?}"
+        );
     }
+}
 
-    #[test]
-    fn simulated_sddmm_equals_gold_for_any_matrix(
-        a in arb_coo(80, 300),
-        rp in 1usize..40,
-        cp in 1usize..80,
-    ) {
+#[test]
+fn simulated_sddmm_equals_gold_for_any_matrix() {
+    let mut rng = Rng64::seed_from_u64(0x5dd2);
+    for case in 0..12 {
+        let a = random_coo(&mut rng, 80, 300);
+        let rp = rng.gen_range(1usize..40);
+        let cp = rng.gen_range(1usize..80);
         let k = 32;
         let b = DenseMatrix::from_fn(a.num_rows(), k, |r, c| ((r + c * 3) % 11) as f32 * 0.2);
         let ct = DenseMatrix::from_fn(a.num_cols(), k, |r, c| ((r * 7 + c) % 13) as f32 * 0.2);
@@ -158,18 +188,26 @@ proptest! {
         let mut sys = SpadeSystem::new(SystemConfig::scaled(8));
         let run = sys.run_sddmm(&a, &b, &ct, &plan).unwrap();
         let gold = reference::sddmm(&a, &b, &ct);
-        prop_assert!(
-            reference::first_mismatch(run.output.vals(), &gold, 1e-3).is_none()
+        assert!(
+            reference::first_mismatch(run.output.vals(), &gold, 1e-3).is_none(),
+            "case {case}: SDDMM diverged from gold"
         );
     }
+}
 
-    #[test]
-    fn cpu_model_equals_gold_for_any_matrix(a in arb_coo(60, 200)) {
+#[test]
+fn cpu_model_equals_gold_for_any_matrix() {
+    let mut rng = Rng64::seed_from_u64(0xc930);
+    for _ in 0..12 {
+        let a = random_coo(&mut rng, 60, 200);
         let b = DenseMatrix::from_fn(a.num_cols(), 16, |r, c| ((r + c) % 7) as f32);
-        let cpu = spade::baselines::cpu::CpuModel::new(
-            spade::baselines::cpu::CpuConfig::small_test(3),
-        );
+        let cpu =
+            spade::baselines::cpu::CpuModel::new(spade::baselines::cpu::CpuConfig::small_test(3));
         let run = cpu.run_spmm(&a, &b);
-        prop_assert!(reference::dense_close(&run.output, &reference::spmm(&a, &b), 1e-4));
+        assert!(reference::dense_close(
+            &run.output,
+            &reference::spmm(&a, &b),
+            1e-4
+        ));
     }
 }
