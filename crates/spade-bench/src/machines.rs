@@ -62,6 +62,7 @@ pub fn cpu_model() -> CpuModel {
         l1_latency: 2,
         l2_latency: 14,
         llc_latency: 30,
+        faults: spade_sim::FaultConfig::none(),
     };
     CpuModel::with_mem(cpu, mem)
 }

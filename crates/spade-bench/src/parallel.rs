@@ -30,14 +30,129 @@
 //! `SPADE_THREADS` overrides the worker count; the default is the host's
 //! available parallelism. `SPADE_THREADS=1` forces the serial path.
 
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once, PoisonError};
 use std::time::Instant;
 
 use spade_core::{Primitive, RunReport, SpadeSystem, SystemConfig};
 use spade_matrix::reference;
 
 use crate::suite::Workload;
+
+/// Why one job of a sweep failed. Failures are per-job: the rest of the
+/// sweep still completes and returns its reports (see
+/// [`ParallelRunner::run_results`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The workload the failing job was running.
+    pub workload: String,
+    /// The primitive the failing job was running.
+    pub primitive: Primitive,
+    /// The simulation error, gold-divergence report, or panic message.
+    pub message: String,
+    /// How many times the job was attempted (2 means one panic retry).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {}/{:?} failed after {} attempt(s): {}",
+            self.workload, self.primitive, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Why one task of a [`ParallelRunner::run_tasks`] batch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// The task's own error message, or the panic payload.
+    pub message: String,
+    /// How many times the task was attempted (2 means one panic retry).
+    pub attempts: u32,
+    /// Whether the final failure was a panic (caught and contained) rather
+    /// than a returned error.
+    pub panicked: bool,
+}
+
+/// Worst-case attempts per task: the first run plus one retry, granted
+/// only after a panic. A task that returns `Err` fails immediately — a
+/// deterministic error would just fail again.
+const MAX_ATTEMPTS: u32 = 2;
+
+thread_local! {
+    /// Set while this thread runs a task under `catch_retry`: the process
+    /// panic hook stays quiet, because the panic is caught and surfaced as
+    /// a `TaskError` instead of an aborting stack trace.
+    static PANIC_QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Runs `f`, catching panics and granting one retry after a panic. The
+/// process panic hook is silenced for this thread while `f` runs (the
+/// panic is reported through the returned [`TaskError`] instead).
+fn catch_retry<T>(f: impl Fn() -> Result<T, String>) -> Result<T, TaskError> {
+    PANIC_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !PANIC_QUIET.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    PANIC_QUIET.with(|q| q.set(true));
+    let mut outcome = None;
+    for attempt in 1..=MAX_ATTEMPTS {
+        match panic::catch_unwind(AssertUnwindSafe(&f)) {
+            Ok(Ok(v)) => {
+                outcome = Some(Ok(v));
+                break;
+            }
+            Ok(Err(message)) => {
+                outcome = Some(Err(TaskError {
+                    message,
+                    attempts: attempt,
+                    panicked: false,
+                }));
+                break;
+            }
+            Err(payload) => {
+                let failure = Err(TaskError {
+                    message: panic_message(payload.as_ref()),
+                    attempts: attempt,
+                    panicked: true,
+                });
+                outcome = Some(failure);
+                // Panics get one retry; a second one is final.
+            }
+        }
+    }
+    PANIC_QUIET.with(|q| q.set(false));
+    outcome.expect("at least one attempt ran")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+fn lock_results<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A worker can no longer panic while holding the lock (assignment only),
+    // but stay robust to poisoning: the stored data is index-assigned and
+    // valid regardless.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One independent simulation: a (workload, config, plan, primitive)
 /// tuple. Construction is cheap — workload and config are shared.
@@ -82,7 +197,42 @@ impl Job {
     }
 
     /// Runs this job on the calling thread, validating the simulated
-    /// output against the workload's memoized gold result.
+    /// output against the workload's memoized gold result. Simulation
+    /// errors and gold divergence come back as a typed [`JobError`]; this
+    /// method does not panic on them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JobError`] when the simulation fails (invalid config,
+    /// deadlock, invariant violation) or the simulated output diverges
+    /// from the gold kernel.
+    pub fn try_execute(&self) -> Result<RunReport, JobError> {
+        let w = &self.workload;
+        let mut sys = SpadeSystem::new((*self.config).clone());
+        let report = match self.primitive {
+            Primitive::Spmm => {
+                let run = sys
+                    .run_spmm(&w.a, w.b_for_spmm(), &self.plan)
+                    .map_err(|e| self.error(format!("SpMM run failed: {e}")))?;
+                if !reference::dense_close(&run.output, w.gold_spmm(), 1e-3) {
+                    return Err(self.error("simulated SpMM diverged from the gold kernel".into()));
+                }
+                run.report
+            }
+            Primitive::Sddmm => {
+                let run = sys
+                    .run_sddmm(&w.a, &w.b, &w.c_t, &self.plan)
+                    .map_err(|e| self.error(format!("SDDMM run failed: {e}")))?;
+                if reference::first_mismatch(run.output.vals(), w.gold_sddmm(), 1e-3).is_some() {
+                    return Err(self.error("simulated SDDMM diverged from the gold kernel".into()));
+                }
+                run.report
+            }
+        };
+        Ok(report)
+    }
+
+    /// Runs this job on the calling thread (see [`Job::try_execute`]).
     ///
     /// # Panics
     ///
@@ -90,31 +240,15 @@ impl Job {
     /// kernel — the same contract as `run_spmm_checked`, but against the
     /// shared cached gold instead of a fresh recomputation per run.
     pub fn execute(&self) -> RunReport {
-        let w = &self.workload;
-        let mut sys = SpadeSystem::new((*self.config).clone());
-        match self.primitive {
-            Primitive::Spmm => {
-                let run = sys
-                    .run_spmm(&w.a, w.b_for_spmm(), &self.plan)
-                    .expect("SpMM run failed");
-                assert!(
-                    reference::dense_close(&run.output, w.gold_spmm(), 1e-3),
-                    "simulated SpMM diverged from the gold kernel ({})",
-                    w.name
-                );
-                run.report
-            }
-            Primitive::Sddmm => {
-                let run = sys
-                    .run_sddmm(&w.a, &w.b, &w.c_t, &self.plan)
-                    .expect("SDDMM run failed");
-                assert!(
-                    reference::first_mismatch(run.output.vals(), w.gold_sddmm(), 1e-3).is_none(),
-                    "simulated SDDMM diverged from the gold kernel ({})",
-                    w.name
-                );
-                run.report
-            }
+        self.try_execute().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn error(&self, message: String) -> JobError {
+        JobError {
+            workload: self.workload.name.clone(),
+            primitive: self.primitive,
+            message,
+            attempts: 1,
         }
     }
 }
@@ -150,7 +284,28 @@ impl ParallelRunner {
     /// worker this is exactly the serial loop; with more, workers pull
     /// unique jobs from a shared queue but the output order — and every
     /// simulated metric — is independent of the interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing job. Sweeps that should survive
+    /// individual failures use [`ParallelRunner::run_results`].
     pub fn run(&self, jobs: &[Job]) -> Vec<RunReport> {
+        self.run_results(jobs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// Runs every job and returns a per-job `Result` in job order: one
+    /// failing job — a typed simulation error, a gold divergence, or even
+    /// a panic inside the simulator — costs only its own slot, never the
+    /// sweep. A panicking job is retried once (a crashed worker thread
+    /// would otherwise lose its queue slot); deterministic errors are not
+    /// retried. Duplicate jobs share one execution, including its error.
+    ///
+    /// Results are stored by job index, so the outcome is independent of
+    /// the worker count and scheduling order.
+    pub fn run_results(&self, jobs: &[Job]) -> Vec<Result<RunReport, JobError>> {
         // Map every job slot to a unique-work index.
         let mut unique: Vec<&Job> = Vec::new();
         let mut keys: Vec<(usize, usize, Primitive, spade_core::ExecutionPlan)> = Vec::new();
@@ -167,30 +322,67 @@ impl ParallelRunner {
             }
         }
 
-        let results: Vec<Option<RunReport>> = if self.threads == 1 || unique.len() <= 1 {
-            unique.iter().map(|j| Some(j.execute())).collect()
-        } else {
-            let next = AtomicUsize::new(0);
-            let results = Mutex::new(vec![None; unique.len()]);
-            let workers = self.threads.min(unique.len());
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= unique.len() {
-                            break;
-                        }
-                        let report = unique[i].execute();
-                        results.lock().expect("results poisoned")[i] = Some(report);
-                    });
-                }
-            });
-            results.into_inner().expect("results poisoned")
-        };
+        let results = self.run_tasks(unique.len(), |i| {
+            unique[i].try_execute().map_err(|e| e.message)
+        });
+        let results: Vec<Result<RunReport, JobError>> = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.map_err(|te| JobError {
+                    workload: unique[i].workload.name.clone(),
+                    primitive: unique[i].primitive,
+                    message: te.message,
+                    attempts: te.attempts,
+                })
+            })
+            .collect();
 
         slot_to_unique
             .into_iter()
-            .map(|i| results[i].clone().expect("every unique job ran"))
+            .map(|i| results[i].clone())
+            .collect()
+    }
+
+    /// Runs `count` independent tasks across the worker pool and returns
+    /// their results by task index. This is the engine under
+    /// [`ParallelRunner::run_results`], exposed for any embarrassingly
+    /// parallel batch: each task is wrapped in a panic guard with one
+    /// bounded retry (panics only), so a crashing task costs its own slot
+    /// and nothing else.
+    ///
+    /// `f` must be deterministic per index for the batch result to be
+    /// independent of the worker count; the runner guarantees the rest
+    /// (index-ordered results, no shared mutable state between tasks).
+    pub fn run_tasks<T, F>(&self, count: usize, f: F) -> Vec<Result<T, TaskError>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, String> + Sync,
+    {
+        if self.threads == 1 || count <= 1 {
+            return (0..count).map(|i| catch_retry(|| f(i))).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<Result<T, TaskError>>>> =
+            Mutex::new((0..count).map(|_| None).collect());
+        let workers = self.threads.min(count);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let res = catch_retry(|| f(i));
+                    lock_results(&results)[i] = Some(res);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|r| r.expect("every task ran"))
             .collect()
     }
 }
@@ -287,5 +479,84 @@ mod tests {
         // constructor clamp instead.
         assert_eq!(ParallelRunner::new(0).threads(), 1);
         assert_eq!(ParallelRunner::new(7).threads(), 7);
+    }
+
+    #[test]
+    fn a_panicking_task_loses_only_its_own_slot() {
+        let run = |threads| {
+            ParallelRunner::new(threads).run_tasks(6, |i| {
+                if i == 2 {
+                    panic!("task {i} exploded");
+                }
+                Ok(i * 10)
+            })
+        };
+        let serial = run(1);
+        for (i, r) in serial.iter().enumerate() {
+            if i == 2 {
+                let e = r.as_ref().unwrap_err();
+                assert!(e.panicked);
+                assert_eq!(e.attempts, MAX_ATTEMPTS, "panics get one retry");
+                assert!(e.message.contains("task 2 exploded"));
+            } else {
+                assert_eq!(*r, Ok(i * 10));
+            }
+        }
+        // The outcome is independent of the worker count.
+        assert_eq!(run(4), serial);
+    }
+
+    #[test]
+    fn deterministic_task_errors_are_not_retried() {
+        let results = ParallelRunner::new(2).run_tasks(3, |i| {
+            if i == 1 {
+                Err("bad input".to_string())
+            } else {
+                Ok(i)
+            }
+        });
+        let e = results[1].as_ref().unwrap_err();
+        assert!(!e.panicked);
+        assert_eq!(e.attempts, 1);
+        assert_eq!(e.message, "bad input");
+    }
+
+    #[test]
+    fn a_failing_job_errors_without_sinking_the_sweep() {
+        let (w, cfg) = setup();
+        let plan = machines::base_plan(&w.a);
+        // dense_lq_entries = 1 fails PipelineConfig::validate, so this
+        // job's simulation returns InvalidConfig.
+        let mut broken = (*cfg).clone();
+        broken.pipeline.dense_lq_entries = 1;
+        let broken = Arc::new(broken);
+        let jobs = [
+            Job::new(&w, &cfg, Primitive::Spmm, plan),
+            Job::new(&w, &broken, Primitive::Spmm, plan),
+            Job::new(&w, &cfg, Primitive::Sddmm, plan),
+        ];
+        let results = ParallelRunner::new(2).run_results(&jobs);
+        assert!(results[0].is_ok());
+        assert!(results[2].is_ok());
+        let e = results[1].as_ref().unwrap_err();
+        assert_eq!(e.attempts, 1, "config errors are deterministic: no retry");
+        assert!(e.message.contains("invalid configuration"), "{e}");
+        // The healthy jobs' reports match a clean sweep of just them.
+        let clean = ParallelRunner::new(1).run(&[jobs[0].clone(), jobs[2].clone()]);
+        assert_eq!(results[0].as_ref().unwrap(), &clean[0]);
+        assert_eq!(results[2].as_ref().unwrap(), &clean[1]);
+    }
+
+    #[test]
+    fn job_errors_render_their_context() {
+        let e = JobError {
+            workload: "myc-tiny".into(),
+            primitive: Primitive::Spmm,
+            message: "boom".into(),
+            attempts: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("myc-tiny") && s.contains("Spmm") && s.contains("boom"));
+        assert!(s.contains("2 attempt"));
     }
 }

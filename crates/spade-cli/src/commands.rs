@@ -106,16 +106,21 @@ fn info(argv: &[String]) -> Result<(), String> {
 
 fn parse_plan(args: &Args, a: &Coo) -> Result<ExecutionPlan, String> {
     let mut plan = ExecutionPlan::spmm_base(a).map_err(|e| e.to_string())?;
-    if let Some(rp) = args.get("rp") {
-        plan.tiling.row_panel_size = rp.parse().map_err(|_| "--rp: bad number")?;
+    let mut rp = plan.tiling.row_panel_size;
+    let mut cp = plan.tiling.col_panel_size;
+    if let Some(v) = args.get("rp") {
+        rp = v.parse().map_err(|_| "--rp: bad number")?;
     }
-    if let Some(cp) = args.get("cp") {
-        plan.tiling.col_panel_size = if cp == "all" {
+    if let Some(v) = args.get("cp") {
+        cp = if v == "all" {
             a.num_cols().max(1)
         } else {
-            cp.parse().map_err(|_| "--cp: bad number")?
+            v.parse().map_err(|_| "--cp: bad number")?
         };
     }
+    // Re-validate through the constructor so a zero panel size is a flag
+    // error here, not a failure inside the simulator.
+    plan.tiling = spade_matrix::TilingConfig::new(rp, cp).map_err(|e| e.to_string())?;
     plan.r_policy = match args.get("rmatrix").unwrap_or("cache") {
         "cache" => RMatrixPolicy::Cache,
         "bypass" => RMatrixPolicy::Bypass,
@@ -219,7 +224,7 @@ fn execute(
     k: usize,
     kernel: Primitive,
     plan: &ExecutionPlan,
-) -> RunReport {
+) -> Result<RunReport, String> {
     // Route through the bench workload so the gold kernel is computed once
     // and the run validates against the shared cached result.
     let w = Workload::from_matrix(name.to_string(), a.clone(), k);
@@ -229,7 +234,7 @@ fn execute(
         kernel,
         *plan,
     );
-    job.execute()
+    job.try_execute().map_err(|e| e.to_string())
 }
 
 fn print_report(report: &RunReport, json: bool, ctx: RunSummary<'_>) -> Result<(), String> {
@@ -286,7 +291,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let system_config = parse_system(&args)?;
     let a = bench.generate(scale);
     let plan = parse_plan(&args, &a)?;
-    let report = execute(&system_config, &a, bench.short_name(), k, kernel, &plan);
+    let report = execute(&system_config, &a, bench.short_name(), k, kernel, &plan)?;
     print_report(
         &report,
         args.has("json"),
@@ -353,15 +358,27 @@ fn search(argv: &[String]) -> Result<(), String> {
         .map(|&plan| Job::new(&workload, &config, Primitive::Spmm, plan))
         .collect();
     let start = Instant::now();
-    let reports = ParallelRunner::from_env().run(&jobs);
+    // One failing candidate should cost its own slot, not the sweep.
+    let outcomes = ParallelRunner::from_env().run_results(&jobs);
+    let reports: Vec<RunReport> = outcomes.iter().flatten().cloned().collect();
     println!(
         "{}",
         parallel::throughput_summary(&reports, start.elapsed())
     );
-    let mut results: Vec<(ExecutionPlan, u64)> = plans
-        .into_iter()
-        .zip(reports.iter().map(|r| r.cycles))
-        .collect();
+    let mut failures = 0usize;
+    let mut results: Vec<(ExecutionPlan, u64)> = Vec::with_capacity(plans.len());
+    for (plan, outcome) in plans.into_iter().zip(&outcomes) {
+        match outcome {
+            Ok(r) => results.push((plan, r.cycles)),
+            Err(e) => {
+                failures += 1;
+                eprintln!("warning: candidate plan failed: {e}");
+            }
+        }
+    }
+    if results.is_empty() {
+        return Err(format!("all {failures} candidate plans failed"));
+    }
     results.sort_by_key(|&(_, c)| c);
     println!("{} plans searched; best first:", results.len());
     for (plan, cycles) in results.iter().take(5) {
@@ -385,7 +402,7 @@ fn run_mm(argv: &[String]) -> Result<(), String> {
     let k = parse_k(&args)?;
     let system_config = parse_system(&args)?;
     let plan = advisor::advise(&a, k, &system_config).map_err(|e| e.to_string())?;
-    let report = execute(&system_config, &a, path, k, Primitive::Spmm, &plan);
+    let report = execute(&system_config, &a, path, k, Primitive::Spmm, &plan)?;
     print_report(
         &report,
         args.has("json"),

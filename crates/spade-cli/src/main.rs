@@ -15,15 +15,37 @@ mod commands;
 
 use std::process::ExitCode;
 
+/// Whether a panic payload is `println!` failing on a closed stdout
+/// (e.g. `spade-cli info | head`): the reader went away, which is not an
+/// error worth a backtrace.
+fn is_broken_pipe(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<String>()
+        .is_some_and(|s| s.contains("Broken pipe"))
+}
+
 fn main() -> ExitCode {
+    // Keep the default hook for real panics but stay quiet on broken
+    // pipes; the catch below turns those into the conventional exit code.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !is_broken_pipe(info.payload()) {
+            default_hook(info);
+        }
+    }));
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    match std::panic::catch_unwind(|| commands::dispatch(&argv)) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{}", commands::USAGE);
             ExitCode::FAILURE
         }
+        Err(payload) if is_broken_pipe(payload.as_ref()) => {
+            // 128 + SIGPIPE, what a signal death would report.
+            ExitCode::from(141)
+        }
+        Err(payload) => std::panic::resume_unwind(payload),
     }
 }

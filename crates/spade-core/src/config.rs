@@ -199,6 +199,7 @@ impl SystemConfig {
             l1_latency: 2,
             l2_latency: 10,
             llc_latency: 20,
+            faults: spade_sim::FaultConfig::none(),
         };
         SystemConfig {
             num_pes: 4,

@@ -1,0 +1,216 @@
+//! Watchdog configuration and stall diagnostics.
+//!
+//! A starved or misconfigured system used to abort the whole process via
+//! `assert!`. The watchdog turns that into data: when no PE can make
+//! progress within the configured budget, [`crate::SpadeSystem`] returns
+//! [`crate::SpadeError::Deadlock`] carrying a [`StallDiagnostics`]
+//! snapshot — the cycle, every PE's control state and queue occupancies,
+//! the outstanding memory requests and the earliest wake event — so a hang
+//! becomes a debuggable report instead of a dead sweep.
+
+use std::fmt;
+
+use spade_sim::Cycle;
+
+use crate::pe::PeStats;
+
+/// Knobs for the simulation watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Consecutive no-progress loop iterations tolerated before the run is
+    /// declared livelocked. Each iteration advances one cycle without any
+    /// PE progressing or any future wake event existing.
+    pub idle_budget: u32,
+    /// Optional hard ceiling on simulated cycles; `None` means unlimited.
+    /// Useful to bound exploratory sweeps over untrusted configurations.
+    pub max_cycles: Option<Cycle>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            idle_budget: 1_000_000,
+            max_cycles: None,
+        }
+    }
+}
+
+/// Why the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StallKind {
+    /// The idle budget ran out: no PE progressed and no future event was
+    /// scheduled for `idle_budget` consecutive cycles.
+    IdleLivelock,
+    /// The run exceeded [`WatchdogConfig::max_cycles`].
+    CycleBudgetExceeded,
+}
+
+/// One PE's control state and queue occupancies at watchdog time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeSnapshot {
+    /// PE index.
+    pub id: usize,
+    /// Control-state name (e.g. `Ready`, `AtBarrier(2)`, `Done`).
+    pub state: String,
+    /// Commands consumed from the CPE stream.
+    pub commands_done: usize,
+    /// Total commands in the CPE stream.
+    pub commands_total: usize,
+    /// Non-zeros of the active tile not yet fetched.
+    pub tile_remaining: u64,
+    /// Sparse load-queue occupancy.
+    pub sparse_lq: usize,
+    /// tOp-queue occupancy.
+    pub top_q: usize,
+    /// Reservation-station occupancy.
+    pub rs: usize,
+    /// vOps in the SIMD pipeline.
+    pub in_flight: usize,
+    /// Dense loads outstanding.
+    pub dense_loads: usize,
+    /// Stores outstanding.
+    pub stores: usize,
+    /// Dirty lines awaiting the final VRF drain.
+    pub pending_flush: usize,
+    /// The cycle the scheduler expects this PE to wake at, if any
+    /// (`None` for a PE waiting on an external event such as a barrier).
+    pub wake_at: Option<Cycle>,
+    /// Execution statistics up to the stall.
+    pub stats: PeStats,
+}
+
+impl fmt::Display for PeSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PE {:>3} {:<20} cmds {}/{} tile_rem {} | sparse_lq {} top_q {} rs {} \
+             in_flight {} dense_lds {} stores {} flush {} | wake {} | \
+             tuples {} vops {} stalls(vr/rs/lq) {}/{}/{}",
+            self.id,
+            self.state,
+            self.commands_done,
+            self.commands_total,
+            self.tile_remaining,
+            self.sparse_lq,
+            self.top_q,
+            self.rs,
+            self.in_flight,
+            self.dense_loads,
+            self.stores,
+            self.pending_flush,
+            match self.wake_at {
+                Some(t) => t.to_string(),
+                None => "external".into(),
+            },
+            self.stats.tuples,
+            self.stats.vops,
+            self.stats.stall_no_vr,
+            self.stats.stall_no_rs,
+            self.stats.stall_no_dense_lq,
+        )
+    }
+}
+
+/// Full snapshot of a stuck simulation, carried by
+/// [`crate::SpadeError::Deadlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnostics {
+    /// What tripped the watchdog.
+    pub kind: StallKind,
+    /// Simulated cycle at which the watchdog fired.
+    pub cycle: Cycle,
+    /// Consecutive no-progress iterations observed.
+    pub idle_iters: u32,
+    /// The earliest scheduled wake event across all PEs, if any.
+    pub earliest_wake: Option<Cycle>,
+    /// Memory reads still in flight, when the invariant auditor was
+    /// tracking them (`None` with auditing off).
+    pub outstanding_reads: Option<u64>,
+    /// Barriers released so far.
+    pub barrier_released: u32,
+    /// PEs arrived at the current barrier.
+    pub barrier_arrived: u32,
+    /// Per-PE state, indexed by PE id.
+    pub pes: Vec<PeSnapshot>,
+}
+
+impl fmt::Display for StallDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            StallKind::IdleLivelock => "idle livelock",
+            StallKind::CycleBudgetExceeded => "cycle budget exceeded",
+        };
+        writeln!(
+            f,
+            "{kind} at cycle {} ({} idle iterations, earliest wake {}, \
+             outstanding reads {}, barrier {} released / {} arrived)",
+            self.cycle,
+            self.idle_iters,
+            match self.earliest_wake {
+                Some(t) => t.to_string(),
+                None => "none".into(),
+            },
+            match self.outstanding_reads {
+                Some(n) => n.to_string(),
+                None => "untracked".into(),
+            },
+            self.barrier_released,
+            self.barrier_arrived,
+        )?;
+        for pe in &self.pes {
+            writeln!(f, "  {pe}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> PeSnapshot {
+        PeSnapshot {
+            id: 0,
+            state: "Ready".into(),
+            commands_done: 1,
+            commands_total: 4,
+            tile_remaining: 10,
+            sparse_lq: 2,
+            top_q: 1,
+            rs: 3,
+            in_flight: 0,
+            dense_loads: 4,
+            stores: 0,
+            pending_flush: 0,
+            wake_at: Some(123),
+            stats: PeStats::default(),
+        }
+    }
+
+    #[test]
+    fn default_watchdog_matches_historic_budget() {
+        let w = WatchdogConfig::default();
+        assert_eq!(w.idle_budget, 1_000_000);
+        assert_eq!(w.max_cycles, None);
+    }
+
+    #[test]
+    fn display_carries_the_key_facts() {
+        let d = StallDiagnostics {
+            kind: StallKind::IdleLivelock,
+            cycle: 4242,
+            idle_iters: 17,
+            earliest_wake: None,
+            outstanding_reads: Some(3),
+            barrier_released: 1,
+            barrier_arrived: 2,
+            pes: vec![snapshot()],
+        };
+        let text = d.to_string();
+        assert!(text.contains("idle livelock"));
+        assert!(text.contains("4242"));
+        assert!(text.contains("PE   0"));
+        assert!(text.contains("Ready"));
+    }
+}

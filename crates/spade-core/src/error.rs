@@ -3,6 +3,8 @@ use std::fmt;
 
 use spade_matrix::MatrixError;
 
+use crate::diag::StallDiagnostics;
+
 /// Errors produced when planning or running a SPADE execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -25,6 +27,22 @@ pub enum SpadeError {
         /// Explanation of the invalid parameter.
         reason: String,
     },
+    /// The simulation watchdog fired: no PE could make progress within the
+    /// configured budget. The diagnostics describe exactly where every PE
+    /// was stuck.
+    Deadlock {
+        /// Snapshot of the stalled system (boxed: it carries per-PE
+        /// state and would otherwise dominate the size of every `Result`).
+        diagnostics: Box<StallDiagnostics>,
+    },
+    /// The invariant auditor detected an internal inconsistency (queue
+    /// over-occupancy, leaked in-flight requests, impossible counters).
+    InvariantViolation {
+        /// Simulated cycle at which the violation was detected.
+        cycle: u64,
+        /// Description of the violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpadeError {
@@ -38,6 +56,12 @@ impl fmt::Display for SpadeError {
                 spade_matrix::FLOATS_PER_LINE
             ),
             SpadeError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SpadeError::Deadlock { diagnostics } => {
+                write!(f, "simulation deadlock: {diagnostics}")
+            }
+            SpadeError::InvariantViolation { cycle, reason } => {
+                write!(f, "invariant violation at cycle {cycle}: {reason}")
+            }
         }
     }
 }

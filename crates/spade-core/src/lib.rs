@@ -46,6 +46,7 @@
 mod addr;
 pub mod advisor;
 mod config;
+mod diag;
 mod error;
 mod isa;
 pub mod pe;
@@ -57,6 +58,7 @@ pub mod vrf;
 
 pub use addr::AddressMap;
 pub use config::{PipelineConfig, SystemConfig};
+pub use diag::{PeSnapshot, StallDiagnostics, StallKind, WatchdogConfig};
 pub use error::SpadeError;
 pub use isa::{
     CMatrixPolicy, InitInstruction, Instruction, Primitive, RMatrixPolicy, TileInstruction,

@@ -104,12 +104,22 @@ impl BarrierSync {
 
     /// A PE arrives at barrier `id`.
     ///
-    /// # Panics
-    ///
-    /// Panics if PEs disagree on barrier order.
+    /// The schedule construction guarantees every PE reaches barriers in
+    /// release order, so out-of-order arrival is a pure internal invariant
+    /// (checked in debug builds only).
     pub fn arrive(&mut self, id: u32) {
-        assert_eq!(id, self.released, "barriers must be reached in order");
+        debug_assert_eq!(id, self.released, "barriers must be reached in order");
         self.arrived += 1;
+    }
+
+    /// Barriers released so far.
+    pub fn released(&self) -> u32 {
+        self.released
+    }
+
+    /// PEs arrived at the current barrier.
+    pub fn arrived(&self) -> u32 {
+        self.arrived
     }
 
     /// Releases the current barrier once everyone arrived. Returns whether
@@ -333,6 +343,58 @@ impl Pe {
     /// Statistics so far.
     pub fn stats(&self) -> &PeStats {
         &self.stats
+    }
+
+    /// A diagnostic snapshot of this PE's control state and queue
+    /// occupancies (the per-PE section of a
+    /// [`crate::StallDiagnostics`]). `wake_at` is left `None`; the
+    /// scheduler, which owns the wake times, fills it in.
+    pub fn snapshot(&self) -> crate::PeSnapshot {
+        crate::PeSnapshot {
+            id: self.id,
+            state: format!("{:?}", self.state),
+            commands_done: self.cursor,
+            commands_total: self.commands.len(),
+            tile_remaining: self.tile_remaining,
+            sparse_lq: self.sparse_lq.len(),
+            top_q: self.top_q.len(),
+            rs: self.rs.len(),
+            in_flight: self.in_flight.len(),
+            dense_loads: self.dense_loads.len(),
+            stores: self.stores.len(),
+            pending_flush: self.pending_flush.len(),
+            wake_at: None,
+            stats: self.stats,
+        }
+    }
+
+    /// Checks this PE's queue occupancies against the configured bounds
+    /// (the PE half of the invariant auditor).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let bounds = [
+            (
+                "sparse_lq",
+                self.sparse_lq.len(),
+                self.cfg.sparse_lq_entries,
+            ),
+            ("top_q", self.top_q.len(), self.cfg.top_queue_entries),
+            ("rs", self.rs.len(), self.cfg.rs_entries),
+            (
+                "dense_loads",
+                self.dense_loads.len(),
+                self.cfg.dense_lq_entries,
+            ),
+            ("stores", self.stores.len(), self.cfg.store_queue_entries),
+        ];
+        for (name, occ, cap) in bounds {
+            if occ > cap {
+                return Err(format!(
+                    "PE {}: {name} occupancy {occ} exceeds capacity {cap}",
+                    self.id
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Whether this PE has terminated.
@@ -585,7 +647,7 @@ impl Pe {
         if progressed {
             TickResult::Progressed
         } else {
-            TickResult::Waiting(self.next_event())
+            TickResult::Waiting(self.next_event(now))
         }
     }
 
@@ -775,22 +837,33 @@ impl Pe {
     }
 
     /// Earliest future event this PE is waiting on.
-    fn next_event(&self) -> Cycle {
+    /// The earliest *future* event that can unblock this PE. Events at or
+    /// before `now` were already harvested by this tick; one that is still
+    /// pending (e.g. a ready sparse-LQ entry behind a full tOp queue) can
+    /// only move when something else frees up, so it is not a wake source.
+    /// Reporting it would make the scheduler busy-wait on a starved PE and
+    /// mask genuine livelocks from the watchdog.
+    fn next_event(&self, now: Cycle) -> Cycle {
         let mut next = Cycle::MAX;
+        let mut fold = |t: Cycle| {
+            if t > now {
+                next = next.min(t);
+            }
+        };
         if let Some(&Reverse((t, _))) = self.dense_loads.peek() {
-            next = next.min(t);
+            fold(t);
         }
         if let Some(&Reverse(t)) = self.stores.peek() {
-            next = next.min(t);
+            fold(t);
         }
         if let Some(e) = self.sparse_lq.front() {
-            next = next.min(e.ready_at);
+            fold(e.ready_at);
         }
         for f in &self.in_flight {
-            next = next.min(f.done);
+            fold(f.done);
         }
         if let PeState::Fetching { until } = self.state {
-            next = next.min(until);
+            fold(until);
         }
         next
     }
@@ -835,8 +908,9 @@ mod tests {
         tiled: &TiledCoo,
         data: &mut KernelData<'_>,
     ) -> Cycle {
+        const BUDGET: u64 = 2_000_000;
         let mut now = 0;
-        for _ in 0..2_000_000u64 {
+        for _ in 0..BUDGET {
             match pe.tick(now, mem, barriers, addr, tiled, data) {
                 TickResult::Done => return now,
                 TickResult::Progressed => now += 1,
@@ -849,7 +923,10 @@ mod tests {
                 }
             }
         }
-        panic!("PE did not terminate");
+        panic!(
+            "PE did not terminate within {BUDGET} iterations (cycle {now});\nfinal state: {}",
+            pe.snapshot()
+        );
     }
 
     #[test]
@@ -933,6 +1010,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)] // the order check is a debug_assert
     fn out_of_order_barrier_arrival_is_rejected() {
         let mut sync = BarrierSync::new(2);
         sync.arrive(1);

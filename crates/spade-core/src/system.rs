@@ -5,7 +5,10 @@ use spade_matrix::{reference, Coo, DenseMatrix, TiledCoo, FLOATS_PER_LINE};
 use spade_sim::{Cycle, MemorySystem};
 
 use crate::pe::{BarrierSync, KernelData, Pe, PeStats, RuntimeParams, TickResult};
-use crate::{AddressMap, ExecutionPlan, Primitive, RunReport, Schedule, SpadeError, SystemConfig};
+use crate::{
+    AddressMap, ExecutionPlan, Primitive, RunReport, Schedule, SpadeError, StallDiagnostics,
+    StallKind, SystemConfig, WatchdogConfig,
+};
 
 /// Result of an SpMM run: the output dense matrix and the run report.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +68,7 @@ pub struct SpadeSystem {
     mem: Option<MemorySystem>,
     keep_warm: bool,
     fast_forward: bool,
+    watchdog: WatchdogConfig,
 }
 
 impl SpadeSystem {
@@ -75,6 +79,7 @@ impl SpadeSystem {
             mem: None,
             keep_warm: false,
             fast_forward: true,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -102,6 +107,20 @@ impl SpadeSystem {
     pub fn set_fast_forward(&mut self, enabled: bool) -> &mut Self {
         self.fast_forward = enabled;
         self
+    }
+
+    /// Configures the deadlock watchdog: the idle budget before a run is
+    /// declared livelocked, and an optional hard cycle ceiling. A tripped
+    /// watchdog makes the run return [`SpadeError::Deadlock`] carrying a
+    /// [`StallDiagnostics`] snapshot instead of aborting the process.
+    pub fn set_watchdog(&mut self, watchdog: WatchdogConfig) -> &mut Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// The active watchdog configuration.
+    pub fn watchdog(&self) -> WatchdogConfig {
+        self.watchdog
     }
 
     /// Runs `D = A × B` under `plan`.
@@ -134,7 +153,7 @@ impl SpadeSystem {
         let schedule = Schedule::build(&tiled, self.config.num_pes, Primitive::Spmm, plan.barriers);
         let report = {
             let mut data = KernelData::Spmm { b, d: &mut d };
-            self.simulate(Primitive::Spmm, plan, &tiled, &addr, &schedule, &mut data)
+            self.simulate(Primitive::Spmm, plan, &tiled, &addr, &schedule, &mut data)?
         };
         Ok(SpmmRun { output: d, report })
     }
@@ -181,7 +200,7 @@ impl SpadeSystem {
                 c_t,
                 out: &mut out_tiled,
             };
-            self.simulate(Primitive::Sddmm, plan, &tiled, &addr, &schedule, &mut data)
+            self.simulate(Primitive::Sddmm, plan, &tiled, &addr, &schedule, &mut data)?
         };
         // Map tiled-order outputs back to the source row-major order.
         let triplets: Vec<(u32, u32, f32)> = (0..tiled.nnz())
@@ -208,6 +227,7 @@ impl SpadeSystem {
         x: &[f32],
         plan: &ExecutionPlan,
     ) -> Result<SpmvRun, SpadeError> {
+        self.validate_config()?;
         if x.len() < a.num_cols() {
             return Err(SpadeError::ShapeMismatch {
                 reason: format!(
@@ -224,7 +244,7 @@ impl SpadeSystem {
         let schedule = Schedule::build(&tiled, self.config.num_pes, Primitive::Spmm, plan.barriers);
         let report = {
             let mut data = KernelData::Spmm { b: &b, d: &mut d };
-            self.simulate(Primitive::Spmm, plan, &tiled, &addr, &schedule, &mut data)
+            self.simulate(Primitive::Spmm, plan, &tiled, &addr, &schedule, &mut data)?
         };
         let output = (0..a.num_rows()).map(|r| d.get(r, 0)).collect();
         Ok(SpmvRun { output, report })
@@ -245,6 +265,7 @@ impl SpadeSystem {
         y: &[f32],
         plan: &ExecutionPlan,
     ) -> Result<SddmmRun, SpadeError> {
+        self.validate_config()?;
         if x.len() < a.num_rows() || y.len() < a.num_cols() {
             return Err(SpadeError::ShapeMismatch {
                 reason: "x needs an entry per row of A and y one per column".into(),
@@ -263,7 +284,7 @@ impl SpadeSystem {
                 c_t: &c_t,
                 out: &mut out_tiled,
             };
-            self.simulate(Primitive::Sddmm, plan, &tiled, &addr, &schedule, &mut data)
+            self.simulate(Primitive::Sddmm, plan, &tiled, &addr, &schedule, &mut data)?
         };
         let triplets: Vec<(u32, u32, f32)> = (0..tiled.nnz())
             .map(|i| (tiled.r_ids()[i], tiled.c_ids()[i], out_tiled[i]))
@@ -280,7 +301,7 @@ impl SpadeSystem {
         addr: &AddressMap,
         schedule: &Schedule,
         data: &mut KernelData<'_>,
-    ) -> RunReport {
+    ) -> Result<RunReport, SpadeError> {
         let host_start = std::time::Instant::now();
         let num_pes = self.config.num_pes;
         let mut mem = match (self.keep_warm, self.mem.take()) {
@@ -309,6 +330,18 @@ impl SpadeSystem {
             .collect();
 
         let clock_mult = self.config.pipeline.clock_mult.max(1);
+        let watchdog = self.watchdog;
+        // The invariant auditor piggybacks on the cycle loop: every
+        // AUDIT_PERIOD iterations it cross-checks the memory system and the
+        // PE queues. Auditing is pure bookkeeping — it never feeds back
+        // into timing — so enabling it cannot change a report.
+        const AUDIT_PERIOD: u64 = 4096;
+        let audit_on = mem.audit_active();
+        // MSHR-style bound for in-flight read accounting: each PE holds at
+        // most 3 sparse reads per sparse-LQ entry plus its dense LQ.
+        let pipeline = self.config.pipeline;
+        let read_bound = num_pes * (3 * pipeline.sparse_lq_entries + pipeline.dense_lq_entries);
+        let mut loop_iters = 0u64;
         let mut now: Cycle = 0;
         let mut idle_iters = 0u32;
         // Per-PE wake times: a PE that reports Waiting(t) cannot change
@@ -317,6 +350,23 @@ impl SpadeSystem {
         // wake source and reset every wake time.
         let mut wake: Vec<Cycle> = vec![0; num_pes];
         loop {
+            loop_iters += 1;
+            if audit_on && loop_iters.is_multiple_of(AUDIT_PERIOD) {
+                audit_system(&mut mem, &pes, now, read_bound)?;
+            }
+            if let Some(max_cycles) = watchdog.max_cycles {
+                if now > max_cycles {
+                    return Err(deadlock(
+                        StallKind::CycleBudgetExceeded,
+                        now,
+                        idle_iters,
+                        &pes,
+                        &wake,
+                        &mut mem,
+                        &barriers,
+                    ));
+                }
+            }
             let mut progressed = false;
             let mut all_done = true;
             let mut next_event = Cycle::MAX;
@@ -385,10 +435,24 @@ impl SpadeSystem {
             } else {
                 now += 1;
                 idle_iters += 1;
-                assert!(
-                    idle_iters < 1_000_000,
-                    "simulation deadlock at cycle {now}: no PE can progress"
-                );
+                if idle_iters >= watchdog.idle_budget {
+                    return Err(deadlock(
+                        StallKind::IdleLivelock,
+                        now,
+                        idle_iters,
+                        &pes,
+                        &wake,
+                        &mut mem,
+                        &barriers,
+                    ));
+                }
+            }
+        }
+
+        if audit_on {
+            audit_system(&mut mem, &pes, now, read_bound)?;
+            if let Err(reason) = mem.audit_final(now) {
+                return Err(SpadeError::InvariantViolation { cycle: now, reason });
             }
         }
 
@@ -405,7 +469,7 @@ impl SpadeSystem {
         );
         report.host_wall_ns = host_start.elapsed().as_nanos() as f64;
         self.mem = Some(mem);
-        report
+        Ok(report)
     }
 }
 
@@ -414,7 +478,75 @@ impl SpadeSystem {
         self.config
             .pipeline
             .validate()
-            .map_err(|reason| SpadeError::InvalidConfig { reason })
+            .and_then(|()| self.config.mem.validate())
+            .map_err(|reason| SpadeError::InvalidConfig { reason })?;
+        if self.config.mem.num_agents < self.config.num_pes {
+            return Err(SpadeError::InvalidConfig {
+                reason: format!(
+                    "memory system has {} agents but the system has {} PEs",
+                    self.config.mem.num_agents, self.config.num_pes
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Runs the periodic invariant checks: memory-system audit (occupancy,
+/// counters, in-flight reads) plus per-PE queue bounds.
+fn audit_system(
+    mem: &mut MemorySystem,
+    pes: &[Pe],
+    now: Cycle,
+    read_bound: usize,
+) -> Result<(), SpadeError> {
+    if let Err(reason) = mem.audit(now, Some(read_bound)) {
+        return Err(SpadeError::InvariantViolation { cycle: now, reason });
+    }
+    for pe in pes {
+        if let Err(reason) = pe.check_invariants() {
+            return Err(SpadeError::InvariantViolation { cycle: now, reason });
+        }
+    }
+    Ok(())
+}
+
+/// Assembles a [`SpadeError::Deadlock`] from the stalled loop state.
+fn deadlock(
+    kind: StallKind,
+    now: Cycle,
+    idle_iters: u32,
+    pes: &[Pe],
+    wake: &[Cycle],
+    mem: &mut MemorySystem,
+    barriers: &BarrierSync,
+) -> SpadeError {
+    let earliest_wake = pes
+        .iter()
+        .zip(wake)
+        .filter(|(pe, &w)| !pe.is_done() && w != Cycle::MAX)
+        .map(|(_, &w)| w)
+        .min();
+    let snapshots = pes
+        .iter()
+        .zip(wake)
+        .map(|(pe, &w)| {
+            let mut s = pe.snapshot();
+            s.wake_at = (w != Cycle::MAX).then_some(w);
+            s
+        })
+        .collect();
+    SpadeError::Deadlock {
+        diagnostics: Box::new(StallDiagnostics {
+            kind,
+            cycle: now,
+            idle_iters,
+            earliest_wake,
+            outstanding_reads: mem.outstanding_reads(now).map(|n| n as u64),
+            barrier_released: barriers.released(),
+            barrier_arrived: barriers.arrived(),
+            pes: snapshots,
+        }),
     }
 }
 

@@ -209,14 +209,12 @@ impl Vrf {
         self.regs[id].refs += 1;
     }
 
-    /// Releases a pending-vOp reference.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the register has no outstanding references.
+    /// Releases a pending-vOp reference. The caller (the PE retire stage)
+    /// balances every `add_ref` with one release; an unbalanced release is
+    /// a pipeline bug, checked in debug builds.
     pub fn release_ref(&mut self, id: VrId) {
-        assert!(self.regs[id].refs > 0, "unbalanced release on VR {id}");
-        self.regs[id].refs -= 1;
+        debug_assert!(self.regs[id].refs > 0, "unbalanced release on VR {id}");
+        self.regs[id].refs = self.regs[id].refs.saturating_sub(1);
     }
 
     /// The RAW chain: when the last write to `id` completes.
@@ -251,16 +249,16 @@ impl Vrf {
     }
 
     /// Cleans `id` after its write-back is issued, returning the line and
-    /// data class to write.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is not dirty.
+    /// data class to write. Only dirty registers are write-back
+    /// candidates; cleaning a clean one is a pipeline bug, checked in
+    /// debug builds.
     pub fn clean(&mut self, id: VrId) -> (Line, DataClass) {
         let r = &mut self.regs[id];
-        assert!(r.dirty, "cleaning a clean register");
+        debug_assert!(r.dirty, "cleaning a clean register");
+        if r.dirty {
+            self.dirty_count -= 1;
+        }
         r.dirty = false;
-        self.dirty_count -= 1;
         (r.tag, r.class)
     }
 

@@ -84,12 +84,23 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Coo, MatrixError> {
     }
     let (num_rows, num_cols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(nnz);
+    // The declared nnz is untrusted input: cap the pre-allocation so a
+    // bogus huge count cannot abort on an overflowing/failing allocation.
+    // The vector still grows to the real entry count as lines arrive.
+    let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(nnz.min(1 << 20));
+    let mut entries = 0usize;
     for (no, line) in &mut lines {
         let line = line.map_err(|e| io_parse(no + 1, &e))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
+        }
+        entries += 1;
+        if entries > nnz {
+            return Err(MatrixError::Parse {
+                line: no + 1,
+                reason: format!("more entries than the declared {nnz}"),
+            });
         }
         let mut tok = trimmed.split_whitespace();
         let r: u32 = parse_tok(&mut tok, no + 1)?;
@@ -118,6 +129,12 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Coo, MatrixError> {
         if symmetric && r != c {
             triplets.push((c - 1, r - 1, v));
         }
+    }
+    if entries != nnz {
+        return Err(MatrixError::Parse {
+            line: 0,
+            reason: format!("truncated input: {entries} entries, size line declared {nnz}"),
+        });
     }
     Coo::from_triplets(num_rows, num_cols, &triplets)
 }
@@ -224,5 +241,33 @@ mod tests {
     fn rejects_bad_size_line() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2\n";
         assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_entry_list() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 1 1.0\n2 2 2.0\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, MatrixError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_excess_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 1.0\n2 2 2.0\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, MatrixError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("more entries"));
+    }
+
+    #[test]
+    fn huge_declared_nnz_does_not_allocate_up_front() {
+        // A size line can declare any count; the reader must fail with a
+        // parse error when the entries are missing, not abort allocating.
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 {}\n1 1 1.0\n",
+            usize::MAX
+        );
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, MatrixError::Parse { .. }), "{err}");
     }
 }

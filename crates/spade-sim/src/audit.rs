@@ -1,0 +1,105 @@
+//! Invariant auditing for the memory hierarchy.
+//!
+//! The auditor is a bookkeeping layer the timing model never reads back
+//! from: enabling or disabling it cannot change a single completion cycle.
+//! It tracks every read the hierarchy promises to complete and exposes
+//! checks a host simulation loop can run periodically:
+//!
+//! * cache occupancy never exceeds the configured geometry,
+//! * per-level hit counters never exceed access counters,
+//! * in-flight read accounting (the MSHR-leak check): outstanding reads
+//!   stay under the requesters' aggregate queue capacity and drain to zero
+//!   by the end of a run.
+//!
+//! The auditor is on in debug builds and opt-in in release builds via the
+//! `SPADE_AUDIT` environment variable (any value except `0`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// Whether auditing should be active for this process: always in debug
+/// builds, and in release builds when `SPADE_AUDIT` is set to anything
+/// but `0`.
+pub fn audit_enabled() -> bool {
+    cfg!(debug_assertions) || std::env::var_os("SPADE_AUDIT").is_some_and(|v| v != *"0")
+}
+
+/// Tracks promised read completions so leaks become visible.
+///
+/// Each read's completion cycle is pushed; entries whose completion time
+/// has passed are retired lazily as simulated time advances. Whatever
+/// remains is in flight.
+#[derive(Debug, Default)]
+pub struct ReadTracker {
+    outstanding: BinaryHeap<Reverse<Cycle>>,
+    issued: u64,
+    retired: u64,
+}
+
+impl ReadTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read issued at `now` that completes at `done`.
+    pub fn record(&mut self, now: Cycle, done: Cycle) {
+        self.retire(now);
+        self.outstanding.push(Reverse(done));
+        self.issued += 1;
+    }
+
+    /// Retires every read whose completion time is at or before `now`.
+    pub fn retire(&mut self, now: Cycle) {
+        while self.outstanding.peek().is_some_and(|&Reverse(d)| d <= now) {
+            self.outstanding.pop();
+            self.retired += 1;
+        }
+    }
+
+    /// Reads still in flight (after the last retire).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Total reads recorded.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Clears all state (a new run starts at cycle 0).
+    pub fn reset(&mut self) {
+        self.outstanding.clear();
+        self.issued = 0;
+        self.retired = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_retire_as_time_passes() {
+        let mut t = ReadTracker::new();
+        t.record(0, 10);
+        t.record(0, 20);
+        assert_eq!(t.outstanding(), 2);
+        t.retire(10);
+        assert_eq!(t.outstanding(), 1);
+        t.retire(25);
+        assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.issued(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = ReadTracker::new();
+        t.record(0, 100);
+        t.reset();
+        assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.issued(), 0);
+    }
+}

@@ -1,4 +1,4 @@
-use crate::{ns_to_cycles, CacheConfig, Cycle, DramConfig, StlbConfig};
+use crate::{ns_to_cycles, CacheConfig, Cycle, DramConfig, FaultConfig, StlbConfig, LINE_BYTES};
 
 /// Full memory-system configuration (the Table 1 parameters).
 ///
@@ -38,6 +38,8 @@ pub struct MemConfig {
     pub l2_latency: Cycle,
     /// Additional latency of an LLC lookup.
     pub llc_latency: Cycle,
+    /// Deterministic fault-injection plan (disabled by default).
+    pub faults: FaultConfig,
 }
 
 impl MemConfig {
@@ -68,6 +70,7 @@ impl MemConfig {
             l1_latency: 2,
             l2_latency: 14,
             llc_latency: 30,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -120,6 +123,7 @@ impl MemConfig {
             l1_latency: 2,
             l2_latency: 14,
             llc_latency: 30,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -149,12 +153,67 @@ impl MemConfig {
             l1_latency: 2,
             l2_latency: 14,
             llc_latency: 30,
+            faults: FaultConfig::none(),
         }
     }
 
     /// Number of L2 clusters.
     pub fn num_clusters(&self) -> usize {
         self.num_agents.div_ceil(self.agents_per_cluster)
+    }
+
+    /// Checks the configuration for values that would make the hierarchy
+    /// panic or divide by zero when built or accessed. All fields are
+    /// public, so a hand-assembled configuration can be arbitrarily
+    /// malformed; callers that accept user input should validate before
+    /// constructing a [`crate::MemorySystem`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_agents == 0 {
+            return Err("num_agents must be at least 1".into());
+        }
+        if self.agents_per_cluster == 0 {
+            return Err("agents_per_cluster must be at least 1".into());
+        }
+        for (name, cache) in [("l1", &self.l1), ("l2", &self.l2), ("llc", &self.llc)]
+            .into_iter()
+            .chain(self.victim.iter().map(|v| ("victim", v)))
+        {
+            if cache.ways == 0 {
+                return Err(format!("{name} cache needs at least one way"));
+            }
+            if cache.size_bytes < cache.ways * LINE_BYTES as usize {
+                return Err(format!(
+                    "{name} cache of {} B cannot hold {} ways",
+                    cache.size_bytes, cache.ways
+                ));
+            }
+        }
+        if self.dram.channels == 0 {
+            return Err("dram.channels must be at least 1".into());
+        }
+        if self.dram.bandwidth_gbps <= 0.0 {
+            return Err("dram.bandwidth_gbps must be positive".into());
+        }
+        if self.stlb.ways == 0 || self.stlb.entries < self.stlb.ways {
+            return Err(format!(
+                "stlb needs entries >= ways >= 1 (got {} entries, {} ways)",
+                self.stlb.entries, self.stlb.ways
+            ));
+        }
+        if self.stlb.page_bytes < LINE_BYTES {
+            return Err(format!(
+                "stlb.page_bytes must be at least one {LINE_BYTES}-byte line"
+            ));
+        }
+        let probs = [
+            self.faults.dram_delay_prob,
+            self.faults.port_delay_prob,
+            self.faults.stlb_evict_prob,
+        ];
+        if probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err("fault probabilities must lie in [0, 1]".into());
+        }
+        Ok(())
     }
 }
 
@@ -193,6 +252,36 @@ mod tests {
         assert_eq!(up.llc.size_bytes, base.llc.size_bytes * 2);
         assert!((up.dram.bandwidth_gbps - 608.0).abs() < 1e-9);
         assert_eq!(up.link_latency, base.link_latency * 2);
+    }
+
+    #[test]
+    fn validate_accepts_all_presets() {
+        assert_eq!(MemConfig::spade_table1(224).validate(), Ok(()));
+        assert_eq!(MemConfig::cpu_ice_lake(56).validate(), Ok(()));
+        assert_eq!(MemConfig::small_test(4).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_fields() {
+        let mut cfg = MemConfig::small_test(4);
+        cfg.agents_per_cluster = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MemConfig::small_test(4);
+        cfg.l1.size_bytes = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MemConfig::small_test(4);
+        cfg.dram.channels = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MemConfig::small_test(4);
+        cfg.stlb.page_bytes = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MemConfig::small_test(4);
+        cfg.faults.dram_delay_prob = 1.5;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

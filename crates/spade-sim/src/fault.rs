@@ -1,0 +1,188 @@
+//! Deterministic, seeded fault injection for the memory hierarchy.
+//!
+//! A [`FaultConfig`] is a *plan*, not a process: every potential fault site
+//! (a DRAM response, a cache-port crossing, an STLB translation) rolls a
+//! stateless SplitMix64-style hash of `(seed, site, line, cycle)` against
+//! its configured probability. Because no PRNG state is threaded through
+//! the simulation, the outcome at a site depends only on the plan and the
+//! request itself — never on how many *other* faults fired before it. Two
+//! consequences the tests rely on:
+//!
+//! * a plan with all probabilities at zero is an exact no-op: the run is
+//!   bit-identical to one with no plan at all, and
+//! * a given plan is fully reproducible across runs and thread counts.
+//!
+//! Faults perturb *timing only* (extra latency, lost TLB entries); they
+//! never corrupt data, so a faulty run must still validate against the
+//! gold kernels.
+
+use crate::{Cycle, Line};
+
+/// Site salts keep the three fault classes statistically independent even
+/// when they hash the same `(line, cycle)` pair.
+const SALT_DRAM: u64 = 0x9E37_79B9_7F4A_7C15;
+const SALT_PORT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const SALT_STLB: u64 = 0x1656_67B1_9E37_79F9;
+
+/// SplitMix64 output mix: a strong bijective scrambler.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A uniform draw in `[0, 1)` determined entirely by the inputs.
+fn roll(seed: u64, salt: u64, a: u64, b: u64) -> f64 {
+    let h = mix(seed ^ salt ^ mix(a.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(b | 1)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic fault-injection plan for one [`crate::MemorySystem`].
+///
+/// Probabilities are per fault site: each DRAM read, each cached access
+/// and each translation rolls independently. All-zero probabilities (the
+/// default) disable injection entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed identifying the plan. Two plans with the same probabilities
+    /// but different seeds fire at different sites.
+    pub seed: u64,
+    /// Probability that a DRAM read response is delayed.
+    pub dram_delay_prob: f64,
+    /// Extra cycles added to a delayed DRAM response.
+    pub dram_delay_cycles: Cycle,
+    /// Probability of a transient extra-latency event on a cache/NoC port
+    /// crossing (applied at the start of a cached access).
+    pub port_delay_prob: f64,
+    /// Extra cycles added by a port event.
+    pub port_delay_cycles: Cycle,
+    /// Probability that an access evicts the STLB entry for its own page
+    /// *before* translating (modeling shoot-downs and capacity churn).
+    pub stlb_evict_prob: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultConfig {
+    /// The empty plan: no faults, exact no-op.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            dram_delay_prob: 0.0,
+            dram_delay_cycles: 0,
+            port_delay_prob: 0.0,
+            port_delay_cycles: 0,
+            stlb_evict_prob: 0.0,
+        }
+    }
+
+    /// A mild plan: ~1% of DRAM responses +200 cycles, ~0.5% of port
+    /// crossings +8 cycles, ~0.1% of translations lose their entry.
+    pub fn light(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            dram_delay_prob: 0.01,
+            dram_delay_cycles: 200,
+            port_delay_prob: 0.005,
+            port_delay_cycles: 8,
+            stlb_evict_prob: 0.001,
+        }
+    }
+
+    /// An aggressive plan for stress tests: ~10% of DRAM responses +1000
+    /// cycles, ~5% of port crossings +32 cycles, ~2% of translations lose
+    /// their entry.
+    pub fn stress(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            dram_delay_prob: 0.1,
+            dram_delay_cycles: 1000,
+            port_delay_prob: 0.05,
+            port_delay_cycles: 32,
+            stlb_evict_prob: 0.02,
+        }
+    }
+
+    /// Whether any fault class can fire.
+    pub fn is_active(&self) -> bool {
+        self.dram_delay_prob > 0.0 || self.port_delay_prob > 0.0 || self.stlb_evict_prob > 0.0
+    }
+
+    /// Extra latency injected into the DRAM read of `line` issued at `now`.
+    pub fn dram_extra(&self, line: Line, now: Cycle) -> Cycle {
+        if self.dram_delay_prob <= 0.0 {
+            return 0;
+        }
+        if roll(self.seed, SALT_DRAM, line, now) < self.dram_delay_prob {
+            self.dram_delay_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Extra latency injected at the cache-port crossing of `agent`'s
+    /// access to `line` at `now`.
+    pub fn port_extra(&self, agent: usize, line: Line, now: Cycle) -> Cycle {
+        if self.port_delay_prob <= 0.0 {
+            return 0;
+        }
+        let site = line ^ (agent as u64).rotate_left(32);
+        if roll(self.seed, SALT_PORT, site, now) < self.port_delay_prob {
+            self.port_delay_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Whether the access to `line` at `now` first evicts its own STLB
+    /// entry.
+    pub fn evicts_stlb(&self, line: Line, now: Cycle) -> bool {
+        self.stlb_evict_prob > 0.0 && roll(self.seed, SALT_STLB, line, now) < self.stlb_evict_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic() {
+        let f = FaultConfig::light(7);
+        for line in 0..100u64 {
+            assert_eq!(f.dram_extra(line, 10), f.dram_extra(line, 10));
+            assert_eq!(f.port_extra(3, line, 10), f.port_extra(3, line, 10));
+            assert_eq!(f.evicts_stlb(line, 10), f.evicts_stlb(line, 10));
+        }
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let f = FaultConfig::none();
+        assert!(!f.is_active());
+        for line in 0..1000u64 {
+            assert_eq!(f.dram_extra(line, line), 0);
+            assert_eq!(f.port_extra(0, line, line), 0);
+            assert!(!f.evicts_stlb(line, line));
+        }
+    }
+
+    #[test]
+    fn rates_roughly_match_probabilities() {
+        let f = FaultConfig::stress(42);
+        let fired = (0..20_000u64).filter(|&l| f.dram_extra(l, 0) > 0).count();
+        // 10% nominal; allow a generous band.
+        assert!((1000..3000).contains(&fired), "fired {fired} of 20000");
+    }
+
+    #[test]
+    fn seeds_select_different_sites() {
+        let a = FaultConfig::stress(1);
+        let b = FaultConfig::stress(2);
+        let differs = (0..1000u64).any(|l| (a.dram_extra(l, 5) > 0) != (b.dram_extra(l, 5) > 0));
+        assert!(differs);
+    }
+}

@@ -1,4 +1,7 @@
-use crate::{Cache, Cycle, DataClass, Dram, LevelKind, Line, MemConfig, MemStats, Stlb};
+use crate::{
+    audit_enabled, Cache, Cycle, DataClass, Dram, LevelKind, Line, MemConfig, MemStats,
+    ReadTracker, Stlb,
+};
 
 /// Which path an access takes through the memory system.
 ///
@@ -45,6 +48,9 @@ pub struct MemorySystem {
     dram: Dram,
     stlbs: Vec<Stlb>,
     stats: MemStats,
+    /// In-flight read accounting for the invariant auditor. `None` when
+    /// auditing is off; bookkeeping only — never read by the timing model.
+    tracker: Option<ReadTracker>,
 }
 
 impl MemorySystem {
@@ -71,6 +77,7 @@ impl MemorySystem {
             l2s,
             stlbs,
             stats: MemStats::new(),
+            tracker: audit_enabled().then(ReadTracker::new),
             config,
         }
     }
@@ -111,7 +118,11 @@ impl MemorySystem {
         class: DataClass,
         now: Cycle,
     ) -> Cycle {
-        self.access(agent, line, path, class, now, false)
+        let done = self.access(agent, line, path, class, now, false);
+        if let Some(t) = self.tracker.as_mut() {
+            t.record(now, done);
+        }
+        done
     }
 
     /// Writes `line` for `agent` along `path`; returns the cycle at which
@@ -140,6 +151,9 @@ impl MemorySystem {
         assert!(agent < self.config.num_agents, "agent {agent} out of range");
         self.stats.requests_issued += 1;
         let cluster = self.cluster_of(agent);
+        if self.config.faults.evicts_stlb(line, now) && self.stlbs[cluster].evict_line(line) {
+            self.stats.faults_injected += 1;
+        }
         let tlb_penalty = self.stlbs[cluster].translate(line);
         if tlb_penalty > 0 {
             self.stats.tlb_misses += 1;
@@ -171,6 +185,11 @@ impl MemorySystem {
         now: Cycle,
         is_write: bool,
     ) -> Cycle {
+        let port_extra = self.config.faults.port_extra(agent, line, now);
+        if port_extra > 0 {
+            self.stats.faults_injected += 1;
+        }
+        let now = now + port_extra;
         let (l1_lat, l2_lat, llc_lat, link) = (
             self.config.l1_latency,
             self.config.l2_latency,
@@ -289,7 +308,11 @@ impl MemorySystem {
         self.stats.record_access(LevelKind::Dram, true);
         self.stats.record_dram(class);
         let done = self.dram.access(line, now + self.config.link_latency / 2);
-        done + self.config.link_latency / 2
+        let extra = self.config.faults.dram_extra(line, now);
+        if extra > 0 {
+            self.stats.faults_injected += 1;
+        }
+        done + extra + self.config.link_latency / 2
     }
 
     fn dram_write(&mut self, line: Line, class: DataClass, now: Cycle) {
@@ -335,6 +358,81 @@ impl MemorySystem {
         self.stats = MemStats::new();
         self.dram.reset();
         self.llc_bank_free.fill(0);
+        if let Some(t) = self.tracker.as_mut() {
+            t.reset();
+        }
+    }
+
+    /// Whether the invariant auditor is tracking this hierarchy (debug
+    /// builds, or `SPADE_AUDIT` set in release builds).
+    pub fn audit_active(&self) -> bool {
+        self.tracker.is_some()
+    }
+
+    /// Reads still in flight at `now`, when the auditor is active.
+    pub fn outstanding_reads(&mut self, now: Cycle) -> Option<usize> {
+        self.tracker.as_mut().map(|t| {
+            t.retire(now);
+            t.outstanding()
+        })
+    }
+
+    /// Runs the hierarchy-level invariant checks at `now`:
+    ///
+    /// * every cache's occupancy stays within its configured geometry,
+    /// * per-level hit counters never exceed access counters,
+    /// * outstanding reads stay at or below `max_outstanding` when a bound
+    ///   is given (the MSHR-leak check — the bound is the requesters'
+    ///   aggregate queue capacity, which the host system knows).
+    ///
+    /// A no-op returning `Ok(())` when the auditor is inactive.
+    pub fn audit(&mut self, now: Cycle, max_outstanding: Option<usize>) -> Result<(), String> {
+        if self.tracker.is_none() {
+            return Ok(());
+        }
+        for (name, cache) in self
+            .l1s
+            .iter()
+            .map(|c| ("L1", c))
+            .chain(self.victims.iter().flatten().map(|c| ("BBF", c)))
+            .chain(self.l2s.iter().map(|c| ("L2", c)))
+            .chain(std::iter::once(("LLC", &self.llc)))
+        {
+            let (occ, cap) = (cache.occupancy(), cache.config().num_lines());
+            if occ > cap {
+                return Err(format!("{name} occupancy {occ} exceeds capacity {cap}"));
+            }
+        }
+        for level in LevelKind::ALL {
+            let s = self.stats.level(level);
+            if s.hits > s.accesses {
+                return Err(format!(
+                    "{level:?} hits {} > accesses {}",
+                    s.hits, s.accesses
+                ));
+            }
+        }
+        let outstanding = self.outstanding_reads(now).unwrap_or(0);
+        if let Some(bound) = max_outstanding {
+            if outstanding > bound {
+                return Err(format!(
+                    "in-flight read leak: {outstanding} outstanding at cycle {now}, bound {bound}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// End-of-run audit: the periodic checks plus the requirement that all
+    /// in-flight reads have drained (`now` is the final cycle).
+    pub fn audit_final(&mut self, now: Cycle) -> Result<(), String> {
+        self.audit(now, None)?;
+        match self.outstanding_reads(now) {
+            Some(n) if n > 0 => Err(format!(
+                "in-flight read leak: {n} reads still outstanding at final cycle {now}"
+            )),
+            _ => Ok(()),
+        }
     }
 
     /// Direct access to an agent's L1 occupancy (for tests/diagnostics).
@@ -493,6 +591,76 @@ mod tests {
         let tf = fast.read(0, 0, AccessPath::Bypass, DataClass::SparseIn, 0);
         let ts = slow.read(0, 0, AccessPath::Bypass, DataClass::SparseIn, 0);
         assert!(ts > tf + 600);
+    }
+
+    #[test]
+    fn zero_probability_plan_is_a_no_op() {
+        use crate::FaultConfig;
+        let mut clean = mem();
+        let mut cfg = MemConfig::small_test(4);
+        cfg.faults = FaultConfig {
+            seed: 99,
+            ..FaultConfig::none()
+        };
+        let mut armed = MemorySystem::new(cfg);
+        for i in 0..64u64 {
+            let agent = (i % 4) as usize;
+            let a = clean.read(agent, i * 3, AccessPath::Cached, DataClass::CMatrix, i);
+            let b = armed.read(agent, i * 3, AccessPath::Cached, DataClass::CMatrix, i);
+            assert_eq!(a, b);
+        }
+        assert_eq!(clean.stats(), armed.stats());
+        assert_eq!(armed.stats().faults_injected, 0);
+    }
+
+    #[test]
+    fn stress_plan_fires_and_only_delays() {
+        use crate::FaultConfig;
+        let mut clean = mem();
+        let mut cfg = MemConfig::small_test(4);
+        cfg.faults = FaultConfig::stress(7);
+        let mut armed = MemorySystem::new(cfg);
+        let mut clean_sum = 0;
+        let mut armed_sum = 0;
+        for i in 0..512u64 {
+            let agent = (i % 4) as usize;
+            clean_sum += clean.read(agent, i * 5, AccessPath::Cached, DataClass::CMatrix, i);
+            armed_sum += armed.read(agent, i * 5, AccessPath::Cached, DataClass::CMatrix, i);
+        }
+        assert!(armed.stats().faults_injected > 0);
+        // Faults add latency; they never accelerate anything.
+        assert!(armed_sum > clean_sum);
+        // The same traffic was served either way.
+        assert_eq!(clean.stats().requests_issued, armed.stats().requests_issued);
+    }
+
+    #[test]
+    fn audit_passes_on_a_healthy_hierarchy() {
+        let mut m = mem();
+        for i in 0..32u64 {
+            m.read(
+                (i % 4) as usize,
+                i,
+                AccessPath::Cached,
+                DataClass::CMatrix,
+                i,
+            );
+        }
+        if m.audit_active() {
+            assert_eq!(m.audit(u64::MAX / 2, Some(1000)), Ok(()));
+            assert_eq!(m.audit_final(u64::MAX / 2), Ok(()));
+        }
+    }
+
+    #[test]
+    fn audit_flags_reads_exceeding_the_bound() {
+        let mut m = mem();
+        // A cold bypass read completes well after cycle 0.
+        m.read(0, 0, AccessPath::Bypass, DataClass::SparseIn, 0);
+        if m.audit_active() {
+            assert!(m.audit(0, Some(0)).is_err());
+            assert!(m.audit_final(0).is_err());
+        }
     }
 
     #[test]

@@ -43,16 +43,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod audit;
 mod cache;
 mod config;
 mod dram;
+mod fault;
 mod hierarchy;
 mod stats;
 mod tlb;
 
+pub use audit::{audit_enabled, ReadTracker};
 pub use cache::{AccessOutcome, Cache, CacheConfig, Victim};
 pub use config::MemConfig;
 pub use dram::{Dram, DramConfig};
+pub use fault::FaultConfig;
 pub use hierarchy::{AccessPath, MemorySystem};
 pub use stats::{DataClass, LevelKind, LevelStats, MemStats};
 pub use tlb::{Stlb, StlbConfig};

@@ -107,6 +107,10 @@ pub struct MemStats {
     pub requests_issued: u64,
     /// STLB page-walk count.
     pub tlb_misses: u64,
+    /// Faults fired by the injection plan (delays applied, STLB entries
+    /// evicted). Zero whenever the plan is inactive, so fault-free and
+    /// zero-impact runs compare equal.
+    pub faults_injected: u64,
 }
 
 impl MemStats {

@@ -76,6 +76,15 @@ impl Stlb {
         }
     }
 
+    /// Evicts the entry for the page containing `line`, if present.
+    /// Returns whether an entry was actually dropped. Used by fault
+    /// injection to model shoot-downs; the next translation of that page
+    /// pays a full walk again.
+    pub fn evict_line(&mut self, line: Line) -> bool {
+        let page = line * LINE_BYTES / self.config.page_bytes;
+        self.entries.invalidate(page).is_some()
+    }
+
     /// TLB hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

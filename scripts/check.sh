@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test --workspace -q
 
+echo "== fault-injection stress (release, auditor on)"
+SPADE_AUDIT=1 cargo test --release -p spade-core --test fault_injection -q
+
 echo "All checks passed."
