@@ -38,6 +38,7 @@ use std::time::Instant;
 
 use spade_core::{Primitive, RunReport, SpadeSystem, SystemConfig};
 use spade_matrix::reference;
+use spade_sim::{Cycle, TelemetrySeries, TraceLog};
 
 use crate::suite::Workload;
 
@@ -166,6 +167,24 @@ pub struct Job {
     pub primitive: Primitive,
     /// The execution plan under test.
     pub plan: spade_core::ExecutionPlan,
+    /// Telemetry window in cycles; `None` (the default) disables sampling.
+    pub telemetry_window: Option<Cycle>,
+    /// Whether to record an event trace (off by default).
+    pub trace: bool,
+}
+
+/// Everything one job produced: the report plus whatever observability
+/// artifacts the job requested. Per-job simulations are single-threaded,
+/// so the artifacts are deterministic and independent of the runner's
+/// worker count, exactly like the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Timing and traffic metrics.
+    pub report: RunReport,
+    /// Telemetry series, when the job set [`Job::telemetry_window`].
+    pub telemetry: Option<TelemetrySeries>,
+    /// Event trace, when the job set [`Job::trace`].
+    pub trace: Option<TraceLog>,
 }
 
 impl Job {
@@ -181,18 +200,46 @@ impl Job {
             config: Arc::clone(config),
             primitive,
             plan,
+            telemetry_window: None,
+            trace: false,
         }
+    }
+
+    /// Enables windowed telemetry for this job (builder style).
+    pub fn with_telemetry(mut self, window: Option<Cycle>) -> Self {
+        self.telemetry_window = window;
+        self
+    }
+
+    /// Enables event tracing for this job (builder style).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Identity key for de-duplication: workload and config by pointer
     /// (prepared objects are shared, so pointer identity is object
-    /// identity), plan and primitive by value.
-    fn dedup_key(&self) -> (usize, usize, Primitive, spade_core::ExecutionPlan) {
+    /// identity), plan, primitive, and observability options by value —
+    /// a traced job never shares an execution with an untraced one, so
+    /// each gets the artifacts it asked for.
+    #[allow(clippy::type_complexity)]
+    fn dedup_key(
+        &self,
+    ) -> (
+        usize,
+        usize,
+        Primitive,
+        spade_core::ExecutionPlan,
+        Option<Cycle>,
+        bool,
+    ) {
         (
             Arc::as_ptr(&self.workload) as usize,
             Arc::as_ptr(&self.config) as usize,
             self.primitive,
             self.plan,
+            self.telemetry_window,
+            self.trace,
         )
     }
 
@@ -207,8 +254,22 @@ impl Job {
     /// deadlock, invariant violation) or the simulated output diverges
     /// from the gold kernel.
     pub fn try_execute(&self) -> Result<RunReport, JobError> {
+        self.try_execute_full().map(|o| o.report)
+    }
+
+    /// Runs this job on the calling thread and returns the report *and*
+    /// the requested observability artifacts (see [`Job::try_execute`]
+    /// for the validation and error contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JobError`] when the simulation fails or the simulated
+    /// output diverges from the gold kernel.
+    pub fn try_execute_full(&self) -> Result<JobOutput, JobError> {
         let w = &self.workload;
         let mut sys = SpadeSystem::new((*self.config).clone());
+        sys.set_telemetry(self.telemetry_window)
+            .set_trace(self.trace);
         let report = match self.primitive {
             Primitive::Spmm => {
                 let run = sys
@@ -229,7 +290,11 @@ impl Job {
                 run.report
             }
         };
-        Ok(report)
+        Ok(JobOutput {
+            report,
+            telemetry: sys.take_telemetry(),
+            trace: sys.take_trace(),
+        })
     }
 
     /// Runs this job on the calling thread (see [`Job::try_execute`]).
@@ -306,9 +371,20 @@ impl ParallelRunner {
     /// Results are stored by job index, so the outcome is independent of
     /// the worker count and scheduling order.
     pub fn run_results(&self, jobs: &[Job]) -> Vec<Result<RunReport, JobError>> {
+        self.run_outputs(jobs)
+            .into_iter()
+            .map(|r| r.map(|o| o.report))
+            .collect()
+    }
+
+    /// Like [`ParallelRunner::run_results`], but returns each job's full
+    /// [`JobOutput`] — report plus any telemetry series / event trace the
+    /// job requested. Artifacts come from the per-job single-threaded
+    /// simulation, so they are bit-identical for every worker count.
+    pub fn run_outputs(&self, jobs: &[Job]) -> Vec<Result<JobOutput, JobError>> {
         // Map every job slot to a unique-work index.
         let mut unique: Vec<&Job> = Vec::new();
-        let mut keys: Vec<(usize, usize, Primitive, spade_core::ExecutionPlan)> = Vec::new();
+        let mut keys = Vec::new();
         let mut slot_to_unique = Vec::with_capacity(jobs.len());
         for job in jobs {
             let key = job.dedup_key();
@@ -323,9 +399,9 @@ impl ParallelRunner {
         }
 
         let results = self.run_tasks(unique.len(), |i| {
-            unique[i].try_execute().map_err(|e| e.message)
+            unique[i].try_execute_full().map_err(|e| e.message)
         });
-        let results: Vec<Result<RunReport, JobError>> = results
+        let results: Vec<Result<JobOutput, JobError>> = results
             .into_iter()
             .enumerate()
             .map(|(i, r)| {

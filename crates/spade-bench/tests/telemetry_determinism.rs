@@ -1,0 +1,105 @@
+//! Observability must be deterministic and invisible: telemetry series and
+//! event traces are bit-identical for every worker count, and enabling
+//! them changes nothing about the reports the seed behavior produced.
+
+use std::sync::Arc;
+
+use spade_bench::machines;
+use spade_bench::parallel::{Job, JobOutput, ParallelRunner};
+use spade_bench::runner;
+use spade_bench::suite::Workload;
+use spade_core::Primitive;
+use spade_matrix::generators::{Benchmark, Scale};
+
+/// A mixed observed job list: two graphs × both primitives × a few plans,
+/// all with telemetry and tracing on.
+fn observed_jobs() -> Vec<Job> {
+    let cfg = Arc::new(machines::spade_system(4));
+    let mut jobs = Vec::new();
+    for benchmark in [Benchmark::Myc, Benchmark::Kro] {
+        let w = Arc::new(Workload::prepare(benchmark, Scale::Tiny, 32));
+        for primitive in [Primitive::Spmm, Primitive::Sddmm] {
+            let plans = runner::opt_candidates(&w, true);
+            for plan in plans.into_iter().take(3) {
+                jobs.push(
+                    Job::new(&w, &cfg, primitive, plan)
+                        .with_telemetry(Some(256))
+                        .with_trace(true),
+                );
+            }
+        }
+    }
+    jobs
+}
+
+#[test]
+fn telemetry_and_traces_are_thread_count_independent() {
+    // SPADE_THREADS=1 vs 8 equivalence: each job's simulation is
+    // single-threaded, so its time series and event stream cannot depend
+    // on how jobs were packed onto workers.
+    let jobs = observed_jobs();
+    let serial: Vec<JobOutput> = ParallelRunner::new(1)
+        .run_outputs(&jobs)
+        .into_iter()
+        .map(|r| r.expect("job failed"))
+        .collect();
+    let parallel: Vec<JobOutput> = ParallelRunner::new(8)
+        .run_outputs(&jobs)
+        .into_iter()
+        .map(|r| r.expect("job failed"))
+        .collect();
+    // JobOutput equality covers the report, every telemetry sample, and
+    // every trace event (names, timestamps, lanes, args).
+    assert_eq!(parallel, serial, "8-thread artifacts diverged from serial");
+    for out in &serial {
+        let telemetry = out.telemetry.as_ref().expect("telemetry requested");
+        assert!(!telemetry.samples.is_empty());
+        let trace = out.trace.as_ref().expect("trace requested");
+        assert!(!trace.is_empty());
+    }
+    // The rendered JSON artifacts are therefore byte-identical too.
+    let a = serial[0].trace.as_ref().unwrap().to_chrome_json();
+    let b = parallel[0].trace.as_ref().unwrap().to_chrome_json();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn observability_off_matches_seed_behavior() {
+    // A telemetry/trace-enabled run must report exactly what a plain run
+    // reports: observation never feeds back into timing.
+    let cfg = Arc::new(machines::spade_system(4));
+    let w = Arc::new(Workload::prepare(Benchmark::Myc, Scale::Tiny, 32));
+    let plan = machines::base_plan(&w.a);
+    for primitive in [Primitive::Spmm, Primitive::Sddmm] {
+        let plain = Job::new(&w, &cfg, primitive, plan)
+            .try_execute()
+            .expect("plain job failed");
+        let observed = Job::new(&w, &cfg, primitive, plan)
+            .with_telemetry(Some(64))
+            .with_trace(true)
+            .try_execute_full()
+            .expect("observed job failed");
+        assert_eq!(observed.report, plain, "{primitive:?} report changed");
+        // And the plain job carries no artifacts.
+        let plain_full = Job::new(&w, &cfg, primitive, plan)
+            .try_execute_full()
+            .expect("plain job failed");
+        assert!(plain_full.telemetry.is_none());
+        assert!(plain_full.trace.is_none());
+    }
+}
+
+#[test]
+fn traced_and_untraced_duplicates_do_not_share_executions() {
+    let cfg = Arc::new(machines::spade_system(4));
+    let w = Arc::new(Workload::prepare(Benchmark::Myc, Scale::Tiny, 32));
+    let plan = machines::base_plan(&w.a);
+    let plain = Job::new(&w, &cfg, Primitive::Spmm, plan);
+    let traced = plain.clone().with_trace(true);
+    let outputs = ParallelRunner::new(2).run_outputs(&[plain, traced]);
+    let plain_out = outputs[0].as_ref().expect("plain job failed");
+    let traced_out = outputs[1].as_ref().expect("traced job failed");
+    assert!(plain_out.trace.is_none(), "untraced job got a trace");
+    assert!(traced_out.trace.is_some(), "traced job lost its trace");
+    assert_eq!(plain_out.report, traced_out.report);
+}

@@ -5,15 +5,16 @@ use std::io::BufReader;
 use std::sync::Arc;
 use std::time::Instant;
 
-use spade_bench::parallel::{self, Job, ParallelRunner};
+use spade_bench::parallel::{self, Job, JobOutput, ParallelRunner};
 use spade_bench::suite::Workload;
 use spade_core::{
-    advisor, BarrierPolicy, CMatrixPolicy, ExecutionPlan, PlanSearchSpace, Primitive,
-    RMatrixPolicy, RunReport, SystemConfig,
+    advisor, BarrierPolicy, CMatrixPolicy, ExecutionPlan, JsonValue, PlanSearchSpace, Primitive,
+    RMatrixPolicy, RunReport, SystemConfig, TelemetrySeries,
 };
 use spade_matrix::analysis::MatrixStats;
 use spade_matrix::generators::{Benchmark, Scale};
 use spade_matrix::{mm, Coo};
+use spade_sim::Cycle;
 
 use crate::args::Args;
 
@@ -23,10 +24,13 @@ pub const USAGE: &str = "usage:
   spade-cli run    --benchmark <name> [--kernel spmm|sddmm] [--k 32]
                    [--pes 56] [--scale tiny|small|default|large]
                    [--rp N] [--cp N|all] [--rmatrix cache|bypass|victim]
-                   [--barriers] [--json]
+                   [--barriers] [--format json|text] [--telemetry <window>]
+  spade-cli trace  <name> [--kernel spmm|sddmm] [--k 32] [--pes 56]
+                   [--scale ...] [--window 256] [--out <file.trace.json>]
   spade-cli advise --benchmark <name> [--k 32] [--pes 56] [--scale ...]
   spade-cli search --benchmark <name> [--k 32] [--pes 56] [--scale ...] [--full]
-  spade-cli mm     --file <matrix.mtx> [--k 32] [--pes 56] [--json]
+                   [--format json|text] [--telemetry <window>]
+  spade-cli mm     --file <matrix.mtx> [--k 32] [--pes 56] [--format json|text]
 
 benchmarks: asi liv ork pap del kro myc pac roa ser";
 
@@ -44,6 +48,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "info" => info(rest),
         "run" => run(rest),
+        "trace" => trace_cmd(rest),
         "advise" => advise_cmd(rest),
         "search" => search(rest),
         "mm" => run_mm(rest),
@@ -61,15 +66,43 @@ fn parse_scale(args: &Args) -> Result<Scale, String> {
     }
 }
 
-fn parse_benchmark(args: &Args) -> Result<Benchmark, String> {
-    let name = args
-        .get("benchmark")
-        .ok_or("--benchmark is required")?
-        .to_lowercase();
+fn lookup_benchmark(name: &str) -> Result<Benchmark, String> {
     Benchmark::ALL
         .into_iter()
-        .find(|b| b.short_name().eq_ignore_ascii_case(&name))
+        .find(|b| b.short_name().eq_ignore_ascii_case(name))
         .ok_or(format!("unknown benchmark '{name}'"))
+}
+
+fn parse_benchmark(args: &Args) -> Result<Benchmark, String> {
+    lookup_benchmark(args.get("benchmark").ok_or("--benchmark is required")?)
+}
+
+/// Whether machine-readable output was requested: `--format json|text`,
+/// with the legacy `--json` switch as an alias for `--format json`.
+fn parse_format(args: &Args) -> Result<bool, String> {
+    match args.get("format") {
+        None => Ok(args.has("json")),
+        Some("json") => Ok(true),
+        Some("text") => Ok(false),
+        Some(other) => Err(format!("--format: unknown format '{other}' (json|text)")),
+    }
+}
+
+/// Parses `--telemetry <window>`, rejecting the zero window the simulator
+/// would refuse anyway.
+fn parse_telemetry(args: &Args) -> Result<Option<Cycle>, String> {
+    match args.get("telemetry") {
+        None => Ok(None),
+        Some(v) => {
+            let w: Cycle = v
+                .parse()
+                .map_err(|_| format!("--telemetry: cannot parse '{v}'"))?;
+            if w == 0 {
+                return Err("--telemetry: window must be at least one cycle".into());
+            }
+            Ok(Some(w))
+        }
+    }
 }
 
 fn parse_system(args: &Args) -> Result<SystemConfig, String> {
@@ -141,80 +174,69 @@ struct RunSummary<'a> {
     pes: usize,
     plan: &'a ExecutionPlan,
     report: &'a RunReport,
+    telemetry: Option<&'a TelemetrySeries>,
+}
+
+/// An execution plan as a JSON object.
+fn plan_json(p: &ExecutionPlan) -> JsonValue {
+    JsonValue::object([
+        ("row_panel_size", p.tiling.row_panel_size.into()),
+        ("col_panel_size", p.tiling.col_panel_size.into()),
+        ("r_policy", format!("{:?}", p.r_policy).into()),
+        ("c_policy", format!("{:?}", p.c_policy).into()),
+        ("barriers", p.barriers.is_enabled().into()),
+    ])
 }
 
 impl RunSummary<'_> {
-    /// Hand-rolled JSON (the workspace is dependency-free); fields mirror
-    /// the plain-text report.
-    fn to_json(&self) -> String {
-        let p = self.plan;
-        let r = self.report;
-        format!(
-            concat!(
-                "{{\n",
-                "  \"benchmark\": {},\n",
-                "  \"kernel\": {},\n",
-                "  \"k\": {},\n",
-                "  \"pes\": {},\n",
-                "  \"plan\": {{\n",
-                "    \"row_panel_size\": {},\n",
-                "    \"col_panel_size\": {},\n",
-                "    \"r_policy\": {},\n",
-                "    \"c_policy\": {},\n",
-                "    \"barriers\": {}\n",
-                "  }},\n",
-                "  \"report\": {{\n",
-                "    \"cycles\": {},\n",
-                "    \"time_ns\": {},\n",
-                "    \"total_vops\": {},\n",
-                "    \"dram_accesses\": {},\n",
-                "    \"llc_accesses\": {},\n",
-                "    \"requests_per_cycle\": {},\n",
-                "    \"achieved_gbps\": {},\n",
-                "    \"host_wall_ns\": {},\n",
-                "    \"sim_cycles_per_host_sec\": {}\n",
-                "  }}\n",
-                "}}"
+    /// The run as one JSON document (hand-rolled writer — the workspace is
+    /// dependency-free): context, plan, the full report, and the telemetry
+    /// series when sampling was on.
+    fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("benchmark", JsonValue::from(self.benchmark)),
+            ("kernel", self.kernel.as_str().into()),
+            ("k", self.k.into()),
+            ("pes", self.pes.into()),
+            ("plan", plan_json(self.plan)),
+            ("report", self.report.to_json()),
+            (
+                "sim_cycles_per_host_sec",
+                self.report.sim_cycles_per_host_sec().into(),
             ),
-            json_str(self.benchmark),
-            json_str(&self.kernel),
-            self.k,
-            self.pes,
-            p.tiling.row_panel_size,
-            p.tiling.col_panel_size,
-            json_str(&format!("{:?}", p.r_policy)),
-            json_str(&format!("{:?}", p.c_policy)),
-            p.barriers.is_enabled(),
-            r.cycles,
-            r.time_ns,
-            r.total_vops,
-            r.dram_accesses,
-            r.llc_accesses,
-            r.requests_per_cycle,
-            r.achieved_gbps,
-            r.host_wall_ns,
-            r.sim_cycles_per_host_sec(),
-        )
+        ];
+        if let Some(series) = self.telemetry {
+            fields.push(("telemetry", series.to_json()));
+        }
+        JsonValue::object(fields)
     }
 }
 
-/// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+/// Runs one validated simulation with optional observability, routing
+/// through the bench workload so the gold kernel is computed once and the
+/// run checks against the shared cached result.
+#[allow(clippy::too_many_arguments)]
+fn execute_observed(
+    system_config: &SystemConfig,
+    a: &Coo,
+    name: &str,
+    k: usize,
+    kernel: Primitive,
+    plan: &ExecutionPlan,
+    telemetry: Option<Cycle>,
+    trace: bool,
+) -> Result<JobOutput, String> {
+    let w = Workload::from_matrix(name.to_string(), a.clone(), k);
+    Job::new(
+        &Arc::new(w),
+        &Arc::new(system_config.clone()),
+        kernel,
+        *plan,
+    )
+    .with_telemetry(telemetry)
+    .with_trace(trace)
+    .try_execute_full()
+    .map_err(|e| e.to_string())
 }
 
 fn execute(
@@ -225,21 +247,12 @@ fn execute(
     kernel: Primitive,
     plan: &ExecutionPlan,
 ) -> Result<RunReport, String> {
-    // Route through the bench workload so the gold kernel is computed once
-    // and the run validates against the shared cached result.
-    let w = Workload::from_matrix(name.to_string(), a.clone(), k);
-    let job = Job::new(
-        &Arc::new(w),
-        &Arc::new(system_config.clone()),
-        kernel,
-        *plan,
-    );
-    job.try_execute().map_err(|e| e.to_string())
+    execute_observed(system_config, a, name, k, kernel, plan, None, false).map(|o| o.report)
 }
 
 fn print_report(report: &RunReport, json: bool, ctx: RunSummary<'_>) -> Result<(), String> {
     if json {
-        println!("{}", ctx.to_json());
+        println!("{}", ctx.to_json().render());
     } else {
         println!("cycles            : {}", report.cycles);
         println!("time              : {:.1} µs", report.time_ns / 1e3);
@@ -257,6 +270,15 @@ fn print_report(report: &RunReport, json: bool, ctx: RunSummary<'_>) -> Result<(
             report.host_wall_ns / 1e6,
             report.sim_cycles_per_host_sec() / 1e6
         );
+        if let Some(series) = ctx.telemetry {
+            println!(
+                "telemetry         : {} windows × {} cycles, mean {:.2} req/cycle, peak {:.2}",
+                series.samples.len(),
+                series.window,
+                series.mean_requests_per_cycle(),
+                series.peak_requests_per_cycle()
+            );
+        }
     }
     Ok(())
 }
@@ -288,22 +310,93 @@ fn run(argv: &[String]) -> Result<(), String> {
     let scale = parse_scale(&args)?;
     let k = parse_k(&args)?;
     let kernel = parse_kernel(&args)?;
+    let json = parse_format(&args)?;
+    let telemetry = parse_telemetry(&args)?;
     let system_config = parse_system(&args)?;
     let a = bench.generate(scale);
     let plan = parse_plan(&args, &a)?;
-    let report = execute(&system_config, &a, bench.short_name(), k, kernel, &plan)?;
+    let output = execute_observed(
+        &system_config,
+        &a,
+        bench.short_name(),
+        k,
+        kernel,
+        &plan,
+        telemetry,
+        false,
+    )?;
     print_report(
-        &report,
-        args.has("json"),
+        &output.report,
+        json,
         RunSummary {
             benchmark: bench.short_name(),
             kernel: kernel.to_string(),
             k,
             pes: system_config.num_pes,
             plan: &plan,
-            report: &report,
+            report: &output.report,
+            telemetry: output.telemetry.as_ref(),
         },
     )
+}
+
+/// `spade-cli trace <benchmark>`: run one workload with event tracing on
+/// and write a Chrome `trace_event` JSON file, viewable at
+/// `ui.perfetto.dev` or `chrome://tracing`. Telemetry counter tracks
+/// (requests/cycle, DRAM GB/s, in-flight reads, active PEs) ride along on
+/// a dedicated lane unless `--window 0` turns sampling off.
+fn trace_cmd(argv: &[String]) -> Result<(), String> {
+    // The benchmark may be positional (`spade-cli trace myc`) or a
+    // `--benchmark` flag like the other subcommands.
+    let (positional, rest) = match argv.first() {
+        Some(first) if !first.starts_with("--") => (Some(first.as_str()), &argv[1..]),
+        _ => (None, argv),
+    };
+    let args = Args::parse(rest, &[])?;
+    let bench = match positional {
+        Some(name) => lookup_benchmark(name)?,
+        None => parse_benchmark(&args)?,
+    };
+    let scale = parse_scale(&args)?;
+    let k = parse_k(&args)?;
+    let kernel = parse_kernel(&args)?;
+    let system_config = parse_system(&args)?;
+    let window: Cycle = args.get_parsed("window", 256)?;
+    let telemetry = (window > 0).then_some(window);
+    let a = bench.generate(scale);
+    let plan = parse_plan(&args, &a)?;
+    let output = execute_observed(
+        &system_config,
+        &a,
+        bench.short_name(),
+        k,
+        kernel,
+        &plan,
+        telemetry,
+        true,
+    )?;
+    let mut trace = output.trace.ok_or("tracing produced no event log")?;
+    if let Some(series) = &output.telemetry {
+        let lane = system_config.num_pes as u64 + 1;
+        trace.set_lane(lane, "telemetry");
+        trace.add_telemetry(series, lane);
+        trace.sort_by_time();
+    }
+    let out_path = match args.get("out") {
+        Some(p) => p.to_string(),
+        None => format!(
+            "{}-{}.trace.json",
+            bench.short_name(),
+            kernel.to_string().to_lowercase()
+        ),
+    };
+    std::fs::write(&out_path, trace.to_chrome_json()).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "wrote {out_path}: {} events over {} cycles (load in ui.perfetto.dev)",
+        trace.len(),
+        output.report.cycles
+    );
+    Ok(())
 }
 
 fn advise_cmd(argv: &[String]) -> Result<(), String> {
@@ -334,10 +427,12 @@ fn advise_cmd(argv: &[String]) -> Result<(), String> {
 }
 
 fn search(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["full"])?;
+    let args = Args::parse(argv, &["full", "json"])?;
     let bench = parse_benchmark(&args)?;
     let scale = parse_scale(&args)?;
     let k = parse_k(&args)?;
+    let json = parse_format(&args)?;
+    let telemetry = parse_telemetry(&args)?;
     let system_config = parse_system(&args)?;
     let a = bench.generate(scale);
     let space = if args.has("full") {
@@ -351,25 +446,32 @@ fn search(argv: &[String]) -> Result<(), String> {
         a.clone(),
         k,
     ));
+    let pes = system_config.num_pes;
     let config = Arc::new(system_config);
     let plans = space.enumerate(&a);
     let jobs: Vec<Job> = plans
         .iter()
-        .map(|&plan| Job::new(&workload, &config, Primitive::Spmm, plan))
+        .map(|&plan| Job::new(&workload, &config, Primitive::Spmm, plan).with_telemetry(telemetry))
         .collect();
     let start = Instant::now();
     // One failing candidate should cost its own slot, not the sweep.
-    let outcomes = ParallelRunner::from_env().run_results(&jobs);
-    let reports: Vec<RunReport> = outcomes.iter().flatten().cloned().collect();
-    println!(
-        "{}",
-        parallel::throughput_summary(&reports, start.elapsed())
-    );
+    let outcomes = ParallelRunner::from_env().run_outputs(&jobs);
+    let reports: Vec<RunReport> = outcomes
+        .iter()
+        .flatten()
+        .map(|o| o.report.clone())
+        .collect();
+    if !json {
+        println!(
+            "{}",
+            parallel::throughput_summary(&reports, start.elapsed())
+        );
+    }
     let mut failures = 0usize;
-    let mut results: Vec<(ExecutionPlan, u64)> = Vec::with_capacity(plans.len());
+    let mut results: Vec<(ExecutionPlan, JobOutput)> = Vec::with_capacity(plans.len());
     for (plan, outcome) in plans.into_iter().zip(&outcomes) {
         match outcome {
-            Ok(r) => results.push((plan, r.cycles)),
+            Ok(o) => results.push((plan, o.clone())),
             Err(e) => {
                 failures += 1;
                 eprintln!("warning: candidate plan failed: {e}");
@@ -379,16 +481,47 @@ fn search(argv: &[String]) -> Result<(), String> {
     if results.is_empty() {
         return Err(format!("all {failures} candidate plans failed"));
     }
-    results.sort_by_key(|&(_, c)| c);
+    results.sort_by_key(|(_, o)| o.report.cycles);
+    if json {
+        let candidates: Vec<JsonValue> = results
+            .iter()
+            .map(|(plan, o)| {
+                let mut fields = vec![
+                    ("plan", plan_json(plan)),
+                    ("cycles", o.report.cycles.into()),
+                    ("dram_accesses", o.report.dram_accesses.into()),
+                    ("requests_per_cycle", o.report.requests_per_cycle.into()),
+                ];
+                if let Some(series) = &o.telemetry {
+                    fields.push(("telemetry", series.to_json()));
+                }
+                JsonValue::object(fields)
+            })
+            .collect();
+        let doc = JsonValue::object([
+            ("benchmark", bench.short_name().into()),
+            ("k", k.into()),
+            ("pes", pes.into()),
+            ("failures", failures.into()),
+            ("candidates", JsonValue::Array(candidates)),
+        ]);
+        println!("{}", doc.render());
+        return Ok(());
+    }
     println!("{} plans searched; best first:", results.len());
-    for (plan, cycles) in results.iter().take(5) {
+    for (plan, output) in results.iter().take(5) {
+        let telemetry_note = match &output.telemetry {
+            Some(series) => format!("  peak {:.2} req/cyc", series.peak_requests_per_cycle()),
+            None => String::new(),
+        };
         println!(
-            "  {:>10} cycles  RP={:<6} CP={:<8} {:?} barriers={}",
-            cycles,
+            "  {:>10} cycles  RP={:<6} CP={:<8} {:?} barriers={}{}",
+            output.report.cycles,
             plan.tiling.row_panel_size,
             plan.tiling.col_panel_size,
             plan.r_policy,
-            plan.barriers.is_enabled()
+            plan.barriers.is_enabled(),
+            telemetry_note
         );
     }
     Ok(())
@@ -405,7 +538,7 @@ fn run_mm(argv: &[String]) -> Result<(), String> {
     let report = execute(&system_config, &a, path, k, Primitive::Spmm, &plan)?;
     print_report(
         &report,
-        args.has("json"),
+        parse_format(&args)?,
         RunSummary {
             benchmark: path,
             kernel: Primitive::Spmm.to_string(),
@@ -413,6 +546,7 @@ fn run_mm(argv: &[String]) -> Result<(), String> {
             pes: system_config.num_pes,
             plan: &plan,
             report: &report,
+            telemetry: None,
         },
     )
 }
@@ -477,6 +611,57 @@ mod tests {
     #[test]
     fn bad_pes_is_rejected() {
         assert!(dispatch(&argv(&["run", "--benchmark", "kro", "--pes", "3"])).is_err());
+    }
+
+    #[test]
+    fn run_with_format_json_and_telemetry() {
+        dispatch(&argv(&[
+            "run",
+            "--benchmark",
+            "myc",
+            "--k",
+            "16",
+            "--pes",
+            "4",
+            "--format",
+            "json",
+            "--telemetry",
+            "128",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_format_and_zero_telemetry_are_rejected() {
+        assert!(dispatch(&argv(&["run", "--benchmark", "myc", "--format", "xml"])).is_err());
+        assert!(dispatch(&argv(&["run", "--benchmark", "myc", "--telemetry", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_writes_a_valid_chrome_trace() {
+        let path = std::env::temp_dir().join("spade_cli_trace_test.trace.json");
+        dispatch(&argv(&[
+            "trace",
+            "myc",
+            "--k",
+            "16",
+            "--pes",
+            "4",
+            "--window",
+            "256",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(spade_sim::json::validate(&text), Ok(()));
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("\"cat\":\"tile\""));
+        assert!(text.contains("\"ph\":\"C\""), "telemetry counter tracks");
+        // No wall-clock values: the trace is deterministic byte for byte.
+        assert!(!text.contains("host_wall"));
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! spade-cli info  [--scale tiny|small|default|large]
 //! spade-cli run   --benchmark kro [--kernel spmm|sddmm] [--k 32] [--pes 56]
 //!                 [--rp N] [--cp N|all] [--rmatrix cache|bypass|victim]
-//!                 [--barriers] [--json]
+//!                 [--barriers] [--format json|text] [--telemetry 256]
+//! spade-cli trace kro [--kernel spmm|sddmm] [--k 32] [--pes 56]
+//!                 [--window 256] [--out kro.trace.json]
 //! spade-cli advise --benchmark kro [--k 32] [--pes 56]
 //! spade-cli search --benchmark kro [--k 32] [--pes 56] [--full]
-//! spade-cli mm    --file matrix.mtx [--k 32] [--pes 56] [--json]
+//!                 [--format json|text] [--telemetry 256]
+//! spade-cli mm    --file matrix.mtx [--k 32] [--pes 56] [--format json|text]
 //! ```
 
 mod args;

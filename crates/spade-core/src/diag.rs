@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use spade_sim::Cycle;
+use spade_sim::{Cycle, TraceEvent};
 
 use crate::pe::PeStats;
 
@@ -44,6 +44,16 @@ pub enum StallKind {
     IdleLivelock,
     /// The run exceeded [`WatchdogConfig::max_cycles`].
     CycleBudgetExceeded,
+}
+
+impl StallKind {
+    /// Short, stable label used in diagnostics output and trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StallKind::IdleLivelock => "idle livelock",
+            StallKind::CycleBudgetExceeded => "cycle budget exceeded",
+        }
+    }
 }
 
 /// One PE's control state and queue occupancies at watchdog time.
@@ -135,16 +145,14 @@ pub struct StallDiagnostics {
     pub pes: Vec<PeSnapshot>,
 }
 
-impl fmt::Display for StallDiagnostics {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = match self.kind {
-            StallKind::IdleLivelock => "idle livelock",
-            StallKind::CycleBudgetExceeded => "cycle budget exceeded",
-        };
-        writeln!(
-            f,
-            "{kind} at cycle {} ({} idle iterations, earliest wake {}, \
+impl StallDiagnostics {
+    /// One-line headline: what fired, when, and the key loop state. The
+    /// full [`Display`](fmt::Display) rendering adds a line per PE.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} at cycle {} ({} idle iterations, earliest wake {}, \
              outstanding reads {}, barrier {} released / {} arrived)",
+            self.kind.as_str(),
             self.cycle,
             self.idle_iters,
             match self.earliest_wake {
@@ -157,7 +165,29 @@ impl fmt::Display for StallDiagnostics {
             },
             self.barrier_released,
             self.barrier_arrived,
-        )?;
+        )
+    }
+
+    /// This snapshot as an instant trace event on `lane`, so a deadlocked
+    /// run's trace shows *where* the watchdog fired and carries the full
+    /// human-readable report in its args.
+    pub fn to_trace_event(&self, lane: u64) -> TraceEvent {
+        TraceEvent::instant(
+            format!("watchdog: {}", self.kind.as_str()),
+            "watchdog",
+            self.cycle,
+            lane,
+        )
+        .arg("idle_iters", self.idle_iters)
+        .arg("barrier_released", self.barrier_released)
+        .arg("barrier_arrived", self.barrier_arrived)
+        .arg("detail", self.to_string())
+    }
+}
+
+impl fmt::Display for StallDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
         for pe in &self.pes {
             writeln!(f, "  {pe}")?;
         }
@@ -212,5 +242,34 @@ mod tests {
         assert!(text.contains("4242"));
         assert!(text.contains("PE   0"));
         assert!(text.contains("Ready"));
+        // The summary is the headline of the full rendering.
+        assert!(text.starts_with(&d.summary()));
+    }
+
+    #[test]
+    fn trace_event_carries_the_diagnostics() {
+        let d = StallDiagnostics {
+            kind: StallKind::CycleBudgetExceeded,
+            cycle: 99,
+            idle_iters: 0,
+            earliest_wake: Some(120),
+            outstanding_reads: None,
+            barrier_released: 0,
+            barrier_arrived: 0,
+            pes: vec![snapshot()],
+        };
+        let ev = d.to_trace_event(7);
+        assert_eq!(ev.ts, 99);
+        assert_eq!(ev.tid, 7);
+        assert_eq!(ev.cat, "watchdog");
+        assert!(ev.name.contains("cycle budget exceeded"));
+        // The full Display text rides along as an arg, so trace viewers
+        // show the same report the error path prints.
+        let detail = ev
+            .args
+            .iter()
+            .find(|(k, _)| *k == "detail")
+            .expect("detail arg");
+        assert!(format!("{:?}", detail.1).contains("PE   0"));
     }
 }

@@ -67,3 +67,7 @@ pub use plan::{BarrierPolicy, ExecutionPlan, PlanSearchSpace};
 pub use report::RunReport;
 pub use schedule::{PeCommand, Schedule};
 pub use system::{run_sddmm_checked, run_spmm_checked, SddmmRun, SpadeSystem, SpmmRun, SpmvRun};
+
+// Observability types from the simulation layer, re-exported so downstream
+// crates (bench, CLI) need only `spade_core` for telemetry and tracing.
+pub use spade_sim::{JsonValue, TelemetrySample, TelemetrySeries, TraceEvent, TraceLog};

@@ -22,7 +22,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use spade_matrix::{DenseMatrix, TiledCoo, FLOATS_PER_LINE};
-use spade_sim::{AccessPath, Cycle, DataClass, Line, MemorySystem};
+use spade_sim::{AccessPath, Cycle, DataClass, Line, MemorySystem, TraceEvent};
 
 use crate::vrf::{AllocOutcome, VrId, Vrf};
 use crate::{AddressMap, CMatrixPolicy, PeCommand, PipelineConfig, Primitive, RMatrixPolicy};
@@ -232,6 +232,45 @@ enum PeState {
     Done,
 }
 
+/// Per-PE event recorder for the instruction-lifecycle trace. Allocated
+/// only when tracing is on; it observes control-state transitions and
+/// never influences them.
+#[derive(Debug, Default)]
+struct PeTrace {
+    events: Vec<TraceEvent>,
+    /// Issue span of the tile currently being fetched: `(tile_idx, nnz,
+    /// start, vops_before, tuples_before)`. Closed at the next command
+    /// decode, so spans run issue-to-issue (the pipeline may still drain
+    /// a tile's vOps while the next tile issues).
+    open_tile: Option<(usize, u32, Cycle, u64, u64)>,
+    /// Cycle at which the PE decoded a Barrier command (drain + wait span).
+    barrier_from: Option<(u32, Cycle)>,
+    /// Flush start cycle and dirty-line count at drain time.
+    flush_from: Option<(Cycle, usize)>,
+}
+
+impl PeTrace {
+    /// Closes the open tile-issue span, attributing the vOps/tuples
+    /// executed since it opened.
+    fn close_tile(&mut self, id: usize, now: Cycle, stats: &PeStats) {
+        if let Some((tile_idx, nnz, from, vops0, tuples0)) = self.open_tile.take() {
+            self.events.push(
+                TraceEvent::complete(
+                    format!("tile {tile_idx}"),
+                    "tile",
+                    from,
+                    now.saturating_sub(from),
+                    id as u64,
+                )
+                .arg("tile", tile_idx)
+                .arg("nnz", nnz)
+                .arg("vops", stats.vops.saturating_sub(vops0))
+                .arg("tuples", stats.tuples.saturating_sub(tuples0)),
+            );
+        }
+    }
+}
+
 /// What a PE reported for one tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TickResult {
@@ -304,6 +343,9 @@ pub struct Pe {
     /// any event that frees a register (retire, write-back, load arrival).
     alloc_blocked: bool,
     stats: PeStats,
+    /// Lifecycle trace recorder; `None` (no allocation, no work) unless
+    /// tracing was requested.
+    trace: Option<Box<PeTrace>>,
 }
 
 impl Pe {
@@ -337,12 +379,33 @@ impl Pe {
             rs_next_try: 0,
             alloc_blocked: false,
             stats: PeStats::default(),
+            trace: None,
         }
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> &PeStats {
         &self.stats
+    }
+
+    /// Enables or disables lifecycle tracing for this PE. Tracing is pure
+    /// observation: it records command decodes, barrier waits and flushes
+    /// but never changes pipeline behavior.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace = enabled.then(Box::default);
+    }
+
+    /// Takes the recorded trace events (lane id = PE id), disabling the
+    /// recorder.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().map(|t| t.events).unwrap_or_default()
+    }
+
+    /// Reads currently queued in this PE's load structures: outstanding
+    /// dense-operand loads plus sparse line-group fetches not yet fully
+    /// consumed. Used as the in-flight-reads telemetry gauge.
+    pub fn load_queue_depth(&self) -> usize {
+        self.dense_loads.len() + self.sparse_lq.len()
     }
 
     /// A diagnostic snapshot of this PE's control state and queue
@@ -766,6 +829,10 @@ impl Pe {
                 }
                 let cmd = self.commands[self.cursor];
                 self.cursor += 1;
+                if let Some(tr) = self.trace.as_deref_mut() {
+                    // Any decode ends the previous tile's issue span.
+                    tr.close_tile(self.id, now, &self.stats);
+                }
                 match cmd {
                     PeCommand::Tile { tile_idx } => {
                         // The tile-instruction arguments (sparse_in offset,
@@ -776,15 +843,35 @@ impl Pe {
                         self.tile_remaining = info.nnz as u64;
                         self.tile_out_next = info.sparse_out_start as u64;
                         self.state = PeState::Ready;
+                        if let Some(tr) = self.trace.as_deref_mut() {
+                            tr.open_tile = Some((
+                                tile_idx,
+                                info.nnz as u32,
+                                now,
+                                self.stats.vops,
+                                self.stats.tuples,
+                            ));
+                        }
                     }
                     PeCommand::Barrier { id } => {
                         self.state = PeState::WaitDrain(AfterDrain::Barrier(id));
+                        if let Some(tr) = self.trace.as_deref_mut() {
+                            tr.barrier_from = Some((id, now));
+                        }
                     }
                     PeCommand::WbInvalidate => {
                         self.state = PeState::WaitDrain(AfterDrain::Flush);
                     }
                     PeCommand::Terminate => {
                         self.state = PeState::Done;
+                        if let Some(tr) = self.trace.as_deref_mut() {
+                            tr.events.push(TraceEvent::instant(
+                                "terminate",
+                                "control",
+                                now,
+                                self.id as u64,
+                            ));
+                        }
                     }
                 }
                 true
@@ -802,6 +889,9 @@ impl Pe {
                         self.pending_flush = self.vrf.drain_dirty().into();
                         self.stats.flush_started_at = now;
                         self.state = PeState::Flushing;
+                        if let Some(tr) = self.trace.as_deref_mut() {
+                            tr.flush_from = Some((now, self.pending_flush.len()));
+                        }
                     }
                 }
                 true
@@ -809,6 +899,20 @@ impl Pe {
             PeState::AtBarrier(id) => {
                 if barriers.passed(id) {
                     self.state = PeState::Ready;
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        if let Some((bid, from)) = tr.barrier_from.take() {
+                            tr.events.push(
+                                TraceEvent::complete(
+                                    format!("barrier {bid}"),
+                                    "barrier",
+                                    from,
+                                    now.saturating_sub(from),
+                                    self.id as u64,
+                                )
+                                .arg("barrier", bid),
+                            );
+                        }
+                    }
                     true
                 } else {
                     false
@@ -825,8 +929,23 @@ impl Pe {
                     }
                     false
                 } else if self.stores.is_empty() {
-                    mem.flush_agent(self.id, now);
+                    let cache_lines = mem.flush_agent(self.id, now);
                     self.state = PeState::Ready;
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        if let Some((from, vr_lines)) = tr.flush_from.take() {
+                            tr.events.push(
+                                TraceEvent::complete(
+                                    "flush",
+                                    "flush",
+                                    from,
+                                    now.saturating_sub(from),
+                                    self.id as u64,
+                                )
+                                .arg("vr_lines", vr_lines)
+                                .arg("cache_lines", cache_lines),
+                            );
+                        }
+                    }
                     true
                 } else {
                     false

@@ -1,7 +1,7 @@
 //! Execution reports: the metrics every figure and table of the evaluation
 //! is built from.
 
-use spade_sim::{cycles_to_ns, Cycle, MemStats};
+use spade_sim::{cycles_to_ns, level_name, Cycle, DataClass, JsonValue, LevelKind, MemStats};
 
 use crate::pe::PeStats;
 
@@ -143,6 +143,62 @@ impl RunReport {
             self.termination_cycles as f64 / self.cycles as f64
         }
     }
+
+    /// This report as a JSON object, including the per-level and per-class
+    /// memory statistics. `host_wall_ns` is included for convenience but —
+    /// like report equality — it describes the host, not the simulated
+    /// hardware, so tooling that compares artifacts should ignore it.
+    pub fn to_json(&self) -> JsonValue {
+        let levels = LevelKind::ALL
+            .iter()
+            .map(|level| {
+                let s = self.mem.level(*level);
+                (
+                    level_name(*level),
+                    JsonValue::object([
+                        ("accesses", s.accesses.into()),
+                        ("hits", s.hits.into()),
+                        ("misses", s.misses().into()),
+                        ("writebacks", s.writebacks.into()),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        let dram_by_class = DataClass::ALL
+            .iter()
+            .map(|class| {
+                let name = match class {
+                    DataClass::SparseIn => "sparse_in",
+                    DataClass::SparseOut => "sparse_out",
+                    DataClass::RMatrix => "r_matrix",
+                    DataClass::CMatrix => "c_matrix",
+                };
+                (name, self.mem.dram_by_class(*class).into())
+            })
+            .collect::<Vec<_>>();
+        JsonValue::object([
+            ("cycles", self.cycles.into()),
+            ("time_ns", self.time_ns.into()),
+            ("dram_accesses", self.dram_accesses.into()),
+            ("llc_accesses", self.llc_accesses.into()),
+            ("requests_per_cycle", self.requests_per_cycle.into()),
+            ("achieved_gbps", self.achieved_gbps.into()),
+            ("dram_utilization", self.dram_utilization.into()),
+            ("total_nnz", self.total_nnz.into()),
+            ("max_pe_nnz", self.max_pe_nnz.into()),
+            ("num_barriers", self.num_barriers.into()),
+            ("termination_cycles", self.termination_cycles.into()),
+            ("tlb_misses", self.tlb_misses.into()),
+            ("faults_injected", self.mem.faults_injected.into()),
+            ("requests_issued", self.mem.requests_issued.into()),
+            ("levels", JsonValue::object(levels)),
+            ("dram_by_class", JsonValue::object(dram_by_class)),
+            ("total_vops", self.total_vops.into()),
+            ("stall_no_vr", self.stall_no_vr.into()),
+            ("stall_no_rs", self.stall_no_rs.into()),
+            ("host_wall_ns", self.host_wall_ns.into()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +234,22 @@ mod tests {
         let r = report(0, 0);
         assert_eq!(r.termination_fraction(), 0.0);
         assert_eq!(r.requests_per_cycle, 0.0);
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_complete() {
+        let r = report(1000, 900);
+        let text = r.to_json().render();
+        assert_eq!(spade_sim::json::validate(&text), Ok(()));
+        for key in [
+            "\"cycles\":1000",
+            "\"requests_per_cycle\"",
+            "\"levels\"",
+            "\"llc\"",
+            "\"dram_by_class\"",
+            "\"total_vops\":200",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
     }
 }

@@ -2,7 +2,10 @@
 //! hierarchy, driven by the CPE's tile schedule.
 
 use spade_matrix::{reference, Coo, DenseMatrix, TiledCoo, FLOATS_PER_LINE};
-use spade_sim::{Cycle, MemorySystem};
+use spade_sim::{
+    Cycle, LevelKind, MemorySystem, TelemetryCounters, TelemetryGauges, TelemetryRecorder,
+    TelemetrySeries, TraceEvent, TraceLog,
+};
 
 use crate::pe::{BarrierSync, KernelData, Pe, PeStats, RuntimeParams, TickResult};
 use crate::{
@@ -69,6 +72,14 @@ pub struct SpadeSystem {
     keep_warm: bool,
     fast_forward: bool,
     watchdog: WatchdogConfig,
+    /// Telemetry window in cycles; `None` disables sampling.
+    telemetry_window: Option<Cycle>,
+    /// Whether to record an event trace for the next run.
+    trace_on: bool,
+    /// Telemetry series from the most recent run (taken, not cloned).
+    last_telemetry: Option<TelemetrySeries>,
+    /// Event trace from the most recent run (taken, not cloned).
+    last_trace: Option<TraceLog>,
 }
 
 impl SpadeSystem {
@@ -80,6 +91,10 @@ impl SpadeSystem {
             keep_warm: false,
             fast_forward: true,
             watchdog: WatchdogConfig::default(),
+            telemetry_window: None,
+            trace_on: false,
+            last_telemetry: None,
+            last_trace: None,
         }
     }
 
@@ -121,6 +136,46 @@ impl SpadeSystem {
     /// The active watchdog configuration.
     pub fn watchdog(&self) -> WatchdogConfig {
         self.watchdog
+    }
+
+    /// Enables windowed telemetry sampling (window width in PE cycles) or
+    /// disables it with `None`. Telemetry is pure observation: enabling it
+    /// never changes a run's outputs, report, or cycle count. A zero
+    /// window is rejected when the next run starts.
+    pub fn set_telemetry(&mut self, window: Option<Cycle>) -> &mut Self {
+        self.telemetry_window = window;
+        self
+    }
+
+    /// The configured telemetry window, if sampling is enabled.
+    pub fn telemetry_window(&self) -> Option<Cycle> {
+        self.telemetry_window
+    }
+
+    /// Enables or disables event tracing (tile-instruction lifecycles,
+    /// barriers, flushes, idle spans, fault firings, watchdog reports).
+    /// Like telemetry, tracing never changes simulated behavior.
+    pub fn set_trace(&mut self, enabled: bool) -> &mut Self {
+        self.trace_on = enabled;
+        self
+    }
+
+    /// Whether event tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Takes the telemetry series recorded by the most recent run (also
+    /// populated when the run failed mid-way, e.g. on a watchdog trip).
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySeries> {
+        self.last_telemetry.take()
+    }
+
+    /// Takes the event trace recorded by the most recent run (also
+    /// populated when the run failed mid-way; a watchdog trip appears as
+    /// its final event).
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.last_trace.take()
     }
 
     /// Runs `D = A × B` under `plan`.
@@ -303,6 +358,15 @@ impl SpadeSystem {
         data: &mut KernelData<'_>,
     ) -> Result<RunReport, SpadeError> {
         let host_start = std::time::Instant::now();
+        // Artifacts describe exactly one run; drop any stale ones now so a
+        // failure below cannot be mistaken for fresh observability data.
+        self.last_telemetry = None;
+        self.last_trace = None;
+        if self.telemetry_window == Some(0) {
+            return Err(SpadeError::InvalidConfig {
+                reason: "telemetry window must be at least one cycle".into(),
+            });
+        }
         let num_pes = self.config.num_pes;
         let mut mem = match (self.keep_warm, self.mem.take()) {
             (true, Some(mut m)) if *m.config() == self.config.mem => {
@@ -311,6 +375,7 @@ impl SpadeSystem {
             }
             _ => MemorySystem::new(self.config.mem.clone()),
         };
+        mem.set_trace(self.trace_on);
         let params = RuntimeParams {
             primitive,
             r_policy: plan.r_policy,
@@ -320,12 +385,14 @@ impl SpadeSystem {
         let mut barriers = BarrierSync::new(num_pes);
         let mut pes: Vec<Pe> = (0..num_pes)
             .map(|i| {
-                Pe::new(
+                let mut pe = Pe::new(
                     i,
                     self.config.pipeline,
                     params,
                     schedule.commands(i).to_vec(),
-                )
+                );
+                pe.set_trace(self.trace_on);
+                pe
             })
             .collect();
 
@@ -349,111 +416,176 @@ impl SpadeSystem {
         // it is skipped until then. Barrier releases are the one external
         // wake source and reset every wake time.
         let mut wake: Vec<Cycle> = vec![0; num_pes];
-        loop {
-            loop_iters += 1;
-            if audit_on && loop_iters.is_multiple_of(AUDIT_PERIOD) {
-                audit_system(&mut mem, &pes, now, read_bound)?;
-            }
-            if let Some(max_cycles) = watchdog.max_cycles {
-                if now > max_cycles {
-                    return Err(deadlock(
-                        StallKind::CycleBudgetExceeded,
-                        now,
-                        idle_iters,
-                        &pes,
-                        &wake,
-                        &mut mem,
-                        &barriers,
-                    ));
+        // Windowed telemetry: sampled at the top of every iteration, before
+        // this cycle's activity, so window attribution is exact. Costs one
+        // comparison per iteration when enabled, one branch when not.
+        let mut telemetry = self
+            .telemetry_window
+            .map(|w| TelemetryRecorder::new(w, num_pes));
+        // Scheduler-level trace events (idle spans, barrier releases,
+        // watchdog reports) on a dedicated lane after the per-PE lanes.
+        let trace_on = self.trace_on;
+        let sched_lane = num_pes as u64;
+        let mut sched_events: Vec<TraceEvent> = Vec::new();
+        // Error paths break out of this block instead of returning, so the
+        // trace and telemetry collected up to the failure are still
+        // assembled below — a deadlocked run's trace is exactly the
+        // artifact one wants to look at.
+        let sim_err: Option<SpadeError> = 'sim: {
+            loop {
+                loop_iters += 1;
+                if let Some(rec) = telemetry.as_mut() {
+                    rec.advance_to(now, || observe(&mem, &pes));
                 }
-            }
-            let mut progressed = false;
-            let mut all_done = true;
-            let mut next_event = Cycle::MAX;
-            for (i, pe) in pes.iter_mut().enumerate() {
-                if pe.is_done() {
-                    continue;
-                }
-                if wake[i] > now {
-                    all_done = false;
-                    next_event = next_event.min(wake[i]);
-                    continue;
-                }
-                let mut pe_next = Cycle::MAX;
-                let mut pe_progressed = false;
-                for _ in 0..clock_mult {
-                    match pe.tick(now, &mut mem, &mut barriers, addr, tiled, data) {
-                        TickResult::Progressed => pe_progressed = true,
-                        TickResult::Waiting(t) => pe_next = pe_next.min(t),
-                        TickResult::Done => break,
+                if audit_on && loop_iters.is_multiple_of(AUDIT_PERIOD) {
+                    if let Err(e) = audit_system(&mut mem, &pes, now, read_bound) {
+                        break 'sim Some(e);
                     }
                 }
-                if pe.is_done() {
-                    continue;
+                if let Some(max_cycles) = watchdog.max_cycles {
+                    if now > max_cycles {
+                        break 'sim Some(deadlock(
+                            StallKind::CycleBudgetExceeded,
+                            now,
+                            idle_iters,
+                            &pes,
+                            &wake,
+                            &mut mem,
+                            &barriers,
+                        ));
+                    }
                 }
-                all_done = false;
-                if pe_progressed {
-                    progressed = true;
-                    wake[i] = now + 1;
-                    next_event = next_event.min(now + 1);
-                } else {
-                    // Waiting(MAX) means blocked on a barrier; leave the
-                    // wake at infinity — a release resets it below.
-                    wake[i] = if pe_next == Cycle::MAX {
-                        Cycle::MAX
+                let mut progressed = false;
+                let mut all_done = true;
+                let mut next_event = Cycle::MAX;
+                for (i, pe) in pes.iter_mut().enumerate() {
+                    if pe.is_done() {
+                        continue;
+                    }
+                    if wake[i] > now {
+                        all_done = false;
+                        next_event = next_event.min(wake[i]);
+                        continue;
+                    }
+                    let mut pe_next = Cycle::MAX;
+                    let mut pe_progressed = false;
+                    for _ in 0..clock_mult {
+                        match pe.tick(now, &mut mem, &mut barriers, addr, tiled, data) {
+                            TickResult::Progressed => pe_progressed = true,
+                            TickResult::Waiting(t) => pe_next = pe_next.min(t),
+                            TickResult::Done => break,
+                        }
+                    }
+                    if pe.is_done() {
+                        continue;
+                    }
+                    all_done = false;
+                    if pe_progressed {
+                        progressed = true;
+                        wake[i] = now + 1;
+                        next_event = next_event.min(now + 1);
                     } else {
-                        pe_next.max(now + 1)
-                    };
-                    next_event = next_event.min(wake[i]);
+                        // Waiting(MAX) means blocked on a barrier; leave the
+                        // wake at infinity — a release resets it below.
+                        wake[i] = if pe_next == Cycle::MAX {
+                            Cycle::MAX
+                        } else {
+                            pe_next.max(now + 1)
+                        };
+                        next_event = next_event.min(wake[i]);
+                    }
                 }
-            }
-            if barriers.try_release() {
-                progressed = true;
-                for w in wake.iter_mut() {
-                    *w = now + 1;
+                if barriers.try_release() {
+                    progressed = true;
+                    for w in wake.iter_mut() {
+                        *w = now + 1;
+                    }
+                    next_event = next_event.min(now + 1);
+                    if trace_on {
+                        sched_events.push(
+                            TraceEvent::instant("barrier release", "barrier", now, sched_lane)
+                                .arg("barrier", barriers.released().saturating_sub(1)),
+                        );
+                    }
                 }
-                next_event = next_event.min(now + 1);
-            }
-            if all_done {
-                break;
-            }
-            if progressed {
-                now += 1;
-                idle_iters = 0;
-            } else if next_event != Cycle::MAX && next_event > now {
-                // Idle fast-forward: every live PE is waiting, so nothing
-                // can change state before the earliest wake cycle. The
-                // naive loop ticks through the gap instead; both arrive at
-                // `next_event` with identical PE and memory state, so the
-                // reported cycles and outputs are bit-identical.
-                now = if self.fast_forward {
-                    next_event
+                if all_done {
+                    break;
+                }
+                if progressed {
+                    now += 1;
+                    idle_iters = 0;
+                } else if next_event != Cycle::MAX && next_event > now {
+                    // Idle fast-forward: every live PE is waiting, so nothing
+                    // can change state before the earliest wake cycle. The
+                    // naive loop ticks through the gap instead; both arrive at
+                    // `next_event` with identical PE and memory state, so the
+                    // reported cycles and outputs are bit-identical.
+                    if self.fast_forward {
+                        if trace_on && next_event - now >= IDLE_TRACE_MIN {
+                            sched_events.push(TraceEvent::complete(
+                                "idle",
+                                "idle",
+                                now,
+                                next_event - now,
+                                sched_lane,
+                            ));
+                        }
+                        now = next_event;
+                    } else {
+                        now += 1;
+                    }
+                    idle_iters = 0;
                 } else {
-                    now + 1
-                };
-                idle_iters = 0;
-            } else {
-                now += 1;
-                idle_iters += 1;
-                if idle_iters >= watchdog.idle_budget {
-                    return Err(deadlock(
-                        StallKind::IdleLivelock,
-                        now,
-                        idle_iters,
-                        &pes,
-                        &wake,
-                        &mut mem,
-                        &barriers,
-                    ));
+                    now += 1;
+                    idle_iters += 1;
+                    if idle_iters >= watchdog.idle_budget {
+                        break 'sim Some(deadlock(
+                            StallKind::IdleLivelock,
+                            now,
+                            idle_iters,
+                            &pes,
+                            &wake,
+                            &mut mem,
+                            &barriers,
+                        ));
+                    }
                 }
             }
-        }
 
-        if audit_on {
-            audit_system(&mut mem, &pes, now, read_bound)?;
-            if let Err(reason) = mem.audit_final(now) {
-                return Err(SpadeError::InvariantViolation { cycle: now, reason });
+            if audit_on {
+                if let Err(e) = audit_system(&mut mem, &pes, now, read_bound) {
+                    break 'sim Some(e);
+                }
+                if let Err(reason) = mem.audit_final(now) {
+                    break 'sim Some(SpadeError::InvariantViolation { cycle: now, reason });
+                }
             }
+            None
+        };
+
+        // Assemble observability artifacts on success *and* failure.
+        if let Some(rec) = telemetry.take() {
+            self.last_telemetry = Some(rec.finish(now, || observe(&mem, &pes)));
+        }
+        if trace_on {
+            let mut log = TraceLog::new();
+            for i in 0..num_pes {
+                log.set_lane(i as u64, format!("PE {i}"));
+            }
+            log.set_lane(sched_lane, "scheduler");
+            if let Some(SpadeError::Deadlock { diagnostics }) = &sim_err {
+                sched_events.push(diagnostics.to_trace_event(sched_lane));
+            }
+            for pe in pes.iter_mut() {
+                log.events.append(&mut pe.take_trace_events());
+            }
+            log.events.append(&mut mem.take_trace_events());
+            log.events.append(&mut sched_events);
+            log.sort_by_time();
+            self.last_trace = Some(log);
+        }
+        if let Some(e) = sim_err {
+            return Err(e);
         }
 
         let pe_stats: Vec<PeStats> = pes.iter().map(|p| *p.stats()).collect();
@@ -490,6 +622,45 @@ impl SpadeSystem {
         }
         Ok(())
     }
+}
+
+/// Idle fast-forward gaps at least this long (in cycles) are recorded as
+/// `idle` spans on the scheduler trace lane; shorter gaps are elided so the
+/// trace size stays bounded by real activity, not by cycle count.
+const IDLE_TRACE_MIN: Cycle = 16;
+
+/// Snapshots the cumulative counters and instantaneous gauges telemetry
+/// samples are differenced from. Only called at window boundaries — the
+/// recorder invokes it lazily through a closure.
+fn observe(mem: &MemorySystem, pes: &[Pe]) -> (TelemetryCounters, TelemetryGauges) {
+    let stats = mem.stats();
+    let mut counters = TelemetryCounters {
+        requests_issued: stats.requests_issued,
+        tlb_misses: stats.tlb_misses,
+        faults_injected: stats.faults_injected,
+        pe_vops: Vec::with_capacity(pes.len()),
+        ..TelemetryCounters::default()
+    };
+    for (i, level) in LevelKind::ALL.iter().enumerate() {
+        let s = stats.level(*level);
+        counters.level_accesses[i] = s.accesses;
+        counters.level_hits[i] = s.hits;
+    }
+    let mut gauges = TelemetryGauges::default();
+    for pe in pes {
+        let s = pe.stats();
+        counters.vops += s.vops;
+        counters.tuples += s.tuples;
+        counters.stall_no_vr += s.stall_no_vr;
+        counters.stall_no_rs += s.stall_no_rs;
+        counters.stall_no_dense_lq += s.stall_no_dense_lq;
+        counters.pe_vops.push(s.vops);
+        gauges.in_flight_loads += pe.load_queue_depth() as u64;
+        if !pe.is_done() {
+            gauges.active_pes += 1;
+        }
+    }
+    (counters, gauges)
 }
 
 /// Runs the periodic invariant checks: memory-system audit (occupancy,
@@ -828,5 +999,72 @@ mod tests {
         let run = run_spmm_checked(&mut sys(), &a, &b, &ExecutionPlan::spmm_base(&a).unwrap());
         assert!(run.report.requests_per_cycle > 0.0);
         assert!(run.report.achieved_gbps > 0.0);
+    }
+
+    #[test]
+    fn observability_is_pure_observation() {
+        let a = small_matrix();
+        let b = dense(32);
+        let plan = ExecutionPlan::spmm_base(&a).unwrap();
+        let plain = sys().run_spmm(&a, &b, &plan).unwrap();
+
+        let mut observed = sys();
+        observed.set_telemetry(Some(64)).set_trace(true);
+        let run = observed.run_spmm(&a, &b, &plan).unwrap();
+        // Enabling telemetry + tracing must not change anything simulated.
+        assert_eq!(run.report, plain.report);
+        assert_eq!(run.output, plain.output);
+
+        let series = observed.take_telemetry().expect("telemetry recorded");
+        assert_eq!(series.window, 64);
+        // The windows tile the whole run: total covered length is
+        // cycles + 1 (cycle 0 through `cycles` inclusive).
+        let covered: Cycle = series.samples.iter().map(|s| s.len).sum();
+        assert_eq!(covered, run.report.cycles + 1);
+        let requests: u64 = series.samples.iter().map(|s| s.requests).sum();
+        assert_eq!(requests, run.report.mem.requests_issued);
+        let vops: u64 = series.samples.iter().map(|s| s.vops).sum();
+        assert_eq!(vops, run.report.total_vops);
+
+        let trace = observed.take_trace().expect("trace recorded");
+        assert!(!trace.is_empty());
+        // One lane per PE plus the scheduler lane.
+        assert_eq!(trace.lanes().len(), observed.config().num_pes + 1);
+        assert!(trace.events.iter().any(|e| e.cat == "tile"));
+        assert!(trace.events.iter().any(|e| e.cat == "flush"));
+        assert_eq!(spade_sim::json::validate(&trace.to_chrome_json()), Ok(()));
+    }
+
+    #[test]
+    fn artifacts_survive_a_watchdog_trip() {
+        let a = small_matrix();
+        let b = dense(32);
+        let mut sys = sys();
+        sys.set_watchdog(WatchdogConfig {
+            idle_budget: 1_000_000,
+            max_cycles: Some(50),
+        });
+        sys.set_telemetry(Some(16)).set_trace(true);
+        let err = sys
+            .run_spmm(&a, &b, &ExecutionPlan::spmm_base(&a).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SpadeError::Deadlock { .. }));
+        // Both artifacts cover the truncated run, and the trace ends with
+        // the watchdog's own report.
+        assert!(sys.take_telemetry().is_some());
+        let trace = sys.take_trace().expect("trace recorded");
+        assert!(trace.events.iter().any(|e| e.cat == "watchdog"));
+    }
+
+    #[test]
+    fn zero_telemetry_window_is_rejected() {
+        let a = small_matrix();
+        let b = dense(32);
+        let mut sys = sys();
+        sys.set_telemetry(Some(0));
+        let err = sys
+            .run_spmm(&a, &b, &ExecutionPlan::spmm_base(&a).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SpadeError::InvalidConfig { .. }));
     }
 }

@@ -1,6 +1,6 @@
 use crate::{
     audit_enabled, Cache, Cycle, DataClass, Dram, LevelKind, Line, MemConfig, MemStats,
-    ReadTracker, Stlb,
+    ReadTracker, Stlb, TraceEvent,
 };
 
 /// Which path an access takes through the memory system.
@@ -51,6 +51,9 @@ pub struct MemorySystem {
     /// In-flight read accounting for the invariant auditor. `None` when
     /// auditing is off; bookkeeping only — never read by the timing model.
     tracker: Option<ReadTracker>,
+    /// Fault-firing trace events, buffered when tracing is enabled.
+    /// Observation only — never read by the timing model.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl MemorySystem {
@@ -78,7 +81,25 @@ impl MemorySystem {
             stlbs,
             stats: MemStats::new(),
             tracker: audit_enabled().then(ReadTracker::new),
+            trace: None,
             config,
+        }
+    }
+
+    /// Enables or disables event tracing. Enabling (re)starts an empty
+    /// buffer; disabling drops any buffered events. Tracing never affects
+    /// timing or statistics.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace = enabled.then(Vec::new);
+    }
+
+    /// Takes the buffered trace events, leaving tracing enabled with an
+    /// empty buffer if it was on. Events carry the issuing agent as their
+    /// lane id.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        match self.trace.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
         }
     }
 
@@ -153,6 +174,12 @@ impl MemorySystem {
         let cluster = self.cluster_of(agent);
         if self.config.faults.evicts_stlb(line, now) && self.stlbs[cluster].evict_line(line) {
             self.stats.faults_injected += 1;
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(
+                    TraceEvent::instant("fault: stlb evict", "fault", now, agent as u64)
+                        .arg("line", line),
+                );
+            }
         }
         let tlb_penalty = self.stlbs[cluster].translate(line);
         if tlb_penalty > 0 {
@@ -169,7 +196,7 @@ impl MemorySystem {
                     self.dram_write(line, class, now);
                     now + 1
                 } else {
-                    self.dram_read(line, class, now)
+                    self.dram_read(agent, line, class, now)
                 }
             }
             AccessPath::BypassVictim => self.victim_access(agent, line, class, now, is_write),
@@ -188,6 +215,12 @@ impl MemorySystem {
         let port_extra = self.config.faults.port_extra(agent, line, now);
         if port_extra > 0 {
             self.stats.faults_injected += 1;
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(
+                    TraceEvent::instant("fault: port delay", "fault", now, agent as u64)
+                        .arg("extra_cycles", port_extra),
+                );
+            }
         }
         let now = now + port_extra;
         let (l1_lat, l2_lat, llc_lat, link) = (
@@ -239,7 +272,7 @@ impl MemorySystem {
         }
 
         // DRAM (the remaining half of the link round trip).
-        self.dram_read(line, class, llc_done + link / 2)
+        self.dram_read(agent, line, class, llc_done + link / 2)
     }
 
     /// Fills `line` into an L2 as a write-back from an L1 (off the critical
@@ -281,7 +314,7 @@ impl MemorySystem {
                 self.dram_write(line, class, now);
                 now + 1
             } else {
-                self.dram_read(line, class, now)
+                self.dram_read(agent, line, class, now)
             };
         };
         let out = vc.access(line, is_write);
@@ -300,17 +333,23 @@ impl MemorySystem {
             // else to do now.
             now + self.config.l1_latency
         } else {
-            self.dram_read(line, class, now)
+            self.dram_read(agent, line, class, now)
         }
     }
 
-    fn dram_read(&mut self, line: Line, class: DataClass, now: Cycle) -> Cycle {
+    fn dram_read(&mut self, agent: usize, line: Line, class: DataClass, now: Cycle) -> Cycle {
         self.stats.record_access(LevelKind::Dram, true);
         self.stats.record_dram(class);
         let done = self.dram.access(line, now + self.config.link_latency / 2);
         let extra = self.config.faults.dram_extra(line, now);
         if extra > 0 {
             self.stats.faults_injected += 1;
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(
+                    TraceEvent::instant("fault: dram delay", "fault", now, agent as u64)
+                        .arg("extra_cycles", extra),
+                );
+            }
         }
         done + extra + self.config.link_latency / 2
     }

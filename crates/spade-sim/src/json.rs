@@ -1,0 +1,442 @@
+//! A hand-rolled, dependency-free JSON tree.
+//!
+//! The workspace deliberately carries no external crates (serde was pruned
+//! in the dependency purge), so every machine-readable artifact — run
+//! reports, telemetry series, Chrome traces — is built from this small
+//! value type and rendered by its writer. A matching [`validate`] parser
+//! lets tests and tooling check emitted documents without any dependency.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order, so rendered documents
+/// are deterministic and diff-friendly (the trace golden-file check relies
+/// on this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (cycle counts, event counters).
+    UInt(u64),
+    /// A float. Non-finite values render as `null` — JSON has no NaN/Inf.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, rendered in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders this value into `out`.
+    pub fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let mut buf = itoa_buffer();
+                out.push_str(write_display(&mut buf, i));
+            }
+            JsonValue::UInt(u) => {
+                let mut buf = itoa_buffer();
+                out.push_str(write_display(&mut buf, u));
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    let mut buf = itoa_buffer();
+                    out.push_str(write_display(&mut buf, f));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders this value as a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+/// Scratch buffer for integer/float rendering without a `format!`
+/// allocation per number.
+fn itoa_buffer() -> String {
+    String::with_capacity(24)
+}
+
+fn write_display<'a>(buf: &'a mut String, v: &impl fmt::Display) -> &'a str {
+    use fmt::Write as _;
+    buf.clear();
+    let _ = write!(buf, "{v}");
+    buf.as_str()
+}
+
+/// Writes `s` as a JSON string literal into `out`.
+fn write_escaped(s: &str, out: &mut String) {
+    use fmt::Write as _;
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Checks that `text` is one syntactically valid JSON document (with
+/// nothing but whitespace after it). Returns the byte offset and a short
+/// description on failure.
+///
+/// This is a syntax checker, not a full deserializer: emitted artifacts are
+/// verified well-formed without pulling in a JSON library.
+///
+/// # Errors
+///
+/// Returns `Err` with the byte offset of the first syntax error.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+/// Maximum nesting depth [`validate`] accepts; far above anything the
+/// writers emit, but keeps the recursive parser stack-safe.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.expect_literal("true"),
+            Some(b'f') => self.expect_literal("false"),
+            Some(b'n') => self.expect_literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.eat(b'{');
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Ok(());
+            }
+            return Err(self.err("expected ',' or '}'"));
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.eat(b'[');
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(());
+            }
+            return Err(self.err("expected ',' or ']'"));
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        if !self.eat(b'"') {
+            return Err(self.err("expected '\"'"));
+        }
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.pos += 1,
+                    Some(b'u') => {
+                        self.pos += 1;
+                        for _ in 0..4 {
+                            if !self.peek().is_some_and(|h| h.is_ascii_hexdigit()) {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                            self.pos += 1;
+                        }
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        self.eat(b'-');
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digits"));
+        }
+        if self.eat(b'.') {
+            let frac = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::Int(-3).render(), "-3");
+        assert_eq!(JsonValue::UInt(u64::MAX).render(), u64::MAX.to_string());
+        assert_eq!(JsonValue::Float(0.5).render(), "0.5");
+        assert_eq!(JsonValue::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::from("a\"b\\c\nd\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert!(validate(&v.render()).is_ok());
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let v = JsonValue::object([("b", 1u64.into()), ("a", 2u64.into())]);
+        assert_eq!(v.render(), "{\"b\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn rendered_trees_validate() {
+        let v = JsonValue::object([
+            (
+                "xs",
+                JsonValue::Array(vec![1u64.into(), (-2i64).into(), 0.25.into()]),
+            ),
+            ("s", "nested \"quote\"".into()),
+            ("none", JsonValue::Null),
+            (
+                "inner",
+                JsonValue::object([("k", JsonValue::Array(vec![]))]),
+            ),
+        ]);
+        assert_eq!(validate(&v.render()), Ok(()));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "\"unterminated",
+            "01x",
+            "nul",
+            "{\"a\":1} extra",
+            "1.",
+            "1e",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_standard_documents() {
+        for good in [
+            "null",
+            " [1, 2.5, -3e-2, \"x\", {\"k\": [true, false]}] ",
+            "{\"a\": {\"b\": {\"c\": []}}}",
+        ] {
+            assert_eq!(validate(good), Ok(()), "rejected {good:?}");
+        }
+    }
+}

@@ -49,8 +49,11 @@ mod config;
 mod dram;
 mod fault;
 mod hierarchy;
+pub mod json;
 mod stats;
+mod telemetry;
 mod tlb;
+mod trace;
 
 pub use audit::{audit_enabled, ReadTracker};
 pub use cache::{AccessOutcome, Cache, CacheConfig, Victim};
@@ -58,8 +61,14 @@ pub use config::MemConfig;
 pub use dram::{Dram, DramConfig};
 pub use fault::FaultConfig;
 pub use hierarchy::{AccessPath, MemorySystem};
+pub use json::JsonValue;
 pub use stats::{DataClass, LevelKind, LevelStats, MemStats};
+pub use telemetry::{
+    level_name, TelemetryCounters, TelemetryGauges, TelemetryRecorder, TelemetrySample,
+    TelemetrySeries,
+};
 pub use tlb::{Stlb, StlbConfig};
+pub use trace::{TraceEvent, TraceLog, TracePhase, TRACE_PID};
 
 /// Simulation time in SPADE PE cycles (0.8 GHz unless rescaled).
 pub type Cycle = u64;

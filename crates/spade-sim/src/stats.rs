@@ -82,9 +82,15 @@ pub struct LevelStats {
 }
 
 impl LevelStats {
-    /// Misses (`accesses − hits`).
+    /// Misses (`accesses − hits`), saturating at zero.
+    ///
+    /// `hits > accesses` cannot happen through [`MemStats`] recording, but
+    /// these counters are public (telemetry snapshots difference them, and
+    /// callers may build literals), so the derived metric is defined for
+    /// every input rather than panicking in debug builds or wrapping in
+    /// release builds.
     pub fn misses(&self) -> u64 {
-        self.accesses - self.hits
+        self.accesses.saturating_sub(self.hits)
     }
 
     /// Hit rate in `[0, 1]`; zero when there were no accesses.
@@ -205,5 +211,18 @@ mod tests {
     fn requests_per_cycle_handles_zero_elapsed() {
         let m = MemStats::new();
         assert_eq!(m.requests_per_cycle(0), 0.0);
+    }
+
+    #[test]
+    fn misses_saturate_on_degenerate_counters() {
+        // Counters are public; a hand-built (or differenced) value with
+        // hits > accesses must yield 0 misses, not a panic or wraparound.
+        let s = LevelStats {
+            accesses: 3,
+            hits: 5,
+            writebacks: 0,
+        };
+        assert_eq!(s.misses(), 0);
+        assert_eq!(LevelStats::default().misses(), 0);
     }
 }

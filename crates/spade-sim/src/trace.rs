@@ -1,0 +1,323 @@
+//! Structured event tracing with a Chrome `trace_event` exporter.
+//!
+//! Event producers (PE pipelines, the scheduler loop, the memory system)
+//! append [`TraceEvent`]s tagged with a *lane* id — one lane per PE plus
+//! dedicated scheduler/memory lanes — and [`TraceLog::to_chrome_json`]
+//! renders the whole log in the Chrome `trace_event` JSON format, which
+//! loads directly in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+//!
+//! Timestamps are **simulated PE cycles**, emitted verbatim into the `ts`
+//! field (which trace viewers display as microseconds): one viewer
+//! microsecond equals one PE cycle at 0.8 GHz. This keeps traces exactly
+//! reproducible — no wall-clock values appear anywhere in the output, so a
+//! trace can be golden-file checked byte for byte.
+
+use crate::json::JsonValue;
+use crate::telemetry::TelemetrySeries;
+use crate::Cycle;
+
+/// Process id used for every emitted event; the trace models one simulated
+/// chip, so a single process groups all lanes in the viewer.
+pub const TRACE_PID: u64 = 1;
+
+/// How an event maps onto the `trace_event` phase model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span with a known duration (`ph: "X"`).
+    Complete {
+        /// Span length in cycles.
+        dur: Cycle,
+    },
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A sampled counter value (`ph: "C"`); its args hold the series
+    /// values.
+    Counter,
+}
+
+/// One trace event: a span, instant, or counter sample on a lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name shown in the viewer (e.g. `tile 3`).
+    pub name: String,
+    /// Category tag, used by viewers for filtering (e.g. `tile`,
+    /// `barrier`, `fault`).
+    pub cat: &'static str,
+    /// Start cycle.
+    pub ts: Cycle,
+    /// Lane (rendered as a thread) this event belongs to.
+    pub tid: u64,
+    /// Span / instant / counter.
+    pub phase: TracePhase,
+    /// Event arguments, shown in the viewer's detail pane.
+    pub args: Vec<(&'static str, JsonValue)>,
+}
+
+impl TraceEvent {
+    /// A span event covering `[ts, ts + dur)`.
+    pub fn complete(
+        name: impl Into<String>,
+        cat: &'static str,
+        ts: Cycle,
+        dur: Cycle,
+        tid: u64,
+    ) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat,
+            ts,
+            tid,
+            phase: TracePhase::Complete { dur },
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant event at `ts`.
+    pub fn instant(name: impl Into<String>, cat: &'static str, ts: Cycle, tid: u64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat,
+            ts,
+            tid,
+            phase: TracePhase::Instant,
+            args: Vec::new(),
+        }
+    }
+
+    /// A counter sample at `ts`; the values are supplied via
+    /// [`arg`](Self::arg).
+    pub fn counter(name: impl Into<String>, ts: Cycle, tid: u64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: "counter",
+            ts,
+            tid,
+            phase: TracePhase::Counter,
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends an argument (builder style).
+    pub fn arg(mut self, key: &'static str, value: impl Into<JsonValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("name".into(), self.name.as_str().into()),
+            ("cat".into(), self.cat.into()),
+            ("ts".into(), self.ts.into()),
+            ("pid".into(), TRACE_PID.into()),
+            ("tid".into(), self.tid.into()),
+        ];
+        match self.phase {
+            TracePhase::Complete { dur } => {
+                fields.push(("ph".into(), "X".into()));
+                fields.push(("dur".into(), dur.into()));
+            }
+            TracePhase::Instant => {
+                fields.push(("ph".into(), "i".into()));
+                // Thread-scoped instant: renders as a marker on its lane.
+                fields.push(("s".into(), "t".into()));
+            }
+            TracePhase::Counter => {
+                fields.push(("ph".into(), "C".into()));
+            }
+        }
+        if !self.args.is_empty() {
+            fields.push((
+                "args".into(),
+                JsonValue::Object(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), v.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+/// An in-memory event log plus lane names, renderable as a Chrome
+/// `trace_event` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// Recorded events. Producers append in their own order;
+    /// [`sort_by_time`](Self::sort_by_time) puts the log in canonical
+    /// `(ts, tid)` order before export.
+    pub events: Vec<TraceEvent>,
+    lanes: Vec<(u64, String)>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Names a lane (rendered as a thread name in the viewer). Lanes are
+    /// listed in registration order.
+    pub fn set_lane(&mut self, tid: u64, name: impl Into<String>) {
+        self.lanes.push((tid, name.into()));
+    }
+
+    /// Registered `(tid, name)` lanes.
+    pub fn lanes(&self) -> &[(u64, String)] {
+        &self.lanes
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events (metadata excluded).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Stable-sorts events by `(ts, tid)` so export order is canonical
+    /// regardless of the order producer buffers were merged in.
+    pub fn sort_by_time(&mut self) {
+        self.events.sort_by_key(|e| (e.ts, e.tid));
+    }
+
+    /// Converts a telemetry series into counter tracks on `tid`:
+    /// requests-per-cycle, DRAM bandwidth, in-flight reads, and active
+    /// PEs, one sample per window at the window start. Viewed in Perfetto
+    /// this reproduces the paper's Figure 10-style curves.
+    pub fn add_telemetry(&mut self, series: &TelemetrySeries, tid: u64) {
+        for s in &series.samples {
+            self.push(
+                TraceEvent::counter("requests/cycle", s.start, tid)
+                    .arg("value", s.requests_per_cycle()),
+            );
+            self.push(TraceEvent::counter("dram GB/s", s.start, tid).arg("value", s.dram_gbps()));
+            self.push(
+                TraceEvent::counter("in-flight reads", s.start, tid)
+                    .arg("value", s.in_flight_loads),
+            );
+            self.push(TraceEvent::counter("active PEs", s.start, tid).arg("value", s.active_pes));
+        }
+    }
+
+    /// Renders the log as a Chrome `trace_event` JSON document:
+    /// `{"traceEvents": [...], ...}` with process/thread-name metadata
+    /// first, then events. Load the result in Perfetto or
+    /// `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<JsonValue> =
+            Vec::with_capacity(self.events.len() + self.lanes.len() + 1);
+        events.push(metadata_event(
+            "process_name",
+            None,
+            [("name", JsonValue::from("spade-sim"))],
+        ));
+        for (i, (tid, name)) in self.lanes.iter().enumerate() {
+            events.push(metadata_event(
+                "thread_name",
+                Some(*tid),
+                [("name", JsonValue::from(name.as_str()))],
+            ));
+            events.push(metadata_event(
+                "thread_sort_index",
+                Some(*tid),
+                [("sort_index", JsonValue::from(i as u64))],
+            ));
+        }
+        events.extend(self.events.iter().map(|e| e.to_json()));
+        JsonValue::object([
+            ("traceEvents", JsonValue::Array(events)),
+            ("displayTimeUnit", "ms".into()),
+            (
+                "otherData",
+                JsonValue::object([(
+                    "clock",
+                    JsonValue::from(
+                        "ts is in simulated PE cycles (0.8 GHz); 1 viewer us = 1 cycle",
+                    ),
+                )]),
+            ),
+        ])
+        .render()
+    }
+}
+
+fn metadata_event(
+    name: &str,
+    tid: Option<u64>,
+    args: impl IntoIterator<Item = (&'static str, JsonValue)>,
+) -> JsonValue {
+    let mut fields: Vec<(String, JsonValue)> = vec![
+        ("name".into(), name.into()),
+        ("ph".into(), "M".into()),
+        ("pid".into(), TRACE_PID.into()),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".into(), tid.into()));
+    }
+    fields.push((
+        "args".into(),
+        JsonValue::Object(args.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+    ));
+    JsonValue::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{TelemetrySample, TelemetrySeries};
+
+    #[test]
+    fn chrome_export_is_valid_json_with_metadata() {
+        let mut log = TraceLog::new();
+        log.set_lane(0, "PE 0");
+        log.set_lane(1, "scheduler");
+        log.push(TraceEvent::complete("tile 0", "tile", 5, 100, 0).arg("nnz", 32u64));
+        log.push(TraceEvent::instant("barrier release", "barrier", 110, 1));
+        let text = log.to_chrome_json();
+        assert_eq!(crate::json::validate(&text), Ok(()));
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"dur\":100"));
+        assert!(text.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn sort_is_canonical() {
+        let mut log = TraceLog::new();
+        log.push(TraceEvent::instant("b", "x", 10, 1));
+        log.push(TraceEvent::instant("a", "x", 5, 2));
+        log.push(TraceEvent::instant("c", "x", 5, 0));
+        log.sort_by_time();
+        let order: Vec<&str> = log.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(order, ["c", "a", "b"]);
+    }
+
+    #[test]
+    fn telemetry_becomes_counter_tracks() {
+        let series = TelemetrySeries {
+            window: 8,
+            samples: vec![TelemetrySample {
+                start: 0,
+                len: 8,
+                requests: 16,
+                ..TelemetrySample::default()
+            }],
+        };
+        let mut log = TraceLog::new();
+        log.add_telemetry(&series, 9);
+        assert_eq!(log.len(), 4);
+        let text = log.to_chrome_json();
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("requests/cycle"));
+    }
+}

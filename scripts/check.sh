@@ -16,4 +16,25 @@ cargo test --workspace -q
 echo "== fault-injection stress (release, auditor on)"
 SPADE_AUDIT=1 cargo test --release -p spade-core --test fault_injection -q
 
+echo "== trace smoke + golden-file check"
+# The trace format contains no wall-clock values, so the emitted bytes are
+# fully deterministic: any drift against the committed golden file is a
+# behavior change that must be reviewed. After an *intentional* change,
+# regenerate with `SPADE_UPDATE_GOLDEN=1 scripts/check.sh` and commit the
+# new golden file.
+golden=tests/golden/trace_smoke.trace.json
+smoke=$(mktemp /tmp/spade_trace_smoke.XXXXXX.json)
+trap 'rm -f "$smoke"' EXIT
+cargo run -q -p spade-cli -- trace myc --scale tiny --k 16 --pes 4 \
+  --window 256 --out "$smoke"
+if [ "${SPADE_UPDATE_GOLDEN:-0}" = "1" ]; then
+  cp "$smoke" "$golden"
+  echo "updated $golden"
+elif ! cmp -s "$smoke" "$golden"; then
+  echo "error: trace output drifted from $golden" >&2
+  diff "$golden" "$smoke" | head -20 >&2 || true
+  echo "if the change is intentional: SPADE_UPDATE_GOLDEN=1 scripts/check.sh" >&2
+  exit 1
+fi
+
 echo "All checks passed."
