@@ -32,6 +32,7 @@
 
 pub mod machines;
 pub mod parallel;
+pub mod perf;
 pub mod runner;
 pub mod suite;
 pub mod table;

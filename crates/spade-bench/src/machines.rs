@@ -22,7 +22,15 @@ fn scaled_caches() -> (CacheConfig, CacheConfig, CacheConfig, usize) {
     let l1 = CacheConfig::new(8 * 1024, 8);
     let vc = CacheConfig::new(2 * 1024, 2);
     let l2 = CacheConfig::new(((1_310_720.0 / CAPACITY_SCALE) as usize).max(8 * 1024), 16);
-    let llc_per_cluster = ((1_572_864.0 / CAPACITY_SCALE) as usize).max(4 * 1024);
+    // Round the scaled per-cluster LLC slice *up* to a whole number of
+    // 12-way sets: 1.5 MiB / 160 ≈ 9830 B → 13 sets × 768 B = 9984 B.
+    // (`MemConfig::validate` rejects inexact geometries rather than
+    // silently shrinking them.)
+    let llc_set_bytes = 12 * 64;
+    let llc_per_cluster = ((1_572_864.0 / CAPACITY_SCALE) as usize)
+        .max(4 * 1024)
+        .div_ceil(llc_set_bytes)
+        * llc_set_bytes;
     (l1, vc, l2, llc_per_cluster)
 }
 
@@ -151,9 +159,11 @@ mod tests {
     #[test]
     fn scaled_llc_preserves_working_set_ratio() {
         let cfg = spade_system(224);
-        // 56 clusters × (1.5 MiB / 160) ≈ 537 KiB total.
-        assert_eq!(cfg.mem.llc.size_bytes, 56 * 9830);
+        // 56 clusters × (1.5 MiB / 160 rounded up to whole 12-way sets).
+        assert_eq!(cfg.mem.llc.size_bytes, 56 * 9984);
+        assert!(cfg.mem.llc.is_exact());
         assert_eq!(cfg.mem.dram.bandwidth_gbps, 304.0);
+        assert_eq!(cfg.mem.validate(), Ok(()));
     }
 
     #[test]

@@ -171,6 +171,11 @@ pub struct Job {
     pub telemetry_window: Option<Cycle>,
     /// Whether to record an event trace (off by default).
     pub trace: bool,
+    /// Drive the simulation with the naive cycle-by-cycle loop instead of
+    /// the event-driven scheduler (off by default). Both produce
+    /// bit-identical results; the naive loop exists as the oracle for the
+    /// scheduler-equivalence tests and the `bench-perf` comparison.
+    pub naive_loop: bool,
 }
 
 /// Everything one job produced: the report plus whatever observability
@@ -202,6 +207,7 @@ impl Job {
             plan,
             telemetry_window: None,
             trace: false,
+            naive_loop: false,
         }
     }
 
@@ -214,6 +220,12 @@ impl Job {
     /// Enables event tracing for this job (builder style).
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Selects the naive cycle-by-cycle loop for this job (builder style).
+    pub fn with_naive_loop(mut self, naive: bool) -> Self {
+        self.naive_loop = naive;
         self
     }
 
@@ -232,6 +244,7 @@ impl Job {
         spade_core::ExecutionPlan,
         Option<Cycle>,
         bool,
+        bool,
     ) {
         (
             Arc::as_ptr(&self.workload) as usize,
@@ -240,6 +253,7 @@ impl Job {
             self.plan,
             self.telemetry_window,
             self.trace,
+            self.naive_loop,
         )
     }
 
@@ -269,7 +283,8 @@ impl Job {
         let w = &self.workload;
         let mut sys = SpadeSystem::new((*self.config).clone());
         sys.set_telemetry(self.telemetry_window)
-            .set_trace(self.trace);
+            .set_trace(self.trace)
+            .set_fast_forward(!self.naive_loop);
         let report = match self.primitive {
             Primitive::Spmm => {
                 let run = sys

@@ -1,0 +1,246 @@
+//! The `bench-perf` harness: simulator-throughput measurement.
+//!
+//! Runs the Figure 9 suite under both cycle-loop drivers — the event-driven
+//! ready-queue scheduler and the naive cycle-by-cycle oracle — and records
+//! each run's `sim_cycles_per_host_sec`. Both drivers produce bit-identical
+//! simulated results (checked here report-for-report on every invocation),
+//! so the only difference worth recording is how fast the host produced
+//! them. The JSON document this module emits is committed as
+//! `BENCH_sim.json`, the repository's simulator-performance trajectory:
+//! re-run it after scheduler or hot-path changes and compare.
+
+use std::sync::Arc;
+
+use spade_core::{JsonValue, Primitive, SystemConfig};
+use spade_matrix::generators::Scale;
+
+use crate::machines;
+use crate::parallel::{Job, ParallelRunner};
+use crate::runner::geomean;
+use crate::suite::Workload;
+
+/// One (workload, primitive) measurement: identical simulations under both
+/// drivers, with the host throughput each achieved.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Workload short name.
+    pub workload: String,
+    /// Kernel measured.
+    pub primitive: Primitive,
+    /// Simulated cycles (identical under both drivers by construction).
+    pub cycles: u64,
+    /// Simulated cycles per host second under the event-driven scheduler.
+    pub event_cps: f64,
+    /// Simulated cycles per host second under the naive tick loop.
+    pub naive_cps: f64,
+}
+
+impl PerfRow {
+    /// Event-driven over naive host throughput; zero if the naive rate is
+    /// unmeasurable (degenerate sub-nanosecond run).
+    pub fn speedup(&self) -> f64 {
+        if self.naive_cps > 0.0 {
+            self.event_cps / self.naive_cps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A complete `bench-perf` result: the per-row measurements plus the
+/// context needed to reproduce them.
+#[derive(Debug, Clone)]
+pub struct PerfSummary {
+    /// Suite scale the rows were measured at.
+    pub scale: Scale,
+    /// Dense row size.
+    pub k: usize,
+    /// SPADE PE count.
+    pub pes: usize,
+    /// Worker threads the sweep ran on.
+    pub threads: usize,
+    /// One row per (workload, primitive).
+    pub rows: Vec<PerfRow>,
+}
+
+impl PerfSummary {
+    /// Geometric-mean speedup of the event-driven driver over the naive
+    /// loop across all rows.
+    pub fn geomean_speedup(&self) -> f64 {
+        geomean(&self.rows.iter().map(PerfRow::speedup).collect::<Vec<_>>())
+    }
+
+    /// Geometric-mean event-driven throughput (simulated cycles per host
+    /// second).
+    pub fn geomean_event_cps(&self) -> f64 {
+        geomean(&self.rows.iter().map(|r| r.event_cps).collect::<Vec<_>>())
+    }
+
+    /// Geometric-mean naive-loop throughput.
+    pub fn geomean_naive_cps(&self) -> f64 {
+        geomean(&self.rows.iter().map(|r| r.naive_cps).collect::<Vec<_>>())
+    }
+
+    /// The summary as the `BENCH_sim.json` document.
+    pub fn to_json(&self) -> JsonValue {
+        let rows: Vec<JsonValue> = self
+            .rows
+            .iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(r.workload.as_str())),
+                    ("kernel", r.primitive.to_string().to_lowercase().into()),
+                    ("cycles", r.cycles.into()),
+                    ("event_sim_cycles_per_host_sec", r.event_cps.into()),
+                    ("naive_sim_cycles_per_host_sec", r.naive_cps.into()),
+                    ("speedup", r.speedup().into()),
+                ])
+            })
+            .collect();
+        JsonValue::object([
+            ("bench", JsonValue::from("bench-perf")),
+            ("scale", format!("{:?}", self.scale).to_lowercase().into()),
+            ("k", self.k.into()),
+            ("pes", self.pes.into()),
+            ("threads", self.threads.into()),
+            ("geomean_speedup", self.geomean_speedup().into()),
+            (
+                "geomean_event_sim_cycles_per_host_sec",
+                self.geomean_event_cps().into(),
+            ),
+            (
+                "geomean_naive_sim_cycles_per_host_sec",
+                self.geomean_naive_cps().into(),
+            ),
+            ("workloads", JsonValue::Array(rows)),
+        ])
+    }
+}
+
+/// Measures every (workload, primitive) pair under both drivers and checks
+/// that each pair's simulated reports are identical (`RunReport` equality
+/// ignores host wall clock — everything simulated must match).
+///
+/// # Errors
+///
+/// Returns a message when any simulation fails, diverges from the gold
+/// kernel, or — the reason this harness exists — the two drivers disagree
+/// on any simulated metric.
+pub fn measure(
+    workloads: &[Arc<Workload>],
+    config: &Arc<SystemConfig>,
+    primitives: &[Primitive],
+    runner: &ParallelRunner,
+) -> Result<Vec<PerfRow>, String> {
+    let mut jobs = Vec::new();
+    for w in workloads {
+        for &p in primitives {
+            jobs.push(Job::new(w, config, p, machines::base_plan(&w.a)));
+            jobs.push(Job::new(w, config, p, machines::base_plan(&w.a)).with_naive_loop(true));
+        }
+    }
+    let results = runner.run_results(&jobs);
+    let mut rows = Vec::new();
+    for (pair, job) in results.chunks_exact(2).zip(jobs.chunks_exact(2)) {
+        let event = pair[0].as_ref().map_err(|e| e.to_string())?;
+        let naive = pair[1].as_ref().map_err(|e| e.to_string())?;
+        if event != naive {
+            return Err(format!(
+                "drivers disagree on {}/{:?}: event {} cycles vs naive {} cycles",
+                job[0].workload.name, job[0].primitive, event.cycles, naive.cycles
+            ));
+        }
+        rows.push(PerfRow {
+            workload: job[0].workload.name.clone(),
+            primitive: job[0].primitive,
+            cycles: event.cycles,
+            event_cps: event.sim_cycles_per_host_sec(),
+            naive_cps: naive.sim_cycles_per_host_sec(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs the full Figure 9 suite (both kernels) at `scale` and returns the
+/// summary ready to serialize as `BENCH_sim.json`.
+///
+/// # Errors
+///
+/// See [`measure`].
+pub fn run_suite_perf(
+    scale: Scale,
+    k: usize,
+    pes: usize,
+    runner: &ParallelRunner,
+) -> Result<PerfSummary, String> {
+    let workloads: Vec<Arc<Workload>> = Workload::suite(scale, k)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let config = Arc::new(machines::spade_system(pes));
+    let rows = measure(
+        &workloads,
+        &config,
+        &[Primitive::Spmm, Primitive::Sddmm],
+        runner,
+    )?;
+    Ok(PerfSummary {
+        scale,
+        k,
+        pes,
+        threads: runner.threads(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_matrix::generators::Benchmark;
+
+    #[test]
+    fn both_drivers_agree_and_produce_throughput() {
+        let w = Arc::new(Workload::prepare(Benchmark::Myc, Scale::Tiny, 32));
+        let cfg = Arc::new(machines::spade_system(4));
+        let rows = measure(&[w], &cfg, &[Primitive::Spmm], &ParallelRunner::new(1)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].cycles > 0);
+        assert!(rows[0].event_cps > 0.0);
+        assert!(rows[0].naive_cps > 0.0);
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_complete() {
+        let summary = PerfSummary {
+            scale: Scale::Tiny,
+            k: 32,
+            pes: 4,
+            threads: 1,
+            rows: vec![PerfRow {
+                workload: "myc".into(),
+                primitive: Primitive::Spmm,
+                cycles: 1000,
+                event_cps: 4.0e6,
+                naive_cps: 2.0e6,
+            }],
+        };
+        assert!((summary.geomean_speedup() - 2.0).abs() < 1e-12);
+        let text = summary.to_json().render();
+        assert_eq!(spade_sim::json::validate(&text), Ok(()));
+        assert!(text.contains("\"geomean_speedup\""));
+        assert!(text.contains("\"event_sim_cycles_per_host_sec\""));
+        assert!(text.contains("\"scale\":\"tiny\""));
+    }
+
+    #[test]
+    fn zero_naive_rate_yields_zero_speedup() {
+        let row = PerfRow {
+            workload: "x".into(),
+            primitive: Primitive::Spmm,
+            cycles: 1,
+            event_cps: 1.0,
+            naive_cps: 0.0,
+        };
+        assert_eq!(row.speedup(), 0.0);
+    }
+}

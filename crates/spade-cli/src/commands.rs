@@ -31,6 +31,8 @@ pub const USAGE: &str = "usage:
   spade-cli search --benchmark <name> [--k 32] [--pes 56] [--scale ...] [--full]
                    [--format json|text] [--telemetry <window>]
   spade-cli mm     --file <matrix.mtx> [--k 32] [--pes 56] [--format json|text]
+  spade-cli bench-perf [--scale tiny|small|default|large] [--k 32] [--pes 56]
+                   [--out BENCH_sim.json]
 
 benchmarks: asi liv ork pap del kro myc pac roa ser";
 
@@ -52,6 +54,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "advise" => advise_cmd(rest),
         "search" => search(rest),
         "mm" => run_mm(rest),
+        "bench-perf" => bench_perf(rest),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -551,6 +554,51 @@ fn run_mm(argv: &[String]) -> Result<(), String> {
     )
 }
 
+/// `bench-perf`: measures simulator host throughput under the event-driven
+/// scheduler and the naive tick-loop oracle across the Figure 9 suite, then
+/// writes the machine-readable summary (default `BENCH_sim.json`). The run
+/// doubles as an equivalence check: it fails if the two drivers disagree on
+/// any simulated metric.
+fn bench_perf(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let scale = parse_scale(&args)?;
+    let k = parse_k(&args)?;
+    let pes: usize = args.get_parsed("pes", 56)?;
+    if pes == 0 || !pes.is_multiple_of(4) {
+        return Err("--pes must be a positive multiple of 4".into());
+    }
+    let out = args.get("out").unwrap_or("BENCH_sim.json").to_string();
+    let runner = ParallelRunner::from_env();
+    let host_start = Instant::now();
+    let summary = spade_bench::perf::run_suite_perf(scale, k, pes, &runner)?;
+    println!(
+        "{:<6} {:<6} {:>12} {:>14} {:>14} {:>8}",
+        "name", "kernel", "cycles", "event cyc/s", "naive cyc/s", "speedup"
+    );
+    for r in &summary.rows {
+        println!(
+            "{:<6} {:<6} {:>12} {:>14.3e} {:>14.3e} {:>7.2}x",
+            r.workload,
+            r.primitive.to_string().to_lowercase(),
+            r.cycles,
+            r.event_cps,
+            r.naive_cps,
+            r.speedup()
+        );
+    }
+    println!(
+        "geomean: event {:.3e} cyc/s, naive {:.3e} cyc/s, speedup {:.2}x ({} threads, {:.1}s host)",
+        summary.geomean_event_cps(),
+        summary.geomean_naive_cps(),
+        summary.geomean_speedup(),
+        summary.threads,
+        host_start.elapsed().as_secs_f64()
+    );
+    std::fs::write(&out, summary.to_json().render()).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +710,28 @@ mod tests {
         assert!(text.contains("\"ph\":\"C\""), "telemetry counter tracks");
         // No wall-clock values: the trace is deterministic byte for byte.
         assert!(!text.contains("host_wall"));
+    }
+
+    #[test]
+    fn bench_perf_writes_a_valid_summary() {
+        let path = std::env::temp_dir().join("spade_cli_bench_perf_test.json");
+        dispatch(&argv(&[
+            "bench-perf",
+            "--scale",
+            "tiny",
+            "--k",
+            "16",
+            "--pes",
+            "4",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(spade_sim::json::validate(&text), Ok(()));
+        assert!(text.contains("\"geomean_speedup\""));
+        assert!(text.contains("\"kernel\":\"sddmm\""));
     }
 
     #[test]

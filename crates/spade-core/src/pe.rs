@@ -154,24 +154,21 @@ pub struct RuntimeParams {
     pub lines_per_row: u32,
 }
 
-/// A `(r_id, c_id, val)` tuple staged in the sparse load queue, with its
-/// output position for SDDMM.
+/// One sparse line-group fetch in flight: a contiguous range of non-zeros
+/// whose `r_ids`/`c_ids`/`vals` lines arrive together at `ready_at`. The
+/// tuples themselves are materialized lazily from the tiled arrays at pop
+/// time, so the entry is a fixed-size record and the loader allocates
+/// nothing in steady state.
 #[derive(Debug, Clone, Copy)]
-struct Tuple {
-    row: u32,
-    col: u32,
-    val: f32,
-    /// Index into the functional output array (tiled order).
-    func_out_idx: u64,
-    /// Index into the padded output values array (for the output line
-    /// address).
-    out_padded_idx: u64,
-}
-
-#[derive(Debug)]
 struct SparseEntry {
     ready_at: Cycle,
-    tuples: VecDeque<Tuple>,
+    /// Absolute index (into the tiled arrays) of the next tuple to pop;
+    /// doubles as the functional output index.
+    idx: u64,
+    /// Padded-output index of the next tuple (for the output line address).
+    out_idx: u64,
+    /// Tuples remaining in this line group.
+    remaining: u64,
 }
 
 /// A tuple operation: addresses resolved, awaiting vOp expansion.
@@ -291,6 +288,9 @@ pub struct PeStats {
     /// vOps executed.
     pub vops: u64,
     /// Cycles where the vOp generator stalled for a free vector register.
+    /// Stalls accrue as elapsed cycles when they resolve (or change
+    /// cause), so the totals are independent of how often the stalled PE
+    /// was polled.
     pub stall_no_vr: u64,
     /// Cycles where the vOp generator stalled for a reservation-station
     /// slot.
@@ -302,6 +302,17 @@ pub struct PeStats {
     /// Cycle at which this PE started its final WB&Invalidate (compute
     /// complete); 0 until then.
     pub flush_started_at: Cycle,
+}
+
+/// What the vOp generator is currently stalled on (see [`Pe::note_stall`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallCause {
+    /// No free vector register (VRF allocation blocked).
+    Vr,
+    /// Reservation stations full.
+    Rs,
+    /// Dense load queue full.
+    DenseLq,
 }
 
 /// One SPADE processing element.
@@ -321,8 +332,14 @@ pub struct Pe {
     sparse_lq: VecDeque<SparseEntry>,
     top_q: VecDeque<TOp>,
     /// Reservation stations, kept in program (seq) order so the dispatch
-    /// scan can stop at the first ready entry.
-    rs: VecDeque<RsEntry>,
+    /// scan can stop at the first ready entry. Dispatched entries become
+    /// `None` tombstones (removal from the middle must not shift the
+    /// queue on the hot path); tombstones drain from the front eagerly and
+    /// the deque is compacted in place once they dominate it.
+    rs: VecDeque<Option<RsEntry>>,
+    /// Live (non-tombstone) reservation-station entries; this — not
+    /// `rs.len()` — is the architectural occupancy.
+    rs_live: usize,
     /// In-flight SIMD operations. Dispatch happens at monotonically
     /// nondecreasing `now` with a fixed latency, so completions are FIFO.
     in_flight: VecDeque<InFlight>,
@@ -339,9 +356,24 @@ pub struct Pe {
     /// Earliest cycle at which a reservation-station scan can find a ready
     /// vOp (event-driven gate for the dispatch scan).
     rs_next_try: Cycle,
+    /// Whether the dispatch scan honors `rs_next_try`. The event-driven
+    /// driver relies on the gate; the naive oracle loop disables it so
+    /// every polled cycle pays the full architectural ready scan, like a
+    /// textbook cycle-by-cycle simulator. The gate is a pure
+    /// short-circuit — a scan before `rs_next_try` finds nothing ready —
+    /// so both settings dispatch identically (the `scheduler_equivalence`
+    /// suite checks this byte-for-byte).
+    event_gates: bool,
     /// Set when the vOp generator stalled on VRF allocation; cleared by
     /// any event that frees a register (retire, write-back, load arrival).
     alloc_blocked: bool,
+    /// Open vOp-generator stall: its cause and the cycle it began. Closed
+    /// — accrued into `stats` as elapsed cycles — when the generator next
+    /// acts, runs dry, or the cause changes. Accrual at transition points
+    /// makes the totals identical under any polling discipline: re-observing
+    /// an open stall (same cause) is a no-op, so an every-cycle poll loop
+    /// and an event-driven scheduler report the same counts.
+    stall_open: Option<(StallCause, Cycle)>,
     stats: PeStats,
     /// Lifecycle trace recorder; `None` (no allocation, no work) unless
     /// tracing was requested.
@@ -369,7 +401,8 @@ impl Pe {
             tile_out_next: 0,
             sparse_lq: VecDeque::with_capacity(cfg.sparse_lq_entries),
             top_q: VecDeque::with_capacity(cfg.top_queue_entries),
-            rs: VecDeque::with_capacity(cfg.rs_entries),
+            rs: VecDeque::with_capacity(cfg.rs_entries * 2),
+            rs_live: 0,
             in_flight: VecDeque::new(),
             vrf: Vrf::new(cfg.vrf_regs),
             dense_loads: BinaryHeap::new(),
@@ -377,7 +410,9 @@ impl Pe {
             pending_flush: VecDeque::new(),
             wb_draining: false,
             rs_next_try: 0,
+            event_gates: true,
             alloc_blocked: false,
+            stall_open: None,
             stats: PeStats::default(),
             trace: None,
         }
@@ -386,6 +421,40 @@ impl Pe {
     /// Statistics so far.
     pub fn stats(&self) -> &PeStats {
         &self.stats
+    }
+
+    /// Observes the vOp generator stalled on `cause` at `now`. A repeat
+    /// observation of the open stall is a no-op; a cause change closes the
+    /// old stall (accruing its elapsed cycles) and opens the new one.
+    fn note_stall(&mut self, cause: StallCause, now: Cycle) {
+        match self.stall_open {
+            Some((open, _)) if open == cause => {}
+            _ => {
+                self.close_stall(now);
+                self.stall_open = Some((cause, now));
+            }
+        }
+    }
+
+    /// Closes any open stall at `now`, accruing the elapsed cycles
+    /// (minimum one: a stall observed at all lasted at least the cycle it
+    /// was observed in) into the per-cause counter.
+    fn close_stall(&mut self, now: Cycle) {
+        if let Some((cause, since)) = self.stall_open.take() {
+            let elapsed = (now - since).max(1);
+            match cause {
+                StallCause::Vr => self.stats.stall_no_vr += elapsed,
+                StallCause::Rs => self.stats.stall_no_rs += elapsed,
+                StallCause::DenseLq => self.stats.stall_no_dense_lq += elapsed,
+            }
+        }
+    }
+
+    /// Enables (default) or disables the event-driven dispatch-scan gate;
+    /// see the `event_gates` field. Disabling it changes host cost only,
+    /// never simulated behavior.
+    pub fn set_event_gates(&mut self, enabled: bool) {
+        self.event_gates = enabled;
     }
 
     /// Enables or disables lifecycle tracing for this PE. Tracing is pure
@@ -421,7 +490,7 @@ impl Pe {
             tile_remaining: self.tile_remaining,
             sparse_lq: self.sparse_lq.len(),
             top_q: self.top_q.len(),
-            rs: self.rs.len(),
+            rs: self.rs_live,
             in_flight: self.in_flight.len(),
             dense_loads: self.dense_loads.len(),
             stores: self.stores.len(),
@@ -441,7 +510,7 @@ impl Pe {
                 self.cfg.sparse_lq_entries,
             ),
             ("top_q", self.top_q.len(), self.cfg.top_queue_entries),
-            ("rs", self.rs.len(), self.cfg.rs_entries),
+            ("rs", self.rs_live, self.cfg.rs_entries),
             (
                 "dense_loads",
                 self.dense_loads.len(),
@@ -502,7 +571,7 @@ impl Pe {
         self.tile_remaining == 0
             && self.sparse_lq.is_empty()
             && self.top_q.is_empty()
-            && self.rs.is_empty()
+            && self.rs_live == 0
             && self.in_flight.is_empty()
             && self.dense_loads.is_empty()
     }
@@ -574,10 +643,14 @@ impl Pe {
         //     The scan is gated on `rs_next_try`: a failed scan computes a
         //     lower bound on when any entry can become ready, and only a
         //     load arrival or a new entry re-arms it earlier. ─
-        if !self.rs.is_empty() && now >= self.rs_next_try {
+        if self.rs_live > 0 && (now >= self.rs_next_try || !self.event_gates) {
             let mut best: Option<usize> = None;
             let mut bound = Cycle::MAX;
-            for (idx, e) in self.rs.iter().enumerate() {
+            for (idx, slot) in self.rs.iter().enumerate() {
+                // Tombstones occupy no architectural slot and never
+                // reorder the live entries around them, so skipping them
+                // preserves the oldest-ready-first dispatch order exactly.
+                let Some(e) = slot else { continue };
                 let ready_at = self
                     .vrf
                     .ready_at(e.op1)
@@ -590,7 +663,17 @@ impl Pe {
                 bound = bound.min(ready_at);
             }
             if let Some(idx) = best {
-                let e = self.rs.remove(idx).expect("index from scan");
+                let e = self.rs[idx].take().expect("scan found a live entry");
+                self.rs_live -= 1;
+                // Drain leading tombstones so the common oldest-first
+                // dispatch keeps the deque short, then compact in place
+                // (order-preserving) if tombstones still dominate.
+                while self.rs.front().is_some_and(Option::is_none) {
+                    self.rs.pop_front();
+                }
+                if self.rs.len() >= self.rs_live * 2 + 2 {
+                    self.rs.retain(Option::is_some);
+                }
                 let done = now + self.cfg.simd_latency;
                 self.vrf.record_write(e.dest, done);
                 self.in_flight.push_back(InFlight {
@@ -616,13 +699,21 @@ impl Pe {
         //     gated: a VRF stall can only clear after a retire, a
         //     write-back or a load arrival. ─
         if let Some(&top) = self.top_q.front() {
-            if self.rs.len() >= self.cfg.rs_entries {
-                self.stats.stall_no_rs += 1;
+            // The `alloc_blocked` latch is checked first: while it is set
+            // the generator cannot retry no matter what the queues look
+            // like, so VRF allocation is the binding constraint. (It must
+            // also come first for stable attribution: a failed `gen_vop`
+            // may have issued its op1 dense load before stalling on op2,
+            // so the dense-queue occupancy test can flip *after* the VR
+            // stall latched.)
+            if self.alloc_blocked {
+                self.note_stall(StallCause::Vr, now);
+            } else if self.rs_live >= self.cfg.rs_entries {
+                self.note_stall(StallCause::Rs, now);
             } else if self.dense_loads.len() + 2 > self.cfg.dense_lq_entries {
-                self.stats.stall_no_dense_lq += 1;
-            } else if self.alloc_blocked {
-                self.stats.stall_no_vr += 1;
+                self.note_stall(StallCause::DenseLq, now);
             } else if self.gen_vop(top, now, mem, addr) {
+                self.close_stall(now);
                 let t = self.top_q.front_mut().expect("tOp queue was non-empty");
                 t.next_seg += 1;
                 if t.next_seg >= self.params.lines_per_row {
@@ -632,28 +723,36 @@ impl Pe {
                 progressed = true;
             } else {
                 self.alloc_blocked = true;
-                self.stats.stall_no_vr += 1;
+                self.note_stall(StallCause::Vr, now);
             }
+        } else {
+            // The generator ran dry: close any stall left open by the
+            // final tOp (it resolved the tick that tOp issued).
+            self.close_stall(now);
         }
 
         // ─ ②–③ Pop one tuple into a tOp ─
         if self.top_q.len() < self.cfg.top_queue_entries {
             if let Some(entry) = self.sparse_lq.front_mut() {
                 if entry.ready_at <= now {
-                    if let Some(t) = entry.tuples.pop_front() {
-                        let out_line = addr.sparse_out_line(t.out_padded_idx);
+                    if entry.remaining > 0 {
+                        let i = entry.idx as usize;
+                        let out_line = addr.sparse_out_line(entry.out_idx);
                         self.top_q.push_back(TOp {
-                            row: t.row,
-                            col: t.col,
-                            val: t.val,
-                            func_out_idx: t.func_out_idx,
+                            row: tiled.r_ids()[i],
+                            col: tiled.c_ids()[i],
+                            val: tiled.vals()[i],
+                            func_out_idx: entry.idx,
                             out_line,
                             next_seg: 0,
                         });
+                        entry.idx += 1;
+                        entry.out_idx += 1;
+                        entry.remaining -= 1;
                         self.stats.tuples += 1;
                         progressed = true;
                     }
-                    if self.sparse_lq.front().is_some_and(|e| e.tuples.is_empty()) {
+                    if self.sparse_lq.front().is_some_and(|e| e.remaining == 0) {
                         self.sparse_lq.pop_front();
                     }
                 }
@@ -682,18 +781,12 @@ impl Pe {
             );
             let t3 = mem.read(self.id, addr.vals_line(idx), path, DataClass::SparseIn, now);
             let ready_at = t1.max(t2).max(t3);
-            let mut tuples = VecDeque::with_capacity(chunk as usize);
-            for k in 0..chunk {
-                let i = (idx + k) as usize;
-                tuples.push_back(Tuple {
-                    row: tiled.r_ids()[i],
-                    col: tiled.c_ids()[i],
-                    val: tiled.vals()[i],
-                    func_out_idx: idx + k,
-                    out_padded_idx: self.tile_out_next + k,
-                });
-            }
-            self.sparse_lq.push_back(SparseEntry { ready_at, tuples });
+            self.sparse_lq.push_back(SparseEntry {
+                ready_at,
+                idx,
+                out_idx: self.tile_out_next,
+                remaining: chunk,
+            });
             self.tile_next_nnz += chunk;
             self.tile_out_next += chunk;
             self.tile_remaining -= chunk;
@@ -789,7 +882,7 @@ impl Pe {
         self.vrf.add_ref(op1);
         self.vrf.add_ref(op2);
         self.vrf.add_ref(dest);
-        self.rs.push_back(RsEntry {
+        self.rs.push_back(Some(RsEntry {
             op1,
             op2,
             dest,
@@ -798,7 +891,8 @@ impl Pe {
             val: top.val,
             seg: top.next_seg,
             func_out_idx: top.func_out_idx,
-        });
+        }));
+        self.rs_live += 1;
         true
     }
 
@@ -886,7 +980,8 @@ impl Pe {
                         self.state = PeState::AtBarrier(id);
                     }
                     AfterDrain::Flush => {
-                        self.pending_flush = self.vrf.drain_dirty().into();
+                        self.pending_flush.clear();
+                        self.vrf.drain_dirty_into(&mut self.pending_flush);
                         self.stats.flush_started_at = now;
                         self.state = PeState::Flushing;
                         if let Some(tr) = self.trace.as_deref_mut() {

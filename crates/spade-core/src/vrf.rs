@@ -266,9 +266,20 @@ impl Vrf {
     /// WB&Invalidate; the registers become clean and invalid.
     pub fn drain_dirty(&mut self) -> Vec<(Line, DataClass)> {
         let mut out = Vec::new();
+        self.drain_dirty_into(&mut out);
+        out
+    }
+
+    /// [`Vrf::drain_dirty`] into a caller-owned buffer (appending in
+    /// register-index order, the same order `drain_dirty` produces), so a
+    /// PE flushing repeatedly allocates nothing in steady state. Returns
+    /// how many entries were appended.
+    pub fn drain_dirty_into<B: Extend<(Line, DataClass)>>(&mut self, out: &mut B) -> usize {
+        let mut n = 0;
         for r in &mut self.regs {
             if r.dirty {
-                out.push((r.tag, r.class));
+                out.extend(std::iter::once((r.tag, r.class)));
+                n += 1;
                 r.dirty = false;
             }
             if r.tag != NO_TAG {
@@ -277,7 +288,7 @@ impl Vrf {
             *r = Vr::empty();
         }
         self.dirty_count = 0;
-        out
+        n
     }
 
     /// Whether every register is idle (no refs, no loads in flight). Dirty

@@ -10,8 +10,11 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
-    /// Creates a configuration, rounding the capacity down to a whole
-    /// number of sets.
+    /// Creates a configuration. Capacities that are not a whole number of
+    /// sets are *permitted* here (internal models round down — see
+    /// [`CacheConfig::is_exact`]), but [`crate::MemConfig::validate`]
+    /// rejects them so a user-facing hierarchy never silently models a
+    /// smaller cache than requested.
     ///
     /// # Panics
     ///
@@ -28,6 +31,14 @@ impl CacheConfig {
     /// Number of sets implied by the geometry.
     pub fn num_sets(&self) -> usize {
         (self.size_bytes / LINE_BYTES as usize / self.ways).max(1)
+    }
+
+    /// Whether `size_bytes` is a whole (positive) number of
+    /// `ways`-associative sets, i.e. the modeled capacity equals the
+    /// requested capacity exactly.
+    pub fn is_exact(&self) -> bool {
+        let set_bytes = self.ways * LINE_BYTES as usize;
+        self.size_bytes >= set_bytes && self.size_bytes.is_multiple_of(set_bytes)
     }
 
     /// Total lines the cache can hold.
@@ -92,6 +103,12 @@ pub struct Cache {
     dirty: Vec<bool>,
     stamp: Vec<u64>,
     tick: u64,
+    /// Valid-line count, kept incrementally so flushes of an empty cache
+    /// are O(1).
+    live: usize,
+    /// Dirty-line count, kept incrementally so flushes of a clean cache
+    /// skip the dirty-line collection entirely.
+    dirty_n: usize,
 }
 
 impl Cache {
@@ -106,6 +123,8 @@ impl Cache {
             dirty: vec![false; n],
             stamp: vec![0; n],
             tick: 0,
+            live: 0,
+            dirty_n: 0,
         }
     }
 
@@ -130,8 +149,9 @@ impl Cache {
 
         if let Some(w) = ways.iter().position(|&t| t == line) {
             self.stamp[base + w] = self.tick;
-            if is_write {
+            if is_write && !self.dirty[base + w] {
                 self.dirty[base + w] = true;
+                self.dirty_n += 1;
             }
             return AccessOutcome::Hit;
         }
@@ -150,8 +170,12 @@ impl Cache {
             }
         };
         let victim = if self.tags[base + w] == INVALID {
+            self.live += 1;
             None
         } else {
+            if self.dirty[base + w] {
+                self.dirty_n -= 1;
+            }
             Some(Victim {
                 line: self.tags[base + w],
                 dirty: self.dirty[base + w],
@@ -159,6 +183,9 @@ impl Cache {
         };
         self.tags[base + w] = line;
         self.dirty[base + w] = is_write;
+        if is_write {
+            self.dirty_n += 1;
+        }
         self.stamp[base + w] = self.tick;
         AccessOutcome::Miss { victim }
     }
@@ -177,8 +204,12 @@ impl Cache {
         for w in 0..self.config.ways {
             if self.tags[base + w] == line {
                 self.tags[base + w] = INVALID;
+                self.live -= 1;
                 let was_dirty = self.dirty[base + w];
-                self.dirty[base + w] = false;
+                if was_dirty {
+                    self.dirty[base + w] = false;
+                    self.dirty_n -= 1;
+                }
                 return Some(was_dirty);
             }
         }
@@ -186,29 +217,71 @@ impl Cache {
     }
 
     /// Writes back and invalidates everything, returning the dirty lines
-    /// (the mode-transition operation of §4.1).
+    /// (the mode-transition operation of §4.1). Convenience wrapper around
+    /// [`Cache::writeback_invalidate_all_into`]; hot callers should pass a
+    /// reusable buffer to that method instead.
     pub fn writeback_invalidate_all(&mut self) -> Vec<Line> {
         let mut dirty_lines = Vec::new();
-        for i in 0..self.tags.len() {
-            if self.tags[i] != INVALID && self.dirty[i] {
-                dirty_lines.push(self.tags[i]);
-            }
-            self.tags[i] = INVALID;
-            self.dirty[i] = false;
-        }
+        self.writeback_invalidate_all_into(&mut dirty_lines);
         dirty_lines
     }
 
-    /// Number of currently valid lines.
-    pub fn occupancy(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != INVALID).count()
+    /// Writes back and invalidates everything, appending the dirty lines
+    /// to `out` in ascending tag-index order (deterministic: the same
+    /// order [`Cache::writeback_invalidate_all`] has always produced) and
+    /// returning how many were appended.
+    ///
+    /// Allocation-free fast paths: a cache with no valid lines returns
+    /// without touching any array, and a cache with valid-but-clean
+    /// contents invalidates in bulk without collecting anything — the
+    /// common cases on flush-heavy plans, where most per-tile flushes find
+    /// the L1/BBF already clean.
+    pub fn writeback_invalidate_all_into(&mut self, out: &mut Vec<Line>) -> usize {
+        if self.live == 0 {
+            debug_assert!(self.tags.iter().all(|&t| t == INVALID));
+            return 0;
+        }
+        let n = self.dirty_n;
+        if n == 0 {
+            debug_assert!(self.dirty.iter().all(|&d| !d));
+            self.tags.fill(INVALID);
+            self.live = 0;
+            return 0;
+        }
+        let mut found = 0;
+        for i in 0..self.tags.len() {
+            if self.tags[i] != INVALID && self.dirty[i] {
+                out.push(self.tags[i]);
+                found += 1;
+                if found == n {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(found, n);
+        self.tags.fill(INVALID);
+        self.dirty.fill(false);
+        self.live = 0;
+        self.dirty_n = 0;
+        n
     }
 
-    /// Number of currently dirty lines.
+    /// Number of currently valid lines. The full scan doubles as an
+    /// independent cross-check of the incremental counter in debug builds.
+    pub fn occupancy(&self) -> usize {
+        let n = self.tags.iter().filter(|&&t| t != INVALID).count();
+        debug_assert_eq!(n, self.live);
+        n
+    }
+
+    /// Number of currently dirty lines (scan-based cross-check, as with
+    /// [`Cache::occupancy`]).
     pub fn dirty_count(&self) -> usize {
-        (0..self.tags.len())
+        let n = (0..self.tags.len())
             .filter(|&i| self.tags[i] != INVALID && self.dirty[i])
-            .count()
+            .count();
+        debug_assert_eq!(n, self.dirty_n);
+        n
     }
 }
 
@@ -305,6 +378,62 @@ mod tests {
         dirty.sort_unstable();
         assert_eq!(dirty, vec![0, 2]);
         assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn flush_into_reuses_the_buffer_and_preserves_order() {
+        let mut c = tiny();
+        c.access(2, true);
+        c.access(0, true);
+        c.access(1, false);
+        let mut buf = Vec::with_capacity(8);
+        let cap = buf.capacity();
+        assert_eq!(c.writeback_invalidate_all_into(&mut buf), 2);
+        // Tag-index order: set 0's ways hold [2, 0] in fill order.
+        assert_eq!(buf, vec![2, 0]);
+        assert_eq!(buf.capacity(), cap);
+        // Flushing the now-empty cache is a no-op on the buffer.
+        buf.clear();
+        assert_eq!(c.writeback_invalidate_all_into(&mut buf), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn flush_of_clean_contents_collects_nothing_but_invalidates() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(1, false);
+        let mut buf = Vec::new();
+        assert_eq!(c.writeback_invalidate_all_into(&mut buf), 0);
+        assert_eq!(buf.capacity(), 0); // never grew: clean fast path
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.probe(0) && !c.probe(1));
+    }
+
+    #[test]
+    fn counters_survive_eviction_and_invalidate_churn() {
+        let mut c = tiny();
+        for i in 0..16u64 {
+            c.access(i, i.is_multiple_of(3));
+            // occupancy()/dirty_count() debug_assert the incremental
+            // counters against a full scan.
+            let _ = (c.occupancy(), c.dirty_count());
+        }
+        c.invalidate(15);
+        c.invalidate(14);
+        let _ = (c.occupancy(), c.dirty_count());
+        let flushed = c.writeback_invalidate_all();
+        assert!(!flushed.is_empty());
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn exactness_of_geometries_is_reported() {
+        assert!(CacheConfig::new(48 * 1024, 12).is_exact());
+        assert!(CacheConfig::new(256, 2).is_exact());
+        // 9830 B over 12 ways is not a whole number of 768 B sets.
+        assert!(!CacheConfig::new(9830, 12).is_exact());
     }
 
     #[test]

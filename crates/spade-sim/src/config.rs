@@ -187,6 +187,16 @@ impl MemConfig {
                     cache.size_bytes, cache.ways
                 ));
             }
+            if !cache.is_exact() {
+                let set_bytes = cache.ways * LINE_BYTES as usize;
+                return Err(format!(
+                    "{name} cache of {} B is not a whole number of {}-way sets \
+                     ({set_bytes} B each); the model would silently shrink it to {} B",
+                    cache.size_bytes,
+                    cache.ways,
+                    cache.num_lines() * LINE_BYTES as usize
+                ));
+            }
         }
         if self.dram.channels == 0 {
             return Err("dram.channels must be at least 1".into());
@@ -281,6 +291,26 @@ mod tests {
 
         let mut cfg = MemConfig::small_test(4);
         cfg.faults.dram_delay_prob = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inexact_geometries() {
+        // 9830 B / 12 ways is not a whole number of 768 B sets; the old
+        // behavior silently modeled a 9216 B cache.
+        let mut cfg = MemConfig::small_test(4);
+        cfg.llc = CacheConfig {
+            size_bytes: 9830,
+            ways: 12,
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("whole number"), "unexpected message: {err}");
+
+        let mut cfg = MemConfig::small_test(4);
+        cfg.victim = Some(CacheConfig {
+            size_bytes: 300,
+            ways: 2,
+        });
         assert!(cfg.validate().is_err());
     }
 

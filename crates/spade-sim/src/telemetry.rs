@@ -53,6 +53,38 @@ pub struct TelemetryCounters {
     pub pe_vops: Vec<u64>,
 }
 
+impl TelemetryCounters {
+    /// Copies `src` into `self`, reusing the per-PE buffer's allocation
+    /// (a derived `clone` would reallocate it on every window boundary).
+    pub fn copy_from(&mut self, src: &TelemetryCounters) {
+        let TelemetryCounters {
+            requests_issued,
+            tlb_misses,
+            faults_injected,
+            level_accesses,
+            level_hits,
+            vops,
+            tuples,
+            stall_no_vr,
+            stall_no_rs,
+            stall_no_dense_lq,
+            pe_vops,
+        } = src;
+        self.requests_issued = *requests_issued;
+        self.tlb_misses = *tlb_misses;
+        self.faults_injected = *faults_injected;
+        self.level_accesses = *level_accesses;
+        self.level_hits = *level_hits;
+        self.vops = *vops;
+        self.tuples = *tuples;
+        self.stall_no_vr = *stall_no_vr;
+        self.stall_no_rs = *stall_no_rs;
+        self.stall_no_dense_lq = *stall_no_dense_lq;
+        self.pe_vops.clear();
+        self.pe_vops.extend_from_slice(pe_vops);
+    }
+}
+
 /// Instantaneous (non-cumulative) gauges read at a window boundary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TelemetryGauges {
@@ -244,6 +276,9 @@ pub struct TelemetryRecorder {
     /// End (exclusive) of the currently open window.
     next_boundary: Cycle,
     last: TelemetryCounters,
+    /// Reusable buffer handed to the probe, so boundary crossings in the
+    /// steady state allocate nothing on the driver side.
+    scratch: TelemetryCounters,
     samples: Vec<TelemetrySample>,
 }
 
@@ -260,13 +295,17 @@ impl TelemetryRecorder {
                 pe_vops: vec![0; num_pes],
                 ..TelemetryCounters::default()
             },
+            scratch: TelemetryCounters::default(),
             samples: Vec::new(),
         }
     }
 
     /// Closes every window that ends at or before `now`. `probe` is called
     /// at most once, and only when at least one window closes — this keeps
-    /// the common (no boundary crossed) path to a single comparison.
+    /// the common (no boundary crossed) path to a single comparison. The
+    /// probe fills the recorder's scratch snapshot (stale contents from the
+    /// previous boundary included — overwrite, don't accumulate) and
+    /// returns the instantaneous gauges.
     ///
     /// Counter activity at cycle `t` must be recorded by the driver *after*
     /// calling `advance_to(t, ..)`, so it lands in the window containing
@@ -275,27 +314,30 @@ impl TelemetryRecorder {
     /// changes while every agent sleeps.
     pub fn advance_to<F>(&mut self, now: Cycle, probe: F)
     where
-        F: FnOnce() -> (TelemetryCounters, TelemetryGauges),
+        F: FnOnce(&mut TelemetryCounters) -> TelemetryGauges,
     {
         if now < self.next_boundary {
             return;
         }
-        let (counters, gauges) = probe();
+        let mut counters = std::mem::take(&mut self.scratch);
+        let gauges = probe(&mut counters);
         // The first closing window absorbs all activity since the last
         // snapshot; any further windows crossed in the same jump were idle.
         self.emit_delta(&counters, gauges, self.window);
         while now >= self.next_boundary {
             self.emit_zero(gauges);
         }
+        self.scratch = counters;
     }
 
     /// Closes any remaining full windows and the final partial window
     /// (covering cycles up to and including `end`), returning the series.
     pub fn finish<F>(mut self, end: Cycle, probe: F) -> TelemetrySeries
     where
-        F: FnOnce() -> (TelemetryCounters, TelemetryGauges),
+        F: FnOnce(&mut TelemetryCounters) -> TelemetryGauges,
     {
-        let (counters, gauges) = probe();
+        let mut counters = std::mem::take(&mut self.scratch);
+        let gauges = probe(&mut counters);
         if end >= self.next_boundary {
             self.emit_delta(&counters, gauges, self.window);
             while end >= self.next_boundary {
@@ -375,7 +417,7 @@ impl TelemetryRecorder {
             in_flight_loads: gauges.in_flight_loads,
             active_pes: gauges.active_pes,
         });
-        self.last = counters.clone();
+        self.last.copy_from(counters);
     }
 }
 
@@ -383,21 +425,28 @@ impl TelemetryRecorder {
 mod tests {
     use super::*;
 
-    fn counters(requests: u64, vops: u64) -> TelemetryCounters {
-        TelemetryCounters {
-            requests_issued: requests,
-            vops,
-            pe_vops: vec![vops],
-            ..TelemetryCounters::default()
+    /// A probe closure reporting cumulative `requests`/`vops` for a
+    /// single-PE system, in the fill-the-scratch style the driver uses.
+    fn probe(
+        requests: u64,
+        vops: u64,
+        gauges: TelemetryGauges,
+    ) -> impl FnOnce(&mut TelemetryCounters) -> TelemetryGauges {
+        move |c| {
+            c.requests_issued = requests;
+            c.vops = vops;
+            c.pe_vops.clear();
+            c.pe_vops.push(vops);
+            gauges
         }
     }
 
     #[test]
     fn windows_close_at_boundaries_with_deltas() {
         let mut r = TelemetryRecorder::new(10, 1);
-        r.advance_to(5, || unreachable!("no boundary crossed yet"));
-        r.advance_to(10, || (counters(4, 2), TelemetryGauges::default()));
-        let series = r.finish(14, || (counters(9, 3), TelemetryGauges::default()));
+        r.advance_to(5, |_| unreachable!("no boundary crossed yet"));
+        r.advance_to(10, probe(4, 2, TelemetryGauges::default()));
+        let series = r.finish(14, probe(9, 3, TelemetryGauges::default()));
         assert_eq!(series.window, 10);
         assert_eq!(series.samples.len(), 2);
         assert_eq!(series.samples[0].start, 0);
@@ -419,8 +468,8 @@ mod tests {
             in_flight_loads: 3,
             active_pes: 1,
         };
-        r.advance_to(35, || (counters(7, 1), gauges));
-        let series = r.finish(35, || (counters(7, 1), gauges));
+        r.advance_to(35, probe(7, 1, gauges));
+        let series = r.finish(35, probe(7, 1, gauges));
         assert_eq!(series.samples.len(), 4);
         assert_eq!(series.samples[0].requests, 7);
         assert_eq!(series.samples[1].requests, 0);
@@ -433,8 +482,8 @@ mod tests {
     #[test]
     fn series_summaries() {
         let mut r = TelemetryRecorder::new(4, 1);
-        r.advance_to(4, || (counters(8, 0), TelemetryGauges::default()));
-        let series = r.finish(7, || (counters(10, 0), TelemetryGauges::default()));
+        r.advance_to(4, probe(8, 0, TelemetryGauges::default()));
+        let series = r.finish(7, probe(10, 0, TelemetryGauges::default()));
         assert!((series.peak_requests_per_cycle() - 2.0).abs() < 1e-12);
         assert!((series.mean_requests_per_cycle() - 10.0 / 8.0).abs() < 1e-12);
         assert_eq!(TelemetrySeries::default().mean_requests_per_cycle(), 0.0);
@@ -451,16 +500,19 @@ mod tests {
     #[test]
     fn json_is_valid() {
         let mut r = TelemetryRecorder::new(16, 2);
-        let c = TelemetryCounters {
-            requests_issued: 5,
-            level_accesses: [5, 1, 1, 1, 1],
-            level_hits: [4, 0, 0, 0, 0],
-            pe_vops: vec![2, 3],
-            vops: 5,
-            ..TelemetryCounters::default()
+        let fill = |c: &mut TelemetryCounters| {
+            c.copy_from(&TelemetryCounters {
+                requests_issued: 5,
+                level_accesses: [5, 1, 1, 1, 1],
+                level_hits: [4, 0, 0, 0, 0],
+                pe_vops: vec![2, 3],
+                vops: 5,
+                ..TelemetryCounters::default()
+            });
+            TelemetryGauges::default()
         };
-        r.advance_to(16, || (c.clone(), TelemetryGauges::default()));
-        let series = r.finish(20, || (c.clone(), TelemetryGauges::default()));
+        r.advance_to(16, fill);
+        let series = r.finish(20, fill);
         let text = series.to_json().render();
         assert_eq!(crate::json::validate(&text), Ok(()));
         assert!(text.contains("\"requests_per_cycle\""));
