@@ -176,6 +176,12 @@ pub struct Job {
     /// bit-identical results; the naive loop exists as the oracle for the
     /// scheduler-equivalence tests and the `bench-perf` comparison.
     pub naive_loop: bool,
+    /// Force the memory hierarchy onto its slow path — no line/page
+    /// filters, no monomorphized no-fault arms (off by default). Both
+    /// paths produce bit-identical results; the slow path exists as the
+    /// oracle for the memory-fastpath-equivalence tests and the memory
+    /// microbenchmark.
+    pub slow_mem_path: bool,
 }
 
 /// Everything one job produced: the report plus whatever observability
@@ -208,6 +214,7 @@ impl Job {
             telemetry_window: None,
             trace: false,
             naive_loop: false,
+            slow_mem_path: false,
         }
     }
 
@@ -229,6 +236,13 @@ impl Job {
         self
     }
 
+    /// Forces the memory hierarchy's slow path for this job (builder
+    /// style).
+    pub fn with_slow_mem_path(mut self, slow: bool) -> Self {
+        self.slow_mem_path = slow;
+        self
+    }
+
     /// Identity key for de-duplication: workload and config by pointer
     /// (prepared objects are shared, so pointer identity is object
     /// identity), plan, primitive, and observability options by value —
@@ -245,6 +259,7 @@ impl Job {
         Option<Cycle>,
         bool,
         bool,
+        bool,
     ) {
         (
             Arc::as_ptr(&self.workload) as usize,
@@ -254,6 +269,7 @@ impl Job {
             self.telemetry_window,
             self.trace,
             self.naive_loop,
+            self.slow_mem_path,
         )
     }
 
@@ -285,6 +301,11 @@ impl Job {
         sys.set_telemetry(self.telemetry_window)
             .set_trace(self.trace)
             .set_fast_forward(!self.naive_loop);
+        if self.slow_mem_path {
+            // Only force the slow path; leaving the default in place keeps
+            // the SPADE_MEM_SLOW_PATH environment veto effective.
+            sys.set_mem_fast_path(false);
+        }
         let report = match self.primitive {
             Primitive::Spmm => {
                 let run = sys

@@ -1,0 +1,136 @@
+//! The memory-hierarchy fast path (line filters, translation reuse) is an
+//! optimization of the slow always-translate path, not a model change:
+//! for any workload, plan, cycle driver, fault schedule and worker count,
+//! runs with the fast path enabled and forced off must produce
+//! byte-identical reports, telemetry series and event traces.
+
+use std::sync::Arc;
+
+use spade_bench::machines;
+use spade_bench::parallel::{Job, JobOutput, ParallelRunner};
+use spade_bench::suite::Workload;
+use spade_core::{Primitive, SystemConfig};
+use spade_matrix::generators::{Benchmark, Scale};
+use spade_sim::FaultConfig;
+
+/// Serializes a job output's observability artifacts to comparable byte
+/// strings (telemetry series JSON, Chrome trace JSON).
+fn observable_bytes(o: &JobOutput) -> (String, String) {
+    let telemetry = o
+        .telemetry
+        .as_ref()
+        .map(|s| s.to_json().render())
+        .unwrap_or_default();
+    let trace = o
+        .trace
+        .as_ref()
+        .map(|t| t.to_chrome_json())
+        .unwrap_or_default();
+    (telemetry, trace)
+}
+
+/// Builds quads of observed jobs — (event fast, event slow-mem, naive
+/// fast, naive slow-mem) — for a fig9 subset on the given machine.
+fn quad_jobs(cfg: &Arc<SystemConfig>) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for benchmark in [Benchmark::Myc, Benchmark::Kro] {
+        let w = Arc::new(Workload::prepare(benchmark, Scale::Tiny, 32));
+        for primitive in [Primitive::Spmm, Primitive::Sddmm] {
+            let base = Job::new(&w, cfg, primitive, machines::base_plan(&w.a))
+                .with_telemetry(Some(128))
+                .with_trace(true);
+            jobs.push(base.clone());
+            jobs.push(base.clone().with_slow_mem_path(true));
+            jobs.push(base.clone().with_naive_loop(true));
+            jobs.push(base.with_naive_loop(true).with_slow_mem_path(true));
+        }
+    }
+    jobs
+}
+
+/// Asserts every quad matches on the report, the telemetry bytes and the
+/// trace bytes — the first slot (event driver, fast path) is the anchor.
+fn assert_quads_identical(jobs: &[Job], outputs: &[JobOutput]) {
+    for (quad, job) in outputs.chunks_exact(4).zip(jobs.chunks_exact(4)) {
+        let label = format!("{}/{:?}", job[0].workload.name, job[0].primitive);
+        let anchor_bytes = observable_bytes(&quad[0]);
+        assert!(
+            !anchor_bytes.0.is_empty() && !anchor_bytes.1.is_empty(),
+            "{label}: observability was requested but came back empty"
+        );
+        for (slot, out) in quad.iter().enumerate().skip(1) {
+            let variant = match slot {
+                1 => "event driver + slow memory path",
+                2 => "naive driver + fast memory path",
+                _ => "naive driver + slow memory path",
+            };
+            assert_eq!(
+                quad[0].report, out.report,
+                "{label}: report differs under {variant}"
+            );
+            assert!(
+                anchor_bytes == observable_bytes(out),
+                "{label}: telemetry or trace bytes differ under {variant}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_and_slow_memory_paths_agree_across_drivers_and_threads() {
+    let cfg = Arc::new(machines::spade_system(8));
+    let jobs = quad_jobs(&cfg);
+    let serial: Vec<JobOutput> = ParallelRunner::new(1)
+        .run_outputs(&jobs)
+        .into_iter()
+        .map(|r| r.expect("job failed"))
+        .collect();
+    assert_quads_identical(&jobs, &serial);
+    // Same check through the multi-worker engine, which must itself be
+    // invisible: each slot byte-identical to the serial run.
+    for threads in [2, 4] {
+        let parallel: Vec<JobOutput> = ParallelRunner::new(threads)
+            .run_outputs(&jobs)
+            .into_iter()
+            .map(|r| r.expect("job failed"))
+            .collect();
+        assert_quads_identical(&jobs, &parallel);
+        for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+            assert_eq!(p.report, s.report, "slot {i} drifted across thread counts");
+            assert_eq!(observable_bytes(p), observable_bytes(s));
+        }
+    }
+}
+
+#[test]
+fn fast_and_slow_memory_paths_agree_under_fault_schedules() {
+    // Fault plans veto the filters internally, so both variants take the
+    // slow path — the point is that forcing it *externally* changes
+    // nothing either, under both drivers, with faults actually firing.
+    for seed in [11u64, 0xFEED] {
+        let mut cfg = machines::spade_system(4);
+        cfg.mem.faults = FaultConfig::stress(seed);
+        let cfg = Arc::new(cfg);
+        let w = Arc::new(Workload::prepare(Benchmark::Myc, Scale::Tiny, 32));
+        let mut jobs = Vec::new();
+        for primitive in [Primitive::Spmm, Primitive::Sddmm] {
+            let base = Job::new(&w, &cfg, primitive, machines::base_plan(&w.a))
+                .with_telemetry(Some(64))
+                .with_trace(true);
+            jobs.push(base.clone());
+            jobs.push(base.clone().with_slow_mem_path(true));
+            jobs.push(base.clone().with_naive_loop(true));
+            jobs.push(base.with_naive_loop(true).with_slow_mem_path(true));
+        }
+        let outputs: Vec<JobOutput> = ParallelRunner::new(2)
+            .run_outputs(&jobs)
+            .into_iter()
+            .map(|r| r.expect("faulted job failed"))
+            .collect();
+        assert!(
+            outputs[0].report.mem.faults_injected > 0,
+            "stress({seed}) plan injected nothing"
+        );
+        assert_quads_identical(&jobs, &outputs);
+    }
+}

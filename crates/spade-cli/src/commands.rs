@@ -32,6 +32,7 @@ pub const USAGE: &str = "usage:
                    [--format json|text] [--telemetry <window>]
   spade-cli mm     --file <matrix.mtx> [--k 32] [--pes 56] [--format json|text]
   spade-cli bench-perf [--scale tiny|small|default|large] [--k 32] [--pes 56]
+                   [--mem-ops 200000] [--gate-speedup X] [--gate-mem-speedup X]
                    [--out BENCH_sim.json]
 
 benchmarks: asi liv ork pap del kro myc pac roa ser";
@@ -555,10 +556,15 @@ fn run_mm(argv: &[String]) -> Result<(), String> {
 }
 
 /// `bench-perf`: measures simulator host throughput under the event-driven
-/// scheduler and the naive tick-loop oracle across the Figure 9 suite, then
+/// scheduler and the naive tick-loop oracle across the Figure 9 suite, plus
+/// the memory-hierarchy microbenchmark (fast path on vs forced off), then
 /// writes the machine-readable summary (default `BENCH_sim.json`). The run
 /// doubles as an equivalence check: it fails if the two drivers disagree on
-/// any simulated metric.
+/// any simulated metric, or if the memory fast path diverges from the slow
+/// path on any completion cycle or statistic. `--gate-speedup` and
+/// `--gate-mem-speedup` turn the run into a regression gate: the command
+/// fails (after writing the summary) when the respective geomean falls
+/// below the given floor.
 fn bench_perf(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     let scale = parse_scale(&args)?;
@@ -567,10 +573,13 @@ fn bench_perf(argv: &[String]) -> Result<(), String> {
     if pes == 0 || !pes.is_multiple_of(4) {
         return Err("--pes must be a positive multiple of 4".into());
     }
+    let mem_ops: u64 = args.get_parsed("mem-ops", 200_000)?;
+    let gate_speedup: f64 = args.get_parsed("gate-speedup", 0.0)?;
+    let gate_mem_speedup: f64 = args.get_parsed("gate-mem-speedup", 0.0)?;
     let out = args.get("out").unwrap_or("BENCH_sim.json").to_string();
     let runner = ParallelRunner::from_env();
     let host_start = Instant::now();
-    let summary = spade_bench::perf::run_suite_perf(scale, k, pes, &runner)?;
+    let summary = spade_bench::perf::run_suite_perf(scale, k, pes, mem_ops, &runner)?;
     println!(
         "{:<6} {:<6} {:>12} {:>14} {:>14} {:>8}",
         "name", "kernel", "cycles", "event cyc/s", "naive cyc/s", "speedup"
@@ -594,8 +603,53 @@ fn bench_perf(argv: &[String]) -> Result<(), String> {
         summary.threads,
         host_start.elapsed().as_secs_f64()
     );
+    if !summary.mem_rows.is_empty() {
+        println!(
+            "{:<8} {:>10} {:>14} {:>14} {:>8} {:>10} {:>10}",
+            "pattern", "accesses", "fast acc/s", "slow acc/s", "speedup", "line-hit", "page-hit"
+        );
+        for r in &summary.mem_rows {
+            println!(
+                "{:<8} {:>10} {:>14.3e} {:>14.3e} {:>7.2}x {:>9.1}% {:>9.1}%",
+                r.pattern,
+                r.accesses,
+                r.fast_aps,
+                r.slow_aps,
+                r.speedup(),
+                100.0 * r.line_filter_rate,
+                100.0 * r.page_reuse_rate
+            );
+        }
+        println!(
+            "mem geomean: fast {:.3e} acc/s, slow {:.3e} acc/s, speedup {:.2}x",
+            summary.geomean_mem_fast_aps(),
+            summary.geomean_mem_slow_aps(),
+            summary.geomean_mem_speedup()
+        );
+    }
     std::fs::write(&out, summary.to_json().render()).map_err(|e| format!("{out}: {e}"))?;
     println!("wrote {out}");
+    if gate_speedup > 0.0 && summary.geomean_speedup() < gate_speedup {
+        return Err(format!(
+            "gate failed: geomean event-driver speedup {:.3}x is below the \
+             required {gate_speedup:.2}x",
+            summary.geomean_speedup()
+        ));
+    }
+    if gate_mem_speedup > 0.0 {
+        if summary.mem_rows.is_empty() {
+            return Err("gate failed: --gate-mem-speedup set but the memory \
+                 microbench was disabled (--mem-ops 0)"
+                .into());
+        }
+        if summary.geomean_mem_speedup() < gate_mem_speedup {
+            return Err(format!(
+                "gate failed: geomean memory fast-path speedup {:.3}x is below \
+                 the required {gate_mem_speedup:.2}x",
+                summary.geomean_mem_speedup()
+            ));
+        }
+    }
     Ok(())
 }
 

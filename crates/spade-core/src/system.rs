@@ -6,8 +6,8 @@ use std::collections::BinaryHeap;
 
 use spade_matrix::{reference, Coo, DenseMatrix, TiledCoo, FLOATS_PER_LINE};
 use spade_sim::{
-    Cycle, LevelKind, MemorySystem, TelemetryCounters, TelemetryGauges, TelemetryRecorder,
-    TelemetrySeries, TraceEvent, TraceLog,
+    fast_path_default, Cycle, LevelKind, MemorySystem, TelemetryCounters, TelemetryGauges,
+    TelemetryRecorder, TelemetrySeries, TraceEvent, TraceLog,
 };
 
 use crate::pe::{BarrierSync, KernelData, Pe, PeStats, RuntimeParams, TickResult};
@@ -74,6 +74,11 @@ pub struct SpadeSystem {
     mem: Option<MemorySystem>,
     keep_warm: bool,
     fast_forward: bool,
+    /// Whether the memory hierarchy may use its filtered fast path
+    /// (line/page filters + packed-set lookups); disabling forces the
+    /// always-translate, always-lookup slow path. Bit-identical either
+    /// way — pinned by the `memory_fastpath_equivalence` suite.
+    mem_fast_path: bool,
     watchdog: WatchdogConfig,
     /// Telemetry window in cycles; `None` disables sampling.
     telemetry_window: Option<Cycle>,
@@ -93,6 +98,9 @@ impl SpadeSystem {
             mem: None,
             keep_warm: false,
             fast_forward: true,
+            // Honors the SPADE_MEM_SLOW_PATH environment veto; the
+            // explicit setter overrides it per system.
+            mem_fast_path: fast_path_default(),
             watchdog: WatchdogConfig::default(),
             telemetry_window: None,
             trace_on: false,
@@ -130,6 +138,27 @@ impl SpadeSystem {
     pub fn set_fast_forward(&mut self, enabled: bool) -> &mut Self {
         self.fast_forward = enabled;
         self
+    }
+
+    /// Selects the memory-hierarchy driver (fast path by default).
+    ///
+    /// The fast path short-circuits back-to-back same-line accesses per
+    /// requester and reuses the previous STLB translation for same-page
+    /// streams; disabling it forces every request through the full
+    /// translate-and-lookup slow path. Both produce bit-identical
+    /// outputs, reports, telemetry and traces (see the
+    /// `memory_fastpath_equivalence` suite); the slow path just spends
+    /// more host time. The `SPADE_MEM_SLOW_PATH` environment variable
+    /// applies the same veto globally at hierarchy construction; this
+    /// per-system knob exists for the equivalence suites and benches.
+    pub fn set_mem_fast_path(&mut self, enabled: bool) -> &mut Self {
+        self.mem_fast_path = enabled;
+        self
+    }
+
+    /// Whether the memory fast path is requested for subsequent runs.
+    pub fn mem_fast_path(&self) -> bool {
+        self.mem_fast_path
     }
 
     /// Configures the deadlock watchdog: the idle budget before a run is
@@ -384,6 +413,7 @@ impl SpadeSystem {
             _ => MemorySystem::new(self.config.mem.clone()),
         };
         mem.set_trace(self.trace_on);
+        mem.set_fast_path(self.mem_fast_path);
         let params = RuntimeParams {
             primitive,
             r_policy: plan.r_policy,

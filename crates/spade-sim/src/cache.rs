@@ -18,9 +18,13 @@ impl CacheConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the capacity is smaller than `ways` lines.
+    /// Panics if the capacity is smaller than `ways` lines, or if `ways`
+    /// exceeds 64 (sets are tracked with per-set 64-bit valid/dirty masks;
+    /// the largest modeled associativity, the 20-way L2, is far below
+    /// this).
     pub fn new(size_bytes: usize, ways: usize) -> Self {
         assert!(ways > 0, "a cache needs at least one way");
+        assert!(ways <= 64, "at most 64 ways per set (got {ways})");
         assert!(
             size_bytes >= ways * LINE_BYTES as usize,
             "cache of {size_bytes} B cannot hold {ways} ways"
@@ -78,6 +82,19 @@ impl AccessOutcome {
 
 const INVALID: Line = Line::MAX;
 
+/// Opaque name for the slot a line occupies, returned by
+/// [`Cache::access_at`]. Valid until the line is next evicted,
+/// invalidated or flushed; the hierarchy's line filter uses it for O(1)
+/// dirty-marking of a line it has proven resident and most-recent.
+///
+/// Encoding: `set << 6 | way` (6 bits suffice — ways are capped at 64).
+pub type SlotHandle = u32;
+
+#[inline]
+fn slot_handle(set: usize, way: usize) -> SlotHandle {
+    ((set as u32) << 6) | way as u32
+}
+
 /// A set-associative, write-back, write-allocate cache with LRU
 /// replacement. Tag-only: it tracks presence, dirtiness and recency, not
 /// data (functional values are computed by the caller).
@@ -85,6 +102,23 @@ const INVALID: Line = Line::MAX;
 /// Used for every cache-like structure in the modeled system: PE L1s, the
 /// bypass-buffer victim cache, core L2s, LLC slices, and the baseline CPU
 /// caches.
+///
+/// # Packed set storage
+///
+/// Each set's replacement state is packed for one cache-friendly pass:
+/// tags are set-major (empty ways hold a sentinel that can never match),
+/// valid and dirty bits live in one 64-bit mask per set, and recency is a
+/// byte of *rank* per slot — 0 is the most recently used of the set's
+/// valid ways, `n−1` the least. A lookup is a single tag scan; a fill
+/// finds the first free way with one mask op instead of a second scan;
+/// and the LRU victim is the way whose rank byte equals `ways − 1`.
+///
+/// Ranks replace the previous global-counter timestamps. The two encode
+/// the same total order (ranks are the descending-stamp order of the
+/// valid ways), so every hit/miss/eviction decision is unchanged — and,
+/// unlike stamps, re-touching the MRU way mutates *nothing*, which is
+/// what lets the hierarchy's line filter skip repeat accesses while
+/// staying bit-identical (see `DESIGN.md`).
 ///
 /// # Example
 ///
@@ -99,10 +133,17 @@ const INVALID: Line = Line::MAX;
 pub struct Cache {
     config: CacheConfig,
     sets: usize,
+    /// Per-slot tags, set-major; empty ways hold [`INVALID`].
     tags: Vec<Line>,
-    dirty: Vec<bool>,
-    stamp: Vec<u64>,
-    tick: u64,
+    /// Per-slot recency rank among the *valid* ways of its set (0 = MRU).
+    /// Bytes of invalid slots are meaningless.
+    rank: Vec<u8>,
+    /// Per-set valid bitmask (bit `w` set ⇔ way `w` holds a line).
+    valid: Vec<u64>,
+    /// Per-set dirty bitmask; always a subset of `valid`.
+    dirty: Vec<u64>,
+    /// Mask covering all ways of one set.
+    way_mask: u64,
     /// Valid-line count, kept incrementally so flushes of an empty cache
     /// are O(1).
     live: usize,
@@ -115,14 +156,24 @@ impl Cache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.num_sets();
+        assert!(
+            sets <= 1 << 26,
+            "cache of {sets} sets overflows the slot-handle encoding"
+        );
         let n = sets * config.ways;
+        let way_mask = if config.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.ways) - 1
+        };
         Cache {
             config,
             sets,
             tags: vec![INVALID; n],
-            dirty: vec![false; n],
-            stamp: vec![0; n],
-            tick: 0,
+            rank: vec![0; n],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+            way_mask,
             live: 0,
             dirty_n: 0,
         }
@@ -138,56 +189,125 @@ impl Cache {
         (line % self.sets as u64) as usize
     }
 
+    /// Makes way `w` the most recent of its set, shifting the valid ways
+    /// that were more recent one step older. A no-op when `w` is already
+    /// the MRU way — the property the hierarchy's line filter relies on.
+    #[inline]
+    fn promote(&mut self, set: usize, base: usize, w: usize) {
+        let r = self.rank[base + w];
+        if r == 0 {
+            return;
+        }
+        let mut m = self.valid[set];
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.rank[base + v] < r {
+                self.rank[base + v] += 1;
+            }
+        }
+        self.rank[base + w] = 0;
+    }
+
+    /// Shifts every valid way of `set` one step older (ahead of inserting
+    /// a fresh MRU line).
+    #[inline]
+    fn age_valid(&mut self, set: usize, base: usize) {
+        let mut m = self.valid[set];
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.rank[base + v] += 1;
+        }
+    }
+
     /// Looks up `line`, filling it on a miss (write-allocate). `is_write`
     /// marks the line dirty.
+    #[inline]
     pub fn access(&mut self, line: Line, is_write: bool) -> AccessOutcome {
-        debug_assert_ne!(line, INVALID, "the sentinel line address is reserved");
-        self.tick += 1;
-        let set = self.set_of(line);
-        let base = set * self.config.ways;
-        let ways = &mut self.tags[base..base + self.config.ways];
+        self.access_at(line, is_write).0
+    }
 
-        if let Some(w) = ways.iter().position(|&t| t == line) {
-            self.stamp[base + w] = self.tick;
-            if is_write && !self.dirty[base + w] {
-                self.dirty[base + w] = true;
-                self.dirty_n += 1;
+    /// [`Cache::access`], additionally returning the [`SlotHandle`] of the
+    /// slot now holding `line` (it is the MRU way of its set either way).
+    pub fn access_at(&mut self, line: Line, is_write: bool) -> (AccessOutcome, SlotHandle) {
+        debug_assert_ne!(line, INVALID, "the sentinel line address is reserved");
+        let set = self.set_of(line);
+        let ways = self.config.ways;
+        let base = set * ways;
+
+        // One pass over the set's tags: empty ways hold the sentinel, so
+        // this single scan decides hit vs miss (free-way choice comes from
+        // the valid mask, victim choice from the rank bytes).
+        for w in 0..ways {
+            if self.tags[base + w] == line {
+                self.promote(set, base, w);
+                let bit = 1u64 << w;
+                if is_write && self.dirty[set] & bit == 0 {
+                    self.dirty[set] |= bit;
+                    self.dirty_n += 1;
+                }
+                return (AccessOutcome::Hit, slot_handle(set, w));
             }
-            return AccessOutcome::Hit;
         }
 
-        // Miss: pick an invalid way, else the LRU way.
-        let w = match ways.iter().position(|&t| t == INVALID) {
-            Some(w) => w,
-            None => {
-                let mut lru = 0usize;
-                for i in 1..self.config.ways {
-                    if self.stamp[base + i] < self.stamp[base + lru] {
-                        lru = i;
-                    }
-                }
-                lru
-            }
-        };
-        let victim = if self.tags[base + w] == INVALID {
+        // Miss: lowest-index free way straight from the mask, else the
+        // LRU way (rank ways−1; ranks of a full set are a permutation).
+        let free = !self.valid[set] & self.way_mask;
+        let (w, victim) = if free != 0 {
+            let w = free.trailing_zeros() as usize;
             self.live += 1;
-            None
+            self.age_valid(set, base);
+            (w, None)
         } else {
-            if self.dirty[base + w] {
+            let mut w = 0;
+            for i in 0..ways {
+                if self.rank[base + i] as usize == ways - 1 {
+                    w = i;
+                    break;
+                }
+            }
+            debug_assert_eq!(self.rank[base + w] as usize, ways - 1);
+            let bit = 1u64 << w;
+            let was_dirty = self.dirty[set] & bit != 0;
+            if was_dirty {
+                self.dirty[set] &= !bit;
                 self.dirty_n -= 1;
             }
-            Some(Victim {
+            let victim = Victim {
                 line: self.tags[base + w],
-                dirty: self.dirty[base + w],
-            })
+                dirty: was_dirty,
+            };
+            // The victim was the oldest way, so dropping it preserves the
+            // relative order of the rest; age them and insert at rank 0.
+            self.valid[set] &= !bit;
+            self.age_valid(set, base);
+            (w, Some(victim))
         };
+        let bit = 1u64 << w;
         self.tags[base + w] = line;
-        self.dirty[base + w] = is_write;
+        self.rank[base + w] = 0;
+        self.valid[set] |= bit;
         if is_write {
+            self.dirty[set] |= bit;
             self.dirty_n += 1;
         }
-        self.stamp[base + w] = self.tick;
-        AccessOutcome::Miss { victim }
+        (AccessOutcome::Miss { victim }, slot_handle(set, w))
+    }
+
+    /// Marks the line in `slot` dirty without a lookup. The caller must
+    /// have proven residency (a [`SlotHandle`] from an access with no
+    /// intervening eviction/invalidation/flush of that line); the
+    /// hierarchy's line filter is the one such caller.
+    #[inline]
+    pub fn mark_dirty_slot(&mut self, slot: SlotHandle) {
+        let set = (slot >> 6) as usize;
+        let bit = 1u64 << (slot & 63);
+        debug_assert!(self.valid[set] & bit != 0, "slot handle names an empty way");
+        if self.dirty[set] & bit == 0 {
+            self.dirty[set] |= bit;
+            self.dirty_n += 1;
+        }
     }
 
     /// Checks for presence without touching LRU state or filling.
@@ -203,12 +323,25 @@ impl Cache {
         let base = set * self.config.ways;
         for w in 0..self.config.ways {
             if self.tags[base + w] == line {
+                let bit = 1u64 << w;
                 self.tags[base + w] = INVALID;
+                self.valid[set] &= !bit;
                 self.live -= 1;
-                let was_dirty = self.dirty[base + w];
+                let was_dirty = self.dirty[set] & bit != 0;
                 if was_dirty {
-                    self.dirty[base + w] = false;
+                    self.dirty[set] &= !bit;
                     self.dirty_n -= 1;
+                }
+                // Close the recency gap so surviving ranks stay a dense
+                // permutation (their relative order is untouched).
+                let r = self.rank[base + w];
+                let mut m = self.valid[set];
+                while m != 0 {
+                    let v = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if self.rank[base + v] > r {
+                        self.rank[base + v] -= 1;
+                    }
                 }
                 return Some(was_dirty);
             }
@@ -235,52 +368,65 @@ impl Cache {
     /// without touching any array, and a cache with valid-but-clean
     /// contents invalidates in bulk without collecting anything — the
     /// common cases on flush-heavy plans, where most per-tile flushes find
-    /// the L1/BBF already clean.
+    /// the L1/BBF already clean. When there *are* dirty lines, only the
+    /// per-set dirty masks are walked, not every slot.
     pub fn writeback_invalidate_all_into(&mut self, out: &mut Vec<Line>) -> usize {
         if self.live == 0 {
+            debug_assert!(self.valid.iter().all(|&m| m == 0));
             debug_assert!(self.tags.iter().all(|&t| t == INVALID));
             return 0;
         }
         let n = self.dirty_n;
         if n == 0 {
-            debug_assert!(self.dirty.iter().all(|&d| !d));
+            debug_assert!(self.dirty.iter().all(|&m| m == 0));
             self.tags.fill(INVALID);
+            self.valid.fill(0);
             self.live = 0;
             return 0;
         }
+        let ways = self.config.ways;
         let mut found = 0;
-        for i in 0..self.tags.len() {
-            if self.tags[i] != INVALID && self.dirty[i] {
-                out.push(self.tags[i]);
+        for set in 0..self.sets {
+            let mut m = self.dirty[set];
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                m &= m - 1;
+                out.push(self.tags[set * ways + w]);
                 found += 1;
-                if found == n {
-                    break;
-                }
+            }
+            if found == n {
+                break;
             }
         }
         debug_assert_eq!(found, n);
         self.tags.fill(INVALID);
-        self.dirty.fill(false);
+        self.valid.fill(0);
+        self.dirty.fill(0);
         self.live = 0;
         self.dirty_n = 0;
         n
     }
 
-    /// Number of currently valid lines. The full scan doubles as an
-    /// independent cross-check of the incremental counter in debug builds.
+    /// Number of currently valid lines. The mask popcount doubles as an
+    /// independent cross-check of the incremental counter (and of the tag
+    /// sentinels) in debug builds.
     pub fn occupancy(&self) -> usize {
-        let n = self.tags.iter().filter(|&&t| t != INVALID).count();
+        let n: usize = self.valid.iter().map(|m| m.count_ones() as usize).sum();
         debug_assert_eq!(n, self.live);
+        debug_assert_eq!(self.tags.iter().filter(|&&t| t != INVALID).count(), n);
         n
     }
 
-    /// Number of currently dirty lines (scan-based cross-check, as with
+    /// Number of currently dirty lines (mask-based cross-check, as with
     /// [`Cache::occupancy`]).
     pub fn dirty_count(&self) -> usize {
-        let n = (0..self.tags.len())
-            .filter(|&i| self.tags[i] != INVALID && self.dirty[i])
-            .count();
+        let n: usize = self.dirty.iter().map(|m| m.count_ones() as usize).sum();
         debug_assert_eq!(n, self.dirty_n);
+        debug_assert!(self
+            .valid
+            .iter()
+            .zip(&self.dirty)
+            .all(|(&v, &d)| d & !v == 0));
         n
     }
 }
@@ -305,6 +451,12 @@ mod tests {
     #[should_panic]
     fn undersized_cache_is_rejected() {
         let _ = CacheConfig::new(64, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overwide_sets_are_rejected() {
+        let _ = CacheConfig::new(1 << 20, 65);
     }
 
     #[test]
@@ -369,6 +521,24 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_compacts_recency_order() {
+        let mut c = Cache::new(CacheConfig::new(4 * 256, 4)); // 4 ways, 4 sets
+        for line in [0, 4, 8, 12] {
+            c.access(line, false); // set 0 full; LRU order 0,4,8,12
+        }
+        c.invalidate(8);
+        // Next two fills take the freed way then evict the true LRU (0).
+        assert!(matches!(
+            c.access(16, false),
+            AccessOutcome::Miss { victim: None }
+        ));
+        match c.access(20, false) {
+            AccessOutcome::Miss { victim: Some(v) } => assert_eq!(v.line, 0),
+            other => panic!("expected eviction of line 0, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn writeback_invalidate_all_returns_only_dirty() {
         let mut c = tiny();
         c.access(0, true);
@@ -416,7 +586,7 @@ mod tests {
         for i in 0..16u64 {
             c.access(i, i.is_multiple_of(3));
             // occupancy()/dirty_count() debug_assert the incremental
-            // counters against a full scan.
+            // counters against the masks.
             let _ = (c.occupancy(), c.dirty_count());
         }
         c.invalidate(15);
@@ -453,5 +623,32 @@ mod tests {
         c.access(2, false); // set 0 now holds {0, 2}
         c.access(3, false); // set 1 now holds {1, 3}
         assert!(c.probe(0) && c.probe(1) && c.probe(2) && c.probe(3));
+    }
+
+    #[test]
+    fn slot_handles_allow_direct_dirty_marking() {
+        let mut c = tiny();
+        let (_, slot) = c.access_at(6, false);
+        let (out, again) = c.access_at(6, false);
+        assert!(out.is_hit());
+        assert_eq!(slot, again);
+        assert_eq!(c.dirty_count(), 0);
+        c.mark_dirty_slot(slot);
+        assert_eq!(c.dirty_count(), 1);
+        c.mark_dirty_slot(slot); // idempotent
+        assert_eq!(c.dirty_count(), 1);
+        assert_eq!(c.invalidate(6), Some(true));
+    }
+
+    #[test]
+    fn mru_retouch_is_a_pure_no_op() {
+        // The line-filter correctness argument: re-accessing the MRU way
+        // must leave the whole cache state (not just decisions) unchanged.
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(2, true);
+        let before = format!("{c:?}");
+        c.access(2, true);
+        assert_eq!(format!("{c:?}"), before);
     }
 }

@@ -85,6 +85,7 @@ impl Dram {
 
     /// Issues a read of `line` arriving at the controller at `now`; returns
     /// the completion cycle.
+    #[inline]
     pub fn access(&mut self, line: Line, now: Cycle) -> Cycle {
         self.reads += 1;
         self.schedule(line, now)
@@ -92,11 +93,16 @@ impl Dram {
 
     /// Issues a write of `line` (write-back) arriving at `now`; returns the
     /// cycle at which the channel accepted it.
+    #[inline]
     pub fn write(&mut self, line: Line, now: Cycle) -> Cycle {
         self.writes += 1;
         self.schedule(line, now)
     }
 
+    /// Branch-free channel scheduling: the free-channel case is the same
+    /// arithmetic as the queued case (`max` folds to a conditional move),
+    /// so the common idle-DRAM access takes no extra branches.
+    #[inline]
     fn schedule(&mut self, line: Line, now: Cycle) -> Cycle {
         let ch = (line % self.config.channels as u64) as usize;
         let start = self.next_free[ch].max(now);

@@ -1,6 +1,6 @@
 use crate::{
     audit_enabled, Cache, Cycle, DataClass, Dram, LevelKind, Line, MemConfig, MemStats,
-    ReadTracker, Stlb, TraceEvent,
+    ReadTracker, SlotHandle, Stlb, TraceEvent, LINE_BYTES,
 };
 
 /// Which path an access takes through the memory system.
@@ -20,12 +20,66 @@ pub enum AccessPath {
     BypassVictim,
 }
 
+/// Whether the memory fast path defaults to on for new hierarchies.
+/// Setting `SPADE_MEM_SLOW_PATH` (to anything but `0`) forces every
+/// [`MemorySystem`] onto the always-translate, always-lookup slow path —
+/// the debugging escape hatch; [`MemorySystem::set_fast_path`] overrides
+/// per instance. The two paths are bit-identical by construction (pinned
+/// by the equivalence suites), so this only ever costs host time.
+pub fn fast_path_default() -> bool {
+    std::env::var_os("SPADE_MEM_SLOW_PATH").is_none_or(|v| v == *"0")
+}
+
+/// Per-agent memoization of the last line an agent left resident — and
+/// most-recently-used — in its private L1 (`victim == false`) or BBF
+/// victim cache (`victim == true`). A repeat access along the same path
+/// is then serviced without touching the cache at all: the hit is known,
+/// and re-touching an MRU way is a pure no-op under rank-based LRU.
+#[derive(Debug, Clone, Copy)]
+struct LineFilter {
+    /// Filtered line; [`Line::MAX`] (the reserved sentinel) when empty.
+    line: Line,
+    /// Slot the line occupies, for O(1) dirty-marking on write repeats.
+    slot: SlotHandle,
+    /// Which private cache holds it: `false` = L1, `true` = BBF VC.
+    victim: bool,
+}
+
+impl LineFilter {
+    const EMPTY: LineFilter = LineFilter {
+        line: Line::MAX,
+        slot: 0,
+        victim: false,
+    };
+}
+
 /// The modeled memory hierarchy: per-agent L1 (and optional BBF victim
 /// cache), shared L2 per cluster, banked LLC, DRAM, and per-cluster STLBs.
 ///
 /// Every access returns its completion cycle. Caches are tag-only; victims
 /// propagate down the hierarchy as write-backs that consume bandwidth but
 /// stay off the requester's critical path.
+///
+/// # The fast path
+///
+/// With no fault plan armed, accesses flow through a filtered fast path
+/// that is bit-identical to the slow path (see the memory-fast-path
+/// section of `DESIGN.md` and the `fastpath_equivalence` suites):
+///
+/// * a per-cluster **translation-reuse latch** skips the STLB lookup when
+///   a request touches the same page as the cluster's previous request —
+///   the latched page is by construction resident and MRU in its STLB
+///   set, so the skipped lookup could only have been a state-no-op hit;
+/// * a per-agent **line filter** short-circuits back-to-back accesses to
+///   the same line along the same private-cache path entirely (stats and
+///   dirty bits advance exactly as the slow path would);
+/// * the no-fault access arms are **monomorphized** (`ARMED = false`), so
+///   fault-probe rolls and their trace branches vanish from the hot loop
+///   instead of being re-tested per request.
+///
+/// Arming any fault probability vetoes the filters for that hierarchy
+/// (mid-run STLB shoot-downs would invalidate the latch invariant), so
+/// faulty runs take the slow path on both sides of any comparison.
 ///
 /// # Example
 ///
@@ -48,6 +102,23 @@ pub struct MemorySystem {
     dram: Dram,
     stlbs: Vec<Stlb>,
     stats: MemStats,
+    /// Whether the fast path was requested (default: on, unless the
+    /// `SPADE_MEM_SLOW_PATH` environment override is set).
+    fast_path: bool,
+    /// Whether the filters actually run: requested *and* not vetoed by an
+    /// armed fault plan.
+    filters_on: bool,
+    /// Per-agent last-line memo (consulted only when `filters_on`).
+    line_filters: Vec<LineFilter>,
+    /// Per-cluster last-translated page (consulted only when
+    /// `filters_on`); [`Line::MAX`] when empty.
+    page_filter: Vec<Line>,
+    /// Accesses fully short-circuited by the line filter. Deliberately
+    /// *not* part of [`MemStats`]: reports must stay byte-identical
+    /// between fast-path-on and fast-path-off runs.
+    filter_line_hits: u64,
+    /// Translations served by the reuse latch (same caveat as above).
+    filter_page_hits: u64,
     /// In-flight read accounting for the invariant auditor. `None` when
     /// auditing is off; bookkeeping only — never read by the timing model.
     tracker: Option<ReadTracker>,
@@ -74,6 +145,7 @@ impl MemorySystem {
         let stlbs = (0..config.num_clusters())
             .map(|_| Stlb::new(config.stlb))
             .collect();
+        let fast_path = fast_path_default();
         MemorySystem {
             llc: Cache::new(config.llc),
             llc_bank_free: vec![0; config.llc_banks.max(1)],
@@ -83,11 +155,50 @@ impl MemorySystem {
             l2s,
             stlbs,
             stats: MemStats::new(),
+            fast_path,
+            filters_on: fast_path && !config.faults.is_active(),
+            line_filters: vec![LineFilter::EMPTY; config.num_agents],
+            page_filter: vec![Line::MAX; config.num_clusters()],
+            filter_line_hits: 0,
+            filter_page_hits: 0,
             tracker: audit_enabled().then(ReadTracker::new),
             trace: None,
             flush_scratch: Vec::new(),
             config,
         }
+    }
+
+    /// Requests or disables the filtered fast path. Disabling forces the
+    /// always-translate, always-lookup slow path (for debugging and the
+    /// equivalence suites); enabling takes effect only if no fault plan
+    /// is armed. Both directions clear the filters, which is always safe:
+    /// an empty filter merely routes the next access down the slow path.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+        self.filters_on = enabled && !self.config.faults.is_active();
+        self.reset_filters();
+    }
+
+    /// Whether the filtered fast path is live (requested and not vetoed
+    /// by an armed fault plan).
+    pub fn fast_path_active(&self) -> bool {
+        self.filters_on
+    }
+
+    /// Accesses fully short-circuited by the per-agent line filter.
+    pub fn filter_line_hits(&self) -> u64 {
+        self.filter_line_hits
+    }
+
+    /// Translations served by the per-cluster reuse latch instead of an
+    /// STLB lookup.
+    pub fn filter_page_hits(&self) -> u64 {
+        self.filter_page_hits
+    }
+
+    fn reset_filters(&mut self) {
+        self.line_filters.fill(LineFilter::EMPTY);
+        self.page_filter.fill(Line::MAX);
     }
 
     /// Enables or disables event tracing. Enabling (re)starts an empty
@@ -127,6 +238,7 @@ impl MemorySystem {
     }
 
     /// Occupies an LLC bank and returns the service start cycle.
+    #[inline]
     fn llc_bank(&mut self, line: Line, now: Cycle) -> Cycle {
         let b = (line % self.llc_bank_free.len() as u64) as usize;
         let start = self.llc_bank_free[b].max(now);
@@ -176,6 +288,9 @@ impl MemorySystem {
         assert!(agent < self.config.num_agents, "agent {agent} out of range");
         self.stats.requests_issued += 1;
         let cluster = self.cluster_of(agent);
+        if self.filters_on {
+            return self.access_filtered(agent, cluster, line, path, class, now, is_write);
+        }
         if self.config.faults.evicts_stlb(line, now) && self.stlbs[cluster].evict_line(line) {
             self.stats.faults_injected += 1;
             if let Some(buf) = self.trace.as_mut() {
@@ -189,9 +304,110 @@ impl MemorySystem {
         if tlb_penalty > 0 {
             self.stats.tlb_misses += 1;
         }
-        let now = now + tlb_penalty;
+        self.dispatch::<true>(
+            agent,
+            cluster,
+            line,
+            path,
+            class,
+            now + tlb_penalty,
+            is_write,
+        )
+    }
+
+    /// The filtered fast path (fault plan proven inactive). Equivalence
+    /// with the slow path is argued invariant-by-invariant in `DESIGN.md`
+    /// and pinned by the `fastpath_equivalence` suites.
+    #[allow(clippy::too_many_arguments)]
+    fn access_filtered(
+        &mut self,
+        agent: usize,
+        cluster: usize,
+        line: Line,
+        path: AccessPath,
+        class: DataClass,
+        now: Cycle,
+        is_write: bool,
+    ) -> Cycle {
+        let page = line * LINE_BYTES / self.config.stlb.page_bytes;
+        if self.page_filter[cluster] == page {
+            // The latched page is resident and MRU in its STLB set, so a
+            // real translate() would hit and change nothing but the hit
+            // counter — which note_reuse_hit advances. Penalty: 0.
+            self.filter_page_hits += 1;
+            self.stlbs[cluster].note_reuse_hit();
+            let f = self.line_filters[agent];
+            if f.line == line {
+                // Same line, same path, same agent: the line is the MRU
+                // way of the private cache that served it last time, so
+                // the slow path would record a hit, promote a way that is
+                // already MRU (a no-op under rank LRU), optionally mark it
+                // dirty, and complete after one L1 latency.
+                match (path, f.victim) {
+                    (AccessPath::Cached, false) => {
+                        self.filter_line_hits += 1;
+                        self.stats.record_access(LevelKind::L1, true);
+                        if is_write {
+                            self.l1s[agent].mark_dirty_slot(f.slot);
+                        }
+                        return now + self.config.l1_latency;
+                    }
+                    (AccessPath::BypassVictim, true) => {
+                        self.filter_line_hits += 1;
+                        self.stats.record_access(LevelKind::Bbf, true);
+                        if is_write {
+                            self.victims[agent]
+                                .as_mut()
+                                .expect("a victim-filter entry implies a BBF")
+                                .mark_dirty_slot(f.slot);
+                        }
+                        return now + self.config.l1_latency;
+                    }
+                    // Bypass never filters (DRAM channel queues must
+                    // advance), and a path switch falls through to the
+                    // full lookup.
+                    _ => {}
+                }
+            }
+            self.dispatch::<false>(agent, cluster, line, path, class, now, is_write)
+        } else {
+            let tlb_penalty = self.stlbs[cluster].translate(line);
+            self.page_filter[cluster] = page;
+            if tlb_penalty > 0 {
+                self.stats.tlb_misses += 1;
+            }
+            self.dispatch::<false>(
+                agent,
+                cluster,
+                line,
+                path,
+                class,
+                now + tlb_penalty,
+                is_write,
+            )
+        }
+    }
+
+    /// Routes a translated access down its path. `ARMED` selects the
+    /// fault-probing arms; the fast path instantiates `ARMED = false`, so
+    /// the per-request probability rolls and their trace branches are
+    /// compiled out rather than re-tested (they are exact no-ops whenever
+    /// the plan is inactive, which `filters_on` guarantees).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<const ARMED: bool>(
+        &mut self,
+        agent: usize,
+        cluster: usize,
+        line: Line,
+        path: AccessPath,
+        class: DataClass,
+        now: Cycle,
+        is_write: bool,
+    ) -> Cycle {
         match path {
-            AccessPath::Cached => self.cached_access(agent, cluster, line, class, now, is_write),
+            AccessPath::Cached => {
+                self.cached_access::<ARMED>(agent, cluster, line, class, now, is_write)
+            }
             AccessPath::Bypass => {
                 self.stats.record_access(LevelKind::Bbf, false);
                 if is_write {
@@ -200,14 +416,16 @@ impl MemorySystem {
                     self.dram_write(line, class, now);
                     now + 1
                 } else {
-                    self.dram_read(agent, line, class, now)
+                    self.dram_read::<ARMED>(agent, line, class, now)
                 }
             }
-            AccessPath::BypassVictim => self.victim_access(agent, line, class, now, is_write),
+            AccessPath::BypassVictim => {
+                self.victim_access::<ARMED>(agent, line, class, now, is_write)
+            }
         }
     }
 
-    fn cached_access(
+    fn cached_access<const ARMED: bool>(
         &mut self,
         agent: usize,
         cluster: usize,
@@ -216,17 +434,21 @@ impl MemorySystem {
         now: Cycle,
         is_write: bool,
     ) -> Cycle {
-        let port_extra = self.config.faults.port_extra(agent, line, now);
-        if port_extra > 0 {
-            self.stats.faults_injected += 1;
-            if let Some(buf) = self.trace.as_mut() {
-                buf.push(
-                    TraceEvent::instant("fault: port delay", "fault", now, agent as u64)
-                        .arg("extra_cycles", port_extra),
-                );
+        let now = if ARMED {
+            let port_extra = self.config.faults.port_extra(agent, line, now);
+            if port_extra > 0 {
+                self.stats.faults_injected += 1;
+                if let Some(buf) = self.trace.as_mut() {
+                    buf.push(
+                        TraceEvent::instant("fault: port delay", "fault", now, agent as u64)
+                            .arg("extra_cycles", port_extra),
+                    );
+                }
             }
-        }
-        let now = now + port_extra;
+            now + port_extra
+        } else {
+            now
+        };
         let (l1_lat, l2_lat, llc_lat, link) = (
             self.config.l1_latency,
             self.config.l2_latency,
@@ -234,7 +456,14 @@ impl MemorySystem {
             self.config.link_latency,
         );
         let l1_done = now + l1_lat;
-        let outcome = self.l1s[agent].access(line, is_write);
+        let (outcome, slot) = self.l1s[agent].access_at(line, is_write);
+        // The line is now resident and MRU in this agent's L1 whatever the
+        // outcome was — exactly what the line filter memoizes.
+        self.line_filters[agent] = LineFilter {
+            line,
+            slot,
+            victim: false,
+        };
         self.stats.record_access(LevelKind::L1, outcome.is_hit());
         if let crate::AccessOutcome::Miss { victim: Some(v) } = outcome {
             if v.dirty {
@@ -276,7 +505,7 @@ impl MemorySystem {
         }
 
         // DRAM (the remaining half of the link round trip).
-        self.dram_read(agent, line, class, llc_done + link / 2)
+        self.dram_read::<ARMED>(agent, line, class, llc_done + link / 2)
     }
 
     /// Fills `line` into an L2 as a write-back from an L1 (off the critical
@@ -304,7 +533,7 @@ impl MemorySystem {
         }
     }
 
-    fn victim_access(
+    fn victim_access<const ARMED: bool>(
         &mut self,
         agent: usize,
         line: Line,
@@ -312,16 +541,27 @@ impl MemorySystem {
         now: Cycle,
         is_write: bool,
     ) -> Cycle {
-        let Some(vc) = self.victims[agent].as_mut() else {
-            // No BBF configured (CPU agent): degrade to a plain bypass.
-            return if is_write {
-                self.dram_write(line, class, now);
-                now + 1
-            } else {
-                self.dram_read(agent, line, class, now)
-            };
+        let (out, slot) = match self.victims[agent].as_mut() {
+            Some(vc) => vc.access_at(line, is_write),
+            None => {
+                // No BBF configured (CPU agent): degrade to a plain bypass.
+                // The line filter is untouched — this access did not alter
+                // any private cache, so the previous memo stays valid.
+                return if is_write {
+                    self.dram_write(line, class, now);
+                    now + 1
+                } else {
+                    self.dram_read::<ARMED>(agent, line, class, now)
+                };
+            }
         };
-        let out = vc.access(line, is_write);
+        // Write-allocate on every miss: the line is resident and MRU in
+        // the VC from here on, so memoize it for the filter.
+        self.line_filters[agent] = LineFilter {
+            line,
+            slot,
+            victim: true,
+        };
         self.stats.record_access(LevelKind::Bbf, out.is_hit());
         if let crate::AccessOutcome::Miss { victim: Some(v) } = out {
             if v.dirty {
@@ -337,24 +577,35 @@ impl MemorySystem {
             // else to do now.
             now + self.config.l1_latency
         } else {
-            self.dram_read(agent, line, class, now)
+            self.dram_read::<ARMED>(agent, line, class, now)
         }
     }
 
-    fn dram_read(&mut self, agent: usize, line: Line, class: DataClass, now: Cycle) -> Cycle {
+    fn dram_read<const ARMED: bool>(
+        &mut self,
+        agent: usize,
+        line: Line,
+        class: DataClass,
+        now: Cycle,
+    ) -> Cycle {
         self.stats.record_access(LevelKind::Dram, true);
         self.stats.record_dram(class);
         let done = self.dram.access(line, now + self.config.link_latency / 2);
-        let extra = self.config.faults.dram_extra(line, now);
-        if extra > 0 {
-            self.stats.faults_injected += 1;
-            if let Some(buf) = self.trace.as_mut() {
-                buf.push(
-                    TraceEvent::instant("fault: dram delay", "fault", now, agent as u64)
-                        .arg("extra_cycles", extra),
-                );
+        let extra = if ARMED {
+            let extra = self.config.faults.dram_extra(line, now);
+            if extra > 0 {
+                self.stats.faults_injected += 1;
+                if let Some(buf) = self.trace.as_mut() {
+                    buf.push(
+                        TraceEvent::instant("fault: dram delay", "fault", now, agent as u64)
+                            .arg("extra_cycles", extra),
+                    );
+                }
             }
-        }
+            extra
+        } else {
+            0
+        };
         done + extra + self.config.link_latency / 2
     }
 
@@ -368,6 +619,9 @@ impl MemorySystem {
     /// returning the number of dirty lines flushed (the SPADE→CPU mode
     /// transition of §4.1). The write-backs consume DRAM bandwidth.
     pub fn flush_agent(&mut self, agent: usize, now: Cycle) -> usize {
+        // The agent's private caches are about to empty; its memoized line
+        // is no longer resident anywhere.
+        self.line_filters[agent] = LineFilter::EMPTY;
         let cluster = self.cluster_of(agent);
         let mut flushed = 0;
         // Reuse one buffer across all flushes; the borrow checker needs it
@@ -404,11 +658,17 @@ impl MemorySystem {
 
     /// Resets statistics and all timing queues while keeping cache
     /// contents, so a subsequent run starts at cycle 0 with warm caches
-    /// (used to measure the start-up overhead of §7.D).
+    /// (used to measure the start-up overhead of §7.D). The fast-path
+    /// filters are cleared too — conservative, since cache contents
+    /// survive, but an empty filter is always safe and keeps warm-start
+    /// runs independent of pre-reset traffic.
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::new();
         self.dram.reset();
         self.llc_bank_free.fill(0);
+        self.reset_filters();
+        self.filter_line_hits = 0;
+        self.filter_page_hits = 0;
         if let Some(t) = self.tracker.as_mut() {
             t.reset();
         }
@@ -462,6 +722,16 @@ impl MemorySystem {
                     s.hits, s.accesses
                 ));
             }
+        }
+        // The filters are observation-transparent; their own counters must
+        // stay within the request count like any hit counter.
+        if self.filter_line_hits > self.stats.requests_issued
+            || self.filter_page_hits > self.stats.requests_issued
+        {
+            return Err(format!(
+                "filter hit counters exceed requests issued: line {} / page {} > {}",
+                self.filter_line_hits, self.filter_page_hits, self.stats.requests_issued
+            ));
         }
         let outstanding = self.outstanding_reads(now).unwrap_or(0);
         if let Some(bound) = max_outstanding {
@@ -699,6 +969,58 @@ mod tests {
         assert!(armed_sum > clean_sum);
         // The same traffic was served either way.
         assert_eq!(clean.stats().requests_issued, armed.stats().requests_issued);
+    }
+
+    #[test]
+    fn fault_plans_veto_the_fast_path() {
+        use crate::FaultConfig;
+        let clean = mem();
+        assert!(clean.fast_path_active());
+        let mut cfg = MemConfig::small_test(4);
+        cfg.faults = FaultConfig::light(3);
+        let armed = MemorySystem::new(cfg);
+        assert!(!armed.fast_path_active());
+    }
+
+    #[test]
+    fn set_fast_path_toggles_and_counts_stop() {
+        let mut m = mem();
+        m.read(0, 0, AccessPath::Cached, DataClass::CMatrix, 0);
+        m.read(0, 0, AccessPath::Cached, DataClass::CMatrix, 0);
+        assert!(m.filter_line_hits() > 0);
+        let line_hits = m.filter_line_hits();
+        m.set_fast_path(false);
+        assert!(!m.fast_path_active());
+        m.read(0, 0, AccessPath::Cached, DataClass::CMatrix, 0);
+        assert_eq!(m.filter_line_hits(), line_hits);
+        m.set_fast_path(true);
+        assert!(m.fast_path_active());
+    }
+
+    #[test]
+    fn filtered_and_slow_paths_agree_on_a_repeat_stream() {
+        let mut fast = mem();
+        let mut slow = mem();
+        slow.set_fast_path(false);
+        let mut now = 0;
+        for i in 0..256u64 {
+            let agent = (i % 4) as usize;
+            let line = (i / 8) % 16; // heavy same-line, same-page reuse
+            let path = if i % 3 == 0 {
+                AccessPath::BypassVictim
+            } else {
+                AccessPath::Cached
+            };
+            let w = i % 5 == 0;
+            let a = fast.access(agent, line, path, DataClass::RMatrix, now, w);
+            let b = slow.access(agent, line, path, DataClass::RMatrix, now, w);
+            assert_eq!(a, b, "op {i}");
+            assert_eq!(fast.stats(), slow.stats(), "op {i}");
+            now = a;
+        }
+        assert!(fast.filter_line_hits() > 0);
+        assert!(fast.filter_page_hits() > 0);
+        assert_eq!(slow.filter_line_hits(), 0);
     }
 
     #[test]

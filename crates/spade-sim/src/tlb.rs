@@ -65,6 +65,7 @@ impl Stlb {
 
     /// Translates the page containing cache line `line`, returning the
     /// added latency in cycles (0 on a hit, the walk penalty on a miss).
+    #[inline]
     pub fn translate(&mut self, line: Line) -> Cycle {
         let page = line * LINE_BYTES / self.config.page_bytes;
         if self.entries.access(page, false).is_hit() {
@@ -76,10 +77,21 @@ impl Stlb {
         }
     }
 
+    /// Records a translation served by the hierarchy's translation-reuse
+    /// latch instead of a lookup. The latched page is by construction the
+    /// most recently translated — resident and MRU in its set — so a real
+    /// [`Stlb::translate`] would hit without moving any replacement
+    /// state; only the hit counter needs to advance.
+    #[inline]
+    pub fn note_reuse_hit(&mut self) {
+        self.hits += 1;
+    }
+
     /// Evicts the entry for the page containing `line`, if present.
     /// Returns whether an entry was actually dropped. Used by fault
     /// injection to model shoot-downs; the next translation of that page
     /// pays a full walk again.
+    #[inline]
     pub fn evict_line(&mut self, line: Line) -> bool {
         let page = line * LINE_BYTES / self.config.page_bytes;
         self.entries.invalidate(page).is_some()

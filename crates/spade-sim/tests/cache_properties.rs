@@ -133,6 +133,114 @@ fn bypass_reads_leave_caches_cold() {
     }
 }
 
+/// A straightforward stamp-based LRU model: every hit or fill takes a
+/// fresh global tick, misses fill the lowest-index invalid way first and
+/// otherwise evict the minimum-stamp (least recent) way. This is the
+/// behavior the packed rank-byte cache must reproduce decision for
+/// decision.
+struct StampCache {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<StampLine>>,
+    tick: u64,
+}
+
+#[derive(Clone, Copy)]
+struct StampLine {
+    line: u64,
+    dirty: bool,
+    stamp: u64,
+}
+
+impl StampCache {
+    fn new(config: CacheConfig) -> Self {
+        StampCache {
+            sets: config.num_sets(),
+            ways: config.ways,
+            slots: vec![None; config.num_lines()],
+            tick: 0,
+        }
+    }
+
+    fn access(&mut self, line: u64, is_write: bool) -> AccessOutcome {
+        let base = (line % self.sets as u64) as usize * self.ways;
+        let set = &mut self.slots[base..base + self.ways];
+        self.tick += 1;
+        if let Some(s) = set.iter_mut().flatten().find(|s| s.line == line) {
+            s.stamp = self.tick;
+            s.dirty |= is_write;
+            return AccessOutcome::Hit;
+        }
+        let fill = StampLine {
+            line,
+            dirty: is_write,
+            stamp: self.tick,
+        };
+        if let Some(free) = set.iter_mut().find(|s| s.is_none()) {
+            *free = Some(fill);
+            return AccessOutcome::Miss { victim: None };
+        }
+        let lru = set
+            .iter_mut()
+            .min_by_key(|s| s.unwrap().stamp)
+            .expect("set has ways");
+        let evicted = lru.unwrap();
+        *lru = Some(fill);
+        AccessOutcome::Miss {
+            victim: Some(spade_sim::Victim {
+                line: evicted.line,
+                dirty: evicted.dirty,
+            }),
+        }
+    }
+
+    fn dirty_lines_sorted(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| s.dirty)
+            .map(|s| s.line)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// The packed tag/rank/bitmask cache makes exactly the decisions of the
+/// stamp-based LRU reference — same hit/miss outcome, same victim, same
+/// dirty set — over randomized streams across several geometries.
+#[test]
+fn packed_cache_matches_the_stamp_lru_reference() {
+    let mut rng = Rng(0x4ef5_7a4b);
+    for case in 0..192 {
+        let ways = 1 + rng.bounded(8) as usize;
+        let sets = 1 + rng.bounded(8) as usize;
+        let config = CacheConfig::new(sets * ways * 64, ways);
+        let mut packed = Cache::new(config);
+        let mut reference = StampCache::new(config);
+        let universe = 1 + rng.bounded(4 * config.num_lines() as u64);
+        for op in 0..400 {
+            let line = rng.bounded(universe);
+            let write = rng.gen_bool();
+            let got = packed.access(line, write);
+            let want = reference.access(line, write);
+            assert_eq!(
+                got, want,
+                "case {case} op {op}: packed cache diverged from the stamp \
+                 reference ({sets} sets x {ways} ways, line {line}, write={write})"
+            );
+        }
+        let mut packed_dirty = packed.writeback_invalidate_all();
+        packed_dirty.sort_unstable();
+        assert_eq!(
+            packed_dirty,
+            reference.dirty_lines_sorted(),
+            "case {case}: dirty sets diverged"
+        );
+    }
+}
+
 /// The flush operation leaves no dirty state behind: a second flush
 /// returns zero lines.
 #[test]

@@ -1,0 +1,212 @@
+//! The filtered memory fast path is an optimization, not a model change:
+//! for any access stream, the hierarchy with filters enabled must return
+//! the same completion cycle as the always-translate, always-lookup slow
+//! path on every single access, and the two must agree on the full
+//! statistics block after each one. These tests drive seeded random and
+//! adversarial streams through paired hierarchies to pin that guarantee.
+
+use spade_sim::{AccessPath, DataClass, FaultConfig, MemConfig, MemorySystem};
+
+/// SplitMix64 — the same stream `spade_matrix::rng::Rng64` produces
+/// (spade-sim sits below the matrix crate, so it carries its own copy).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn bounded(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Draws one random access. Lines come from a small pool with a strong
+/// repeat bias so both filters engage often; paths and writes are mixed.
+fn random_op(
+    rng: &mut Rng,
+    agents: usize,
+    last_line: u64,
+) -> (usize, u64, AccessPath, DataClass, bool) {
+    let agent = rng.bounded(agents as u64) as usize;
+    // 1/3 exact repeat, 1/3 same-page neighbor, 1/3 fresh line.
+    let line = match rng.bounded(3) {
+        0 => last_line,
+        1 => last_line ^ rng.bounded(64),
+        _ => rng.bounded(2048),
+    };
+    let path = match rng.bounded(5) {
+        0 => AccessPath::Bypass,
+        1 => AccessPath::BypassVictim,
+        _ => AccessPath::Cached,
+    };
+    let class = match rng.bounded(4) {
+        0 => DataClass::SparseIn,
+        1 => DataClass::SparseOut,
+        2 => DataClass::RMatrix,
+        _ => DataClass::CMatrix,
+    };
+    (agent, line, path, class, rng.gen_bool())
+}
+
+/// Drives `ops` random accesses through a fast and a slow hierarchy built
+/// from the same config, asserting identical completion cycles and
+/// identical `MemStats` after every access. Returns the fast system for
+/// follow-up assertions.
+fn run_paired(config: MemConfig, seed: u64, ops: usize) -> MemorySystem {
+    let mut fast = MemorySystem::new(config.clone());
+    fast.set_fast_path(true);
+    let mut slow = MemorySystem::new(config);
+    slow.set_fast_path(false);
+    assert!(!slow.fast_path_active());
+
+    let mut rng = Rng(seed);
+    let mut now = 0u64;
+    let mut last_line = 0u64;
+    for i in 0..ops {
+        let (agent, line, path, class, is_write) =
+            random_op(&mut rng, fast.config().num_agents, last_line);
+        last_line = line;
+        let (f, s) = if is_write {
+            (
+                fast.write(agent, line, path, class, now),
+                slow.write(agent, line, path, class, now),
+            )
+        } else {
+            (
+                fast.read(agent, line, path, class, now),
+                slow.read(agent, line, path, class, now),
+            )
+        };
+        assert_eq!(
+            f, s,
+            "seed {seed:#x} op {i}: completion cycles diverge \
+             (agent {agent}, line {line}, {path:?}, write={is_write})"
+        );
+        assert_eq!(
+            fast.stats(),
+            slow.stats(),
+            "seed {seed:#x} op {i}: MemStats diverge after the access"
+        );
+        // Occasionally interleave the maintenance operations that clear
+        // the filters, at matching points on both sides.
+        match i % 97 {
+            31 => {
+                assert_eq!(fast.flush_agent(agent, now), slow.flush_agent(agent, now));
+            }
+            67 => {
+                assert_eq!(fast.flush_all(now), slow.flush_all(now));
+            }
+            _ => {}
+        }
+        now += 1 + rng.bounded(3);
+    }
+    assert_eq!(fast.stats(), slow.stats());
+    fast
+}
+
+#[test]
+fn random_streams_are_identical_per_access() {
+    for seed in [1u64, 0xDEAD_BEEF, 0x5eed_5eed_5eed] {
+        let fast = run_paired(MemConfig::small_test(4), seed, 1_500);
+        assert!(
+            fast.filter_line_hits() + fast.filter_page_hits() > 0,
+            "seed {seed:#x}: the stream never engaged a filter — the test \
+             exercised nothing"
+        );
+    }
+}
+
+#[test]
+fn repeat_heavy_stream_engages_both_filters() {
+    let mut fast = MemorySystem::new(MemConfig::small_test(2));
+    fast.set_fast_path(true);
+    let mut slow = MemorySystem::new(MemConfig::small_test(2));
+    slow.set_fast_path(false);
+    for now in 0..512u64 {
+        // 8 touches per line, lines walk sequentially: the line filter
+        // catches the repeats and the page latch the line advances.
+        let line = now / 8;
+        let f = fast.read(0, line, AccessPath::Cached, DataClass::CMatrix, now);
+        let s = slow.read(0, line, AccessPath::Cached, DataClass::CMatrix, now);
+        assert_eq!(f, s);
+    }
+    assert_eq!(fast.stats(), slow.stats());
+    assert!(fast.filter_line_hits() > 256, "line filter barely engaged");
+    assert!(fast.filter_page_hits() > 400, "page latch barely engaged");
+    assert_eq!(slow.filter_line_hits(), 0);
+    assert_eq!(slow.filter_page_hits(), 0);
+}
+
+#[test]
+fn fault_plans_force_the_slow_path_and_still_agree() {
+    for seed in [7u64, 0xC0FFEE] {
+        let mut config = MemConfig::small_test(4);
+        config.faults = FaultConfig::stress(seed);
+        let mut armed = MemorySystem::new(config.clone());
+        armed.set_fast_path(true);
+        // The request is latched but the filters must stay down: fault
+        // plans can evict STLB entries, which breaks the latch invariant.
+        assert!(
+            !armed.fast_path_active(),
+            "fault-armed hierarchy left its filters on"
+        );
+        let fast = run_paired(config, seed ^ 0xA5A5, 1_000);
+        assert!(
+            fast.stats().faults_injected > 0,
+            "stress({seed:#x}) plan injected nothing — the test exercised \
+             no fault interleavings"
+        );
+        assert_eq!(
+            fast.filter_line_hits() + fast.filter_page_hits(),
+            0,
+            "filters counted hits while vetoed"
+        );
+    }
+}
+
+#[test]
+fn toggling_mid_stream_preserves_equivalence() {
+    // A hierarchy whose fast path is flipped on and off mid-run must stay
+    // identical to one that never had it: toggling only clears memos.
+    let mut toggled = MemorySystem::new(MemConfig::small_test(2));
+    let mut slow = MemorySystem::new(MemConfig::small_test(2));
+    slow.set_fast_path(false);
+    let mut rng = Rng(0x70661e);
+    let mut last_line = 0;
+    for now in 0..800u64 {
+        if now % 100 == 0 {
+            toggled.set_fast_path(now % 200 == 0);
+        }
+        let (agent, line, path, class, is_write) = random_op(&mut rng, 2, last_line);
+        last_line = line;
+        let (t, s) = if is_write {
+            (
+                toggled.write(agent, line, path, class, now),
+                slow.write(agent, line, path, class, now),
+            )
+        } else {
+            (
+                toggled.read(agent, line, path, class, now),
+                slow.read(agent, line, path, class, now),
+            )
+        };
+        assert_eq!(t, s, "op {now}: toggled hierarchy diverged");
+        assert_eq!(toggled.stats(), slow.stats(), "op {now}: stats diverged");
+    }
+}

@@ -24,7 +24,8 @@ echo "== trace smoke + golden-file check"
 # new golden file.
 golden=tests/golden/trace_smoke.trace.json
 smoke=$(mktemp /tmp/spade_trace_smoke.XXXXXX.json)
-trap 'rm -f "$smoke"' EXIT
+bench_out=$(mktemp /tmp/spade_bench_perf.XXXXXX.json)
+trap 'rm -f "$smoke" "$bench_out"' EXIT
 cargo run -q -p spade-cli -- trace myc --scale tiny --k 16 --pes 4 \
   --window 256 --out "$smoke"
 if [ "${SPADE_UPDATE_GOLDEN:-0}" = "1" ]; then
@@ -36,5 +37,14 @@ elif ! cmp -s "$smoke" "$golden"; then
   echo "if the change is intentional: SPADE_UPDATE_GOLDEN=1 scripts/check.sh" >&2
   exit 1
 fi
+
+echo "== bench-perf regression gate (release)"
+# Event-driven vs naive driver, and the memory fast path vs the forced
+# slow path: both are equivalence-checked on every run, and the geomean
+# speedups must stay above the committed floors (measured headroom:
+# ~1.45x event-driver and ~1.1-1.3x memory-path on the tiny suite).
+cargo build --release -q -p spade-cli
+./target/release/spade-cli bench-perf --scale tiny --k 32 --pes 8 \
+  --gate-speedup 1.3 --gate-mem-speedup 1.05 --out "$bench_out" >/dev/null
 
 echo "All checks passed."
