@@ -182,6 +182,13 @@ pub struct Job {
     /// oracle for the memory-fastpath-equivalence tests and the memory
     /// microbenchmark.
     pub slow_mem_path: bool,
+    /// Host shard count for the event-driven driver (see
+    /// [`SpadeSystem::set_shards`]): `None` (the default) inherits the
+    /// `SPADE_SIM_SHARDS` environment default, `Some(n)` pins it. Sharding
+    /// never changes a job's outputs — but it does consume host threads,
+    /// so the runner divides its worker budget by the sweep's largest
+    /// shard count (one `SPADE_THREADS` budget across both axes).
+    pub shards: Option<usize>,
 }
 
 /// Everything one job produced: the report plus whatever observability
@@ -215,6 +222,7 @@ impl Job {
             trace: false,
             naive_loop: false,
             slow_mem_path: false,
+            shards: None,
         }
     }
 
@@ -243,6 +251,13 @@ impl Job {
         self
     }
 
+    /// Pins the intra-run shard count for this job (builder style);
+    /// `None` inherits the `SPADE_SIM_SHARDS` environment default.
+    pub fn with_shards(mut self, shards: Option<usize>) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Identity key for de-duplication: workload and config by pointer
     /// (prepared objects are shared, so pointer identity is object
     /// identity), plan, primitive, and observability options by value —
@@ -260,6 +275,7 @@ impl Job {
         bool,
         bool,
         bool,
+        Option<usize>,
     ) {
         (
             Arc::as_ptr(&self.workload) as usize,
@@ -270,6 +286,9 @@ impl Job {
             self.trace,
             self.naive_loop,
             self.slow_mem_path,
+            // Sharding never changes outputs, but equivalence sweeps rely
+            // on each shard count actually executing — keep them distinct.
+            self.shards,
         )
     }
 
@@ -305,6 +324,11 @@ impl Job {
             // Only force the slow path; leaving the default in place keeps
             // the SPADE_MEM_SLOW_PATH environment veto effective.
             sys.set_mem_fast_path(false);
+        }
+        if let Some(shards) = self.shards {
+            // Only pin an explicit request; the default already honors
+            // the SPADE_SIM_SHARDS environment variable.
+            sys.set_shards(shards);
         }
         let report = match self.primitive {
             Primitive::Spmm => {
@@ -434,7 +458,11 @@ impl ParallelRunner {
             }
         }
 
-        let results = self.run_tasks(unique.len(), |i| {
+        // One host-thread budget across both parallelism axes: a sweep of
+        // n-shard jobs gets `threads / n` workers, so inter-job workers ×
+        // intra-run shards never oversubscribes `SPADE_THREADS`.
+        let workers = self.budgeted_workers(jobs);
+        let results = ParallelRunner::new(workers).run_tasks(unique.len(), |i| {
             unique[i].try_execute_full().map_err(|e| e.message)
         });
         let results: Vec<Result<JobOutput, JobError>> = results
@@ -454,6 +482,20 @@ impl ParallelRunner {
             .into_iter()
             .map(|i| results[i].clone())
             .collect()
+    }
+
+    /// The inter-job worker count for `jobs` under the shared thread
+    /// budget: the runner's thread count divided by the largest intra-run
+    /// shard count any job requests (explicitly or through the
+    /// `SPADE_SIM_SHARDS` default), floored at one worker.
+    fn budgeted_workers(&self, jobs: &[Job]) -> usize {
+        let env_shards = spade_core::sim_shards_from_env();
+        let max_shards = jobs
+            .iter()
+            .map(|j| j.shards.unwrap_or(env_shards).max(1))
+            .max()
+            .unwrap_or(1);
+        (self.threads / max_shards).max(1)
     }
 
     /// Runs `count` independent tasks across the worker pool and returns
@@ -591,6 +633,44 @@ mod tests {
         // constructor clamp instead.
         assert_eq!(ParallelRunner::new(0).threads(), 1);
         assert_eq!(ParallelRunner::new(7).threads(), 7);
+    }
+
+    #[test]
+    fn shards_and_workers_share_one_thread_budget() {
+        let (w, cfg) = setup();
+        let plan = machines::base_plan(&w.a);
+        let job = |shards| Job::new(&w, &cfg, Primitive::Spmm, plan).with_shards(Some(shards));
+        let runner = ParallelRunner::new(8);
+        // workers × shards stays within the budget.
+        assert_eq!(runner.budgeted_workers(&[job(1)]), 8);
+        assert_eq!(runner.budgeted_workers(&[job(4)]), 2);
+        assert_eq!(runner.budgeted_workers(&[job(1), job(4)]), 2);
+        // Shards beyond the budget still get one worker, never zero.
+        assert_eq!(runner.budgeted_workers(&[job(16)]), 1);
+        assert_eq!(ParallelRunner::new(1).budgeted_workers(&[job(4)]), 1);
+    }
+
+    #[test]
+    fn sharded_jobs_match_sequential_jobs() {
+        let w = Arc::new(Workload::prepare(Benchmark::Myc, Scale::Tiny, 32));
+        let cfg = Arc::new(machines::spade_system(8)); // two clusters
+        let base = Job::new(&w, &cfg, Primitive::Spmm, machines::base_plan(&w.a))
+            .with_telemetry(Some(128))
+            .with_trace(true);
+        let jobs = [base.clone().with_shards(Some(1)), base.with_shards(Some(2))];
+        let outs = ParallelRunner::new(2).run_outputs(&jobs);
+        let seq = outs[0].as_ref().unwrap();
+        let sh = outs[1].as_ref().unwrap();
+        assert_eq!(seq.report, sh.report);
+        assert_eq!(
+            seq.telemetry.as_ref().unwrap().to_json().render(),
+            sh.telemetry.as_ref().unwrap().to_json().render()
+        );
+        assert_eq!(
+            seq.trace.as_ref().unwrap().to_chrome_json(),
+            sh.trace.as_ref().unwrap().to_chrome_json()
+        );
+        assert_eq!(sh.report.shards, 2);
     }
 
     #[test]

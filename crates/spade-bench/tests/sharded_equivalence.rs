@@ -1,0 +1,169 @@
+//! The sharded driver is a host-parallel execution strategy, not a model
+//! change: for any workload, plan, memory-path setting and fault schedule,
+//! a run split across N host shards must be byte-identical to the
+//! sequential event-driven driver — and therefore to the naive tick-loop
+//! oracle — on the report, the telemetry series and the event trace.
+//! Only the host-property fields (`shards`, `shard_wall_ns`,
+//! `host_wall_ns`) may differ, and report equality already excludes them.
+
+use std::sync::Arc;
+
+use spade_bench::machines;
+use spade_bench::parallel::{Job, JobOutput};
+use spade_bench::suite::Workload;
+use spade_core::{BarrierPolicy, Primitive};
+use spade_matrix::generators::{Benchmark, Scale};
+use spade_sim::FaultConfig;
+
+/// The shard counts every equivalence sweep pins. The machine configs
+/// below have four clusters, so 4 is a real four-way split.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Serializes the observable artifacts of a run to comparable byte
+/// strings: telemetry series JSON and Chrome trace JSON.
+fn observable_bytes(o: &JobOutput) -> (String, String) {
+    let telemetry = o
+        .telemetry
+        .as_ref()
+        .map(|s| s.to_json().render())
+        .unwrap_or_default();
+    let trace = o
+        .trace
+        .as_ref()
+        .map(|t| t.to_chrome_json())
+        .unwrap_or_default();
+    (telemetry, trace)
+}
+
+fn run(job: &Job) -> JobOutput {
+    job.try_execute_full().expect("job failed")
+}
+
+/// Asserts byte equality between a sharded run and the 1-shard baseline,
+/// and that the run actually recorded the sharding it used.
+fn assert_matches_baseline(label: &str, shards: usize, sharded: &JobOutput, base: &JobOutput) {
+    assert_eq!(
+        sharded.report, base.report,
+        "{label}: report diverged at {shards} shards"
+    );
+    let (base_telemetry, base_trace) = observable_bytes(base);
+    let (sh_telemetry, sh_trace) = observable_bytes(sharded);
+    assert!(
+        sh_telemetry == base_telemetry,
+        "{label}: telemetry series diverged at {shards} shards"
+    );
+    assert!(
+        sh_trace == base_trace,
+        "{label}: event trace diverged at {shards} shards"
+    );
+    if shards > 1 {
+        assert_eq!(
+            sharded.report.shards, shards as u32,
+            "{label}: run did not record the requested shard count"
+        );
+        assert_eq!(
+            sharded.report.shard_wall_ns.len(),
+            shards,
+            "{label}: per-shard wall times missing"
+        );
+    }
+}
+
+#[test]
+fn sharded_runs_match_both_sequential_oracles() {
+    let cfg = Arc::new(machines::spade_system(16));
+    for benchmark in [Benchmark::Myc, Benchmark::Kro] {
+        let w = Arc::new(Workload::prepare(benchmark, Scale::Tiny, 32));
+        for primitive in [Primitive::Spmm, Primitive::Sddmm] {
+            // Per-column-panel barriers make cross-shard synchronization
+            // points part of the schedule, not an idle corner.
+            let mut plan = machines::base_plan(&w.a);
+            plan.barriers = BarrierPolicy::per_column_panel();
+            let observed = Job::new(&w, &cfg, primitive, plan)
+                .with_telemetry(Some(128))
+                .with_trace(true);
+            let label = format!("{}/{:?}", w.name, primitive);
+
+            let base = run(&observed.clone().with_shards(Some(1)));
+            let naive = run(&observed.clone().with_naive_loop(true));
+            assert_eq!(
+                base.report, naive.report,
+                "{label}: sequential oracles disagree — sharding untestable"
+            );
+            let (base_bytes, naive_bytes) = (observable_bytes(&base), observable_bytes(&naive));
+            assert!(base_bytes == naive_bytes, "{label}: oracle bytes differ");
+            assert!(
+                !base_bytes.0.is_empty() && !base_bytes.1.is_empty(),
+                "{label}: observability was requested but came back empty"
+            );
+
+            for shards in SHARD_COUNTS {
+                let sharded = run(&observed.clone().with_shards(Some(shards)));
+                assert_matches_baseline(&label, shards, &sharded, &base);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_match_on_the_slow_memory_path() {
+    // The slow path exercises the unfiltered hierarchy walk; shard replay
+    // must reproduce its latencies exactly as the filtered fast path's.
+    let cfg = Arc::new(machines::spade_system(16));
+    let w = Arc::new(Workload::prepare(Benchmark::Roa, Scale::Tiny, 32));
+    for slow in [false, true] {
+        let observed = Job::new(&w, &cfg, Primitive::Spmm, machines::base_plan(&w.a))
+            .with_telemetry(Some(128))
+            .with_trace(true)
+            .with_slow_mem_path(slow);
+        let label = format!("roa/slow={slow}");
+        let base = run(&observed.clone().with_shards(Some(1)));
+        for shards in SHARD_COUNTS {
+            let sharded = run(&observed.clone().with_shards(Some(shards)));
+            assert_matches_baseline(&label, shards, &sharded, &base);
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_match_under_fault_schedules() {
+    // Fault injection perturbs latencies mid-flight keyed on (line, cycle,
+    // seed): replay must land every roll on the same cycle the sequential
+    // driver does, or latencies cascade apart.
+    for seed in [3u64, 0xC0FFEE] {
+        let mut cfg = machines::spade_system(16);
+        cfg.mem.faults = FaultConfig::stress(seed);
+        let cfg = Arc::new(cfg);
+        let w = Arc::new(Workload::prepare(Benchmark::Myc, Scale::Tiny, 32));
+        for primitive in [Primitive::Spmm, Primitive::Sddmm] {
+            let observed = Job::new(&w, &cfg, primitive, machines::base_plan(&w.a))
+                .with_telemetry(Some(64))
+                .with_trace(true);
+            let label = format!("myc/{primitive:?}/stress({seed})");
+            let base = run(&observed.clone().with_shards(Some(1)));
+            assert!(
+                base.report.mem.faults_injected > 0,
+                "{label}: plan injected nothing"
+            );
+            for shards in SHARD_COUNTS {
+                let sharded = run(&observed.clone().with_shards(Some(shards)));
+                assert_matches_baseline(&label, shards, &sharded, &base);
+            }
+        }
+    }
+}
+
+#[test]
+fn env_shard_count_is_inherited_and_recorded() {
+    // `SPADE_SIM_SHARDS` is read at `SpadeSystem::new` time; a Job with no
+    // explicit shard knob inherits it. The CI multi-shard leg relies on
+    // this to re-run the whole suite sharded without code changes.
+    let inherited = spade_core::sim_shards_from_env();
+    let cfg = Arc::new(machines::spade_system(16));
+    let w = Arc::new(Workload::prepare(Benchmark::Myc, Scale::Tiny, 32));
+    let job = Job::new(&w, &cfg, Primitive::Spmm, machines::base_plan(&w.a));
+    let report = job.try_execute().expect("job failed");
+    // 16 PEs at 4 agents per cluster = 4 clusters: counts up to 4 survive
+    // the cluster clamp.
+    assert_eq!(report.shards as usize, inherited.clamp(1, 4));
+}

@@ -160,6 +160,52 @@ fn forced_starvation_returns_deadlock_with_diagnostics() {
 }
 
 #[test]
+fn sharded_starvation_trips_the_global_idle_budget_with_diagnostics() {
+    // The same starvation recipe as above, but on a 4-cluster machine with
+    // scheduling barriers and the run split across 4 host shards. Once the
+    // starved PEs wedge, the remaining PEs sit blocked at a cross-shard
+    // barrier no arrival will ever release — the classic hang shape for a
+    // parallel driver. The watchdog must still fire (no hang), the idle
+    // budget must be counted globally (one shared budget, not one per
+    // shard), and the diagnostics must match the sequential driver's
+    // exactly.
+    let a = matrix();
+    let b = dense(32);
+    let mut plan = ExecutionPlan::spmm_base(&a).unwrap();
+    plan.barriers = spade_core::BarrierPolicy::per_column_panel();
+    let mut cfg = SystemConfig::scaled(16);
+    cfg.pipeline.vrf_regs = 2;
+    cfg.pipeline.wb_hi = 2.0;
+    cfg.pipeline.wb_lo = 2.0;
+    let watchdog = WatchdogConfig {
+        idle_budget: 10_000,
+        max_cycles: None,
+    };
+    let diag_at = |shards: usize| {
+        let mut sys = SpadeSystem::new(cfg.clone());
+        sys.set_watchdog(watchdog).set_shards(shards);
+        let err = sys.run_spmm(&a, &b, &plan).unwrap_err();
+        let SpadeError::Deadlock { diagnostics } = err else {
+            panic!("expected Deadlock at {shards} shards, got {err:?}");
+        };
+        diagnostics
+    };
+    let sequential = diag_at(1);
+    let sharded = diag_at(4);
+    assert_eq!(sequential.kind, StallKind::IdleLivelock);
+    // idle_iters equal to the budget on both drivers pins the global
+    // accounting: a per-shard budget would fire after 4x fewer global
+    // idle cycles and the snapshots would differ.
+    assert_eq!(sharded.idle_iters, watchdog.idle_budget);
+    assert_eq!(
+        *sequential, *sharded,
+        "stall diagnostics diverged under sharding"
+    );
+    // The snapshot names the barrier-blocked PEs so the hang is debuggable.
+    assert_eq!(sharded.pes.len(), 16);
+}
+
+#[test]
 fn cycle_budget_returns_deadlock_instead_of_running_forever() {
     let a = matrix();
     let b = dense(32);
