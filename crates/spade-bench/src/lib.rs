@@ -30,10 +30,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod machines;
 pub mod parallel;
 pub mod perf;
 pub mod runner;
+pub mod service;
 pub mod suite;
 pub mod table;
 

@@ -189,6 +189,13 @@ pub struct Job {
     /// so the runner divides its worker budget by the sweep's largest
     /// shard count (one `SPADE_THREADS` budget across both axes).
     pub shards: Option<usize>,
+    /// Hard ceiling on simulated cycles, riding the watchdog's
+    /// [`spade_core::WatchdogConfig::max_cycles`]: a job that exceeds it
+    /// fails with a structured deadlock/deadline error instead of running
+    /// forever. `None` (the default) leaves the run unbounded. This is the
+    /// per-request deadline story for both the CLI (`--deadline-cycles`)
+    /// and the experiment daemon.
+    pub deadline_cycles: Option<Cycle>,
 }
 
 /// Everything one job produced: the report plus whatever observability
@@ -223,6 +230,7 @@ impl Job {
             naive_loop: false,
             slow_mem_path: false,
             shards: None,
+            deadline_cycles: None,
         }
     }
 
@@ -258,6 +266,13 @@ impl Job {
         self
     }
 
+    /// Bounds this job to `cycles` simulated cycles (builder style): the
+    /// watchdog cycle ceiling fires a structured error past the deadline.
+    pub fn with_deadline_cycles(mut self, cycles: Option<Cycle>) -> Self {
+        self.deadline_cycles = cycles;
+        self
+    }
+
     /// Identity key for de-duplication: workload and config by pointer
     /// (prepared objects are shared, so pointer identity is object
     /// identity), plan, primitive, and observability options by value —
@@ -276,6 +291,7 @@ impl Job {
         bool,
         bool,
         Option<usize>,
+        Option<Cycle>,
     ) {
         (
             Arc::as_ptr(&self.workload) as usize,
@@ -289,7 +305,61 @@ impl Job {
             // Sharding never changes outputs, but equivalence sweeps rely
             // on each shard count actually executing — keep them distinct.
             self.shards,
+            self.deadline_cycles,
         )
+    }
+
+    /// Content-addressed identity of this job, usable as a persistent
+    /// cache key: a 32-hex-digit digest over the workload *contents*
+    /// (matrix shape and triplets, dense row size), the machine
+    /// configuration, the plan, the primitive, the deadline, and a key
+    /// schema version. Where [`Job::dedup_key`] compares `Arc` pointers —
+    /// identity within one process — this hashes what the pointers point
+    /// at, so the same simulation maps to the same key across processes,
+    /// restarts and hosts.
+    ///
+    /// Observability options (telemetry, trace) and host-execution knobs
+    /// (naive loop, slow memory path, shards) are deliberately excluded:
+    /// none of them change a report's simulated bytes (pinned by the
+    /// scheduler/memory/shard equivalence suites), and the cache stores
+    /// reports only.
+    pub fn cache_key(&self) -> String {
+        // Bump when the key composition itself changes, so a new daemon
+        // never collides with entries keyed by an older scheme.
+        const KEY_SCHEMA: u32 = 1;
+        let absorb = |h: &mut crate::cache::Fnv64| {
+            h.write_u32(KEY_SCHEMA);
+            let a = &self.workload.a;
+            h.write_u64(a.num_rows() as u64);
+            h.write_u64(a.num_cols() as u64);
+            h.write_u64(a.nnz() as u64);
+            for (r, c, v) in a.iter() {
+                h.write_u32(r);
+                h.write_u32(c);
+                h.write_u32(v.to_bits());
+            }
+            h.write_u64(self.workload.k as u64);
+            // SystemConfig and ExecutionPlan are plain-data structs; their
+            // Debug form is a complete, deterministic rendering of every
+            // field. The KEY_SCHEMA bump covers any future layout change.
+            h.write(format!("{:?}", self.config).as_bytes());
+            h.write(format!("{:?}|{:?}", self.primitive, self.plan).as_bytes());
+            match self.deadline_cycles {
+                // A deadline changes the *outcome space* (a run may fail
+                // at the ceiling), so bounded and unbounded runs get
+                // distinct keys.
+                Some(d) => h.write_u64(d),
+                None => h.write(b"-"),
+            }
+        };
+        // Two independently seeded streams over the same content widen
+        // the key to 128 bits, pushing collisions out of practical reach.
+        let mut lo = crate::cache::Fnv64::new();
+        absorb(&mut lo);
+        let mut hi = crate::cache::Fnv64::new();
+        hi.write_u64(0x5eed_5eed_5eed_5eed);
+        absorb(&mut hi);
+        format!("{:016x}{:016x}", lo.finish(), hi.finish())
     }
 
     /// Runs this job on the calling thread, validating the simulated
@@ -329,6 +399,12 @@ impl Job {
             // Only pin an explicit request; the default already honors
             // the SPADE_SIM_SHARDS environment variable.
             sys.set_shards(shards);
+        }
+        if let Some(deadline) = self.deadline_cycles {
+            sys.set_watchdog(spade_core::WatchdogConfig {
+                max_cycles: Some(deadline),
+                ..sys.watchdog()
+            });
         }
         let report = match self.primitive {
             Primitive::Spmm => {
@@ -548,13 +624,21 @@ impl Default for ParallelRunner {
 }
 
 /// The worker count: `SPADE_THREADS` if set and parseable to a positive
-/// number, otherwise the host's available parallelism.
+/// number, otherwise the host's available parallelism. A set-but-invalid
+/// value (a typo like `SPADE_THREADS=fou` or `=0`) is *not* silently
+/// swallowed: it warns to stderr once per process and falls back to the
+/// default, so a mistyped override never silently serializes a sweep.
 pub fn num_threads() -> usize {
+    static WARN_ONCE: Once = Once::new();
     if let Ok(v) = std::env::var("SPADE_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: SPADE_THREADS={v:?} is not a positive thread \
+                     count; using the default (host parallelism)"
+                );
+            }),
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())

@@ -1,0 +1,390 @@
+//! Robustness suite for the experiment daemon (`spade_bench::service`):
+//! cold/warm byte-identity through the crash-safe cache, byzantine
+//! clients (garbage, partial frames, oversized lines, dropped
+//! connections), overload back-pressure, per-request deadlines, and
+//! graceful shutdown with drain.
+//!
+//! Every test binds its own daemon on port 0 — the suites are
+//! independent and parallel-safe.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::Duration;
+
+use spade_bench::service::{Service, ServiceClient, ServiceConfig, ServiceSummary};
+use spade_sim::JsonValue;
+
+/// Binds a daemon with `config`, serves it on a background thread, and
+/// returns the address plus the join handle yielding the summary.
+fn spawn_service(config: ServiceConfig) -> (SocketAddr, std::thread::JoinHandle<ServiceSummary>) {
+    let svc = Service::bind("127.0.0.1:0", config).expect("bind");
+    let addr = svc.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || svc.run().expect("service run"));
+    (addr, handle)
+}
+
+fn test_config(cache_dir: Option<&Path>) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 2,
+        max_connections: 16,
+        read_timeout: Duration::from_millis(50),
+        cache_dir: cache_dir.map(Path::to_path_buf),
+        ..ServiceConfig::default()
+    }
+}
+
+fn parse(response: &str) -> JsonValue {
+    JsonValue::parse(response).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+fn shutdown_and_join(
+    addr: &SocketAddr,
+    handle: std::thread::JoinHandle<ServiceSummary>,
+) -> ServiceSummary {
+    let mut c = ServiceClient::connect(addr).expect("connect for shutdown");
+    let resp = parse(&c.request_line("{\"cmd\":\"shutdown\"}").expect("shutdown"));
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    handle.join().expect("service thread")
+}
+
+const RUN_MYC: &str = r#"{"cmd":"run","benchmark":"myc","k":16,"pes":4,"scale":"tiny"}"#;
+
+#[test]
+fn cold_then_warm_cache_hits_are_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_warm_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let cold = client.request_line(RUN_MYC).expect("cold run");
+    let warm = client.request_line(RUN_MYC).expect("warm run");
+    let cold_doc = parse(&cold);
+    let warm_doc = parse(&warm);
+    assert_eq!(cold_doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        cold_doc.get("cached").and_then(JsonValue::as_bool),
+        Some(false),
+        "first request must simulate"
+    );
+    assert_eq!(
+        warm_doc.get("cached").and_then(JsonValue::as_bool),
+        Some(true),
+        "second request must hit the cache"
+    );
+    // The headline property: the served result bytes are identical.
+    assert_eq!(
+        cold_doc.get("result").expect("result").render(),
+        warm_doc.get("result").expect("result").render()
+    );
+    assert_eq!(cold_doc.get("key").unwrap(), warm_doc.get("key").unwrap());
+    // No host-wall noise in the payload — that's what makes the bytes
+    // reproducible across hosts and restarts.
+    let report = cold_doc
+        .get("result")
+        .and_then(|r| r.get("report"))
+        .expect("report");
+    assert_eq!(
+        report.get("host_wall_ns").and_then(JsonValue::as_f64),
+        Some(0.0)
+    );
+
+    let summary = shutdown_and_join(&addr, handle);
+    assert_eq!(summary.served_ok, 2);
+    let cache = summary.cache.expect("cache stats");
+    assert_eq!((cache.misses, cache.hits, cache.stores), (1, 1, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_entries_survive_a_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let first = parse(&client.request_line(RUN_MYC).expect("cold run"));
+    assert_eq!(
+        first.get("cached").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    shutdown_and_join(&addr, handle);
+
+    // A new daemon process-equivalent over the same directory: the very
+    // first request is served from disk, byte-identical.
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+    let mut client = ServiceClient::connect(&addr).expect("reconnect");
+    let revived = parse(&client.request_line(RUN_MYC).expect("warm run"));
+    assert_eq!(
+        revived.get("cached").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        revived.get("result").expect("result").render(),
+        first.get("result").expect("result").render()
+    );
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn byzantine_clients_fail_their_requests_not_the_daemon() {
+    let (addr, handle) = spawn_service(test_config(None));
+
+    // Garbage on a connection fails that request; the same connection
+    // keeps working afterwards.
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let garbage = parse(
+        &client
+            .request_line("\u{1}\u{2} not json at all")
+            .expect("garbage"),
+    );
+    assert_eq!(garbage.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert_eq!(
+        garbage
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str),
+        Some("bad_request")
+    );
+    let ping = parse(
+        &client
+            .request_line("{\"cmd\":\"ping\"}")
+            .expect("ping after garbage"),
+    );
+    assert_eq!(ping.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+    // Valid JSON that is not a valid request: still just a bad_request.
+    for frame in [
+        "null",
+        "[1,2,3]",
+        "{\"no_cmd\":true}",
+        "{\"cmd\":\"frobnicate\"}",
+        "{\"cmd\":\"run\"}",
+        "{\"cmd\":\"run\",\"benchmark\":\"nope\"}",
+        "{\"cmd\":\"run\",\"benchmark\":\"myc\",\"k\":17}",
+        "{\"cmd\":\"run\",\"benchmark\":\"myc\",\"pes\":3}",
+        "{\"cmd\":\"run\",\"benchmark\":\"myc\",\"pes\":1000000}",
+        "{\"cmd\":\"run\",\"benchmark\":\"myc\",\"rmatrix\":\"psychic\"}",
+    ] {
+        let resp = parse(&client.request_line(frame).expect("reply"));
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("bad_request"),
+            "frame {frame:?} should be rejected"
+        );
+    }
+
+    // A client that sends half a frame and disappears costs nothing.
+    {
+        let mut half = TcpStream::connect(addr).expect("connect");
+        half.write_all(b"{\"cmd\":\"ru").expect("partial write");
+        // Dropped here: mid-frame EOF on the daemon side.
+    }
+
+    // An oversized line is answered with a structured error, then the
+    // connection closes (framing is unrecoverable).
+    {
+        let mut big = ServiceClient::connect(&addr).expect("connect");
+        let huge = format!(
+            "{{\"cmd\":\"run\",\"pad\":\"{}\"}}",
+            "x".repeat(2 * 1024 * 1024)
+        );
+        let resp = parse(&big.request_line(&huge).expect("oversize reply"));
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("bad_request")
+        );
+        assert!(big.read_response().is_err(), "connection should be closed");
+    }
+
+    // After all of that, the daemon still serves real work.
+    let run = parse(&client.request_line(RUN_MYC).expect("run after abuse"));
+    assert_eq!(run.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+    let summary = shutdown_and_join(&addr, handle);
+    assert!(
+        summary.bad_frames >= 11,
+        "bad frames: {}",
+        summary.bad_frames
+    );
+    // Only the real run counts (ping/status are not work); the point is
+    // that it went through untouched by the abuse around it.
+    assert_eq!(summary.served_ok, 1, "garbage never blocks real requests");
+}
+
+#[test]
+fn overload_answers_with_backpressure_not_buffering() {
+    let config = ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        // Fault injection: every job is held for 3 s before it runs, so
+        // the worker is *provably* busy while the burst below arrives —
+        // no dependence on simulation wall time.
+        worker_delay: Some(Duration::from_secs(3)),
+        ..test_config(None)
+    };
+    let (addr, handle) = spawn_service(config);
+
+    // Occupy the single worker with one request and the single queue
+    // slot with a second. Neither reply is awaited yet — each connection
+    // holds at most one in-flight request.
+    let slow = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(&addr).expect("connect slow");
+        c.request_line(r#"{"cmd":"search","benchmark":"myc","k":16,"pes":4,"no_cache":true}"#)
+            .expect("slow search")
+    });
+    std::thread::sleep(Duration::from_millis(500));
+    let queued = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(&addr).expect("connect queued");
+        c.request_line(r#"{"cmd":"run","benchmark":"myc","k":16,"pes":4,"no_cache":true}"#)
+            .expect("queued run")
+    });
+    std::thread::sleep(Duration::from_millis(500));
+
+    // The burst: every extra request is answered *immediately* with a
+    // structured overload reply, not buffered.
+    for i in 0..4 {
+        let mut c = ServiceClient::connect(&addr).expect("connect burst");
+        let resp = parse(
+            &c.request_line(&format!(
+                "{{\"cmd\":\"run\",\"benchmark\":\"kro\",\"k\":16,\"pes\":4,\"no_cache\":true,\"id\":{i}}}"
+            ))
+            .expect("burst reply"),
+        );
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("overloaded"),
+            "burst request {i} got {}",
+            resp.render()
+        );
+        assert!(
+            resp.get("retry_after_ms")
+                .and_then(JsonValue::as_u64)
+                .is_some(),
+            "overload replies carry a retry hint"
+        );
+    }
+
+    // The admitted requests still complete normally.
+    let slow = parse(&slow.join().expect("slow thread"));
+    let queued = parse(&queued.join().expect("queued thread"));
+    assert_eq!(slow.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(queued.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+    let summary = shutdown_and_join(&addr, handle);
+    assert_eq!(summary.rejected_overload, 4);
+    assert_eq!(summary.served_ok, 2);
+}
+
+#[test]
+fn deadline_exceeded_is_a_structured_error() {
+    let (addr, handle) = spawn_service(test_config(None));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let resp = parse(
+        &client
+            .request_line(r#"{"cmd":"run","benchmark":"myc","k":16,"pes":4,"deadline_cycles":50}"#)
+            .expect("deadline run"),
+    );
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert_eq!(
+        resp.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str),
+        Some("deadline_exceeded"),
+        "got {}",
+        resp.render()
+    );
+    // The same request with a workable deadline succeeds — the ceiling
+    // is per-request, not sticky.
+    let ok = parse(
+        &client
+            .request_line(
+                r#"{"cmd":"run","benchmark":"myc","k":16,"pes":4,"deadline_cycles":1000000}"#,
+            )
+            .expect("ok run"),
+    );
+    assert_eq!(ok.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let summary = shutdown_and_join(&addr, handle);
+    assert_eq!((summary.served_ok, summary.served_err), (1, 1));
+}
+
+#[test]
+fn status_and_ping_report_live_state() {
+    let (addr, handle) = spawn_service(test_config(None));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let ping = parse(&client.request_line("{\"cmd\":\"ping\"}").expect("ping"));
+    assert_eq!(ping.get("protocol").and_then(JsonValue::as_u64), Some(1));
+    let status = parse(&client.request_line("{\"cmd\":\"status\"}").expect("status"));
+    for field in [
+        "uptime_ms",
+        "queue_depth",
+        "queue_capacity",
+        "in_flight",
+        "workers",
+        "served_ok",
+        "served_err",
+        "rejected_overload",
+        "bad_frames",
+        "connections",
+    ] {
+        assert!(status.get(field).is_some(), "status missing {field}");
+    }
+    assert_eq!(
+        status.get("shutting_down").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    assert!(status.get("cache").is_some_and(|c| *c == JsonValue::Null));
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
+fn shutdown_drains_and_new_requests_are_turned_away() {
+    let (addr, handle) = spawn_service(test_config(None));
+    // A connection opened before shutdown...
+    let mut early = ServiceClient::connect(&addr).expect("connect early");
+    let mut late = ServiceClient::connect(&addr).expect("connect late");
+    let resp = parse(
+        &early
+            .request_line("{\"cmd\":\"shutdown\"}")
+            .expect("shutdown"),
+    );
+    assert_eq!(
+        resp.get("draining").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    // Give every handler a read-timeout tick to observe the flag.
+    std::thread::sleep(Duration::from_millis(250));
+    // ...whose next request lands during the drain: answered with a
+    // structured shutting_down error (or the connection is closed),
+    // never silently dropped into a dead queue.
+    match late.request_line("{\"cmd\":\"ping\"}") {
+        Ok(reply) => {
+            let doc = parse(&reply);
+            assert_eq!(
+                doc.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(JsonValue::as_str),
+                Some("shutting_down")
+            );
+        }
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected error during drain: {e}"
+        ),
+    }
+    let summary = handle.join().expect("service thread");
+    assert_eq!(summary.served_err, 0);
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use spade_bench::parallel::{self, Job, JobOutput, ParallelRunner};
+use spade_bench::service;
 use spade_bench::suite::Workload;
 use spade_core::{
     advisor, BarrierPolicy, CMatrixPolicy, ExecutionPlan, JsonValue, PlanSearchSpace, Primitive,
@@ -25,14 +26,19 @@ pub const USAGE: &str = "usage:
                    [--pes 56] [--scale tiny|small|default|large]
                    [--rp N] [--cp N|all] [--rmatrix cache|bypass|victim]
                    [--barriers] [--format json|text] [--telemetry <window>]
-                   [--shards N]
+                   [--shards N] [--deadline-cycles N]
   spade-cli trace  <name> [--kernel spmm|sddmm] [--k 32] [--pes 56]
                    [--scale ...] [--window 256] [--out <file.trace.json>]
                    [--shards N]
   spade-cli advise --benchmark <name> [--k 32] [--pes 56] [--scale ...]
   spade-cli search --benchmark <name> [--k 32] [--pes 56] [--scale ...] [--full]
                    [--format json|text] [--telemetry <window>] [--shards N]
+                   [--deadline-cycles N]
   spade-cli mm     --file <matrix.mtx> [--k 32] [--pes 56] [--format json|text]
+  spade-cli serve  [--addr 127.0.0.1:7700] [--cache-dir DIR] [--workers N]
+                   [--queue 32] [--max-connections 32] [--deadline-cycles N]
+                   [--read-timeout-ms 500]
+  spade-cli client --addr <host:port> --request '<json>'
   spade-cli bench-perf [--scale tiny|small|default|large] [--k 32] [--pes 56]
                    [--mem-ops 200000] [--gate-speedup X] [--gate-mem-speedup X]
                    [--shards 4] [--gate-shard-speedup X] [--out BENCH_sim.json]
@@ -57,6 +63,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "advise" => advise_cmd(rest),
         "search" => search(rest),
         "mm" => run_mm(rest),
+        "serve" => serve(rest),
+        "client" => client(rest),
         "bench-perf" => bench_perf(rest),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -125,6 +133,24 @@ fn parse_shards(args: &Args) -> Result<Option<usize>, String> {
                 return Err("--shards: need at least one shard".into());
             }
             Ok(Some(n))
+        }
+    }
+}
+
+/// Parses `--deadline-cycles <n>`: a hard ceiling on simulated cycles,
+/// riding the watchdog's `max_cycles` — a run past the deadline fails
+/// with a structured error instead of running forever.
+fn parse_deadline(args: &Args) -> Result<Option<Cycle>, String> {
+    match args.get("deadline-cycles") {
+        None => Ok(None),
+        Some(v) => {
+            let d: Cycle = v
+                .parse()
+                .map_err(|_| format!("--deadline-cycles: cannot parse '{v}'"))?;
+            if d == 0 {
+                return Err("--deadline-cycles: need at least one cycle".into());
+            }
+            Ok(Some(d))
         }
     }
 }
@@ -250,6 +276,7 @@ fn execute_observed(
     telemetry: Option<Cycle>,
     trace: bool,
     shards: Option<usize>,
+    deadline: Option<Cycle>,
 ) -> Result<JobOutput, String> {
     let w = Workload::from_matrix(name.to_string(), a.clone(), k);
     Job::new(
@@ -261,6 +288,7 @@ fn execute_observed(
     .with_telemetry(telemetry)
     .with_trace(trace)
     .with_shards(shards)
+    .with_deadline_cycles(deadline)
     .try_execute_full()
     .map_err(|e| e.to_string())
 }
@@ -273,7 +301,19 @@ fn execute(
     kernel: Primitive,
     plan: &ExecutionPlan,
 ) -> Result<RunReport, String> {
-    execute_observed(system_config, a, name, k, kernel, plan, None, false, None).map(|o| o.report)
+    execute_observed(
+        system_config,
+        a,
+        name,
+        k,
+        kernel,
+        plan,
+        None,
+        false,
+        None,
+        None,
+    )
+    .map(|o| o.report)
 }
 
 fn print_report(report: &RunReport, json: bool, ctx: RunSummary<'_>) -> Result<(), String> {
@@ -339,6 +379,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let json = parse_format(&args)?;
     let telemetry = parse_telemetry(&args)?;
     let shards = parse_shards(&args)?;
+    let deadline = parse_deadline(&args)?;
     let system_config = parse_system(&args)?;
     let a = bench.generate(scale);
     let plan = parse_plan(&args, &a)?;
@@ -352,6 +393,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         telemetry,
         false,
         shards,
+        deadline,
     )?;
     print_report(
         &output.report,
@@ -404,6 +446,7 @@ fn trace_cmd(argv: &[String]) -> Result<(), String> {
         telemetry,
         true,
         shards,
+        None,
     )?;
     let mut trace = output.trace.ok_or("tracing produced no event log")?;
     if let Some(series) = &output.telemetry {
@@ -464,6 +507,7 @@ fn search(argv: &[String]) -> Result<(), String> {
     let json = parse_format(&args)?;
     let telemetry = parse_telemetry(&args)?;
     let shards = parse_shards(&args)?;
+    let deadline = parse_deadline(&args)?;
     let system_config = parse_system(&args)?;
     let a = bench.generate(scale);
     let space = if args.has("full") {
@@ -486,6 +530,7 @@ fn search(argv: &[String]) -> Result<(), String> {
             Job::new(&workload, &config, Primitive::Spmm, plan)
                 .with_telemetry(telemetry)
                 .with_shards(shards)
+                .with_deadline_cycles(deadline)
         })
         .collect();
     let start = Instant::now();
@@ -584,6 +629,73 @@ fn run_mm(argv: &[String]) -> Result<(), String> {
             telemetry: None,
         },
     )
+}
+
+/// `spade-cli serve`: the always-on experiment daemon — newline-delimited
+/// JSON over TCP, a bounded admission queue with back-pressure, and a
+/// crash-safe persistent result cache (see `spade_bench::service`).
+/// SIGTERM/ctrl-c (or an in-band `shutdown` request) drains in-flight
+/// jobs, flushes the cache index and exits 0.
+fn serve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7700").to_string();
+    let mut config = service::ServiceConfig::default();
+    config.workers = args.get_parsed("workers", config.workers)?;
+    config.queue_capacity = args.get_parsed("queue", config.queue_capacity)?;
+    config.max_connections = args.get_parsed("max-connections", config.max_connections)?;
+    if let Some(d) = parse_deadline(&args)? {
+        config.default_deadline_cycles = Some(d);
+    }
+    let timeout_ms: u64 =
+        args.get_parsed("read-timeout-ms", config.read_timeout.as_millis() as u64)?;
+    config.read_timeout = std::time::Duration::from_millis(timeout_ms.max(1));
+    config.cache_dir = args.get("cache-dir").map(std::path::PathBuf::from);
+    service::install_termination_handler();
+    let svc = service::Service::bind(&addr, config).map_err(|e| format!("{addr}: bind: {e}"))?;
+    let local = svc.local_addr().map_err(|e| e.to_string())?;
+    // One machine-parseable banner line: scripts read the actual port
+    // (meaningful with --addr 127.0.0.1:0) before sending requests.
+    println!(
+        "{}",
+        JsonValue::object([
+            ("serving", local.to_string().into()),
+            ("pid", u64::from(std::process::id()).into()),
+            ("protocol", service::PROTOCOL_VERSION.into()),
+        ])
+        .render()
+    );
+    // stdout is block-buffered when piped; a supervising script must see
+    // the banner before the first request, not at exit.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let summary = svc.run().map_err(|e| e.to_string())?;
+    println!("{}", summary.to_json().render());
+    Ok(())
+}
+
+/// `spade-cli client`: send one request line to a running daemon and
+/// print the response line — the scripting primitive for smoke tests
+/// and cache-warm sweeps.
+fn client(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let addr = args.get("addr").ok_or("--addr is required")?;
+    let request = args.get("request").ok_or("--request is required")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("--addr: cannot parse '{addr}'"))?;
+    let mut client =
+        service::ServiceClient::connect(&addr).map_err(|e| format!("{addr}: connect: {e}"))?;
+    let response = client
+        .request_line(request)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    println!("{response}");
+    // Exit non-zero on a protocol-level failure so scripts can branch
+    // on back-pressure and error replies without parsing JSON. The
+    // response line above *is* the report — the empty error message
+    // tells main to skip the usage dump.
+    match JsonValue::parse(&response) {
+        Ok(doc) if doc.get("ok").and_then(JsonValue::as_bool) == Some(false) => Err(String::new()),
+        _ => Ok(()),
+    }
 }
 
 /// `bench-perf`: measures simulator host throughput under the event-driven

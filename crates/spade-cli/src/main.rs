@@ -41,6 +41,10 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match std::panic::catch_unwind(|| commands::dispatch(&argv)) {
         Ok(Ok(())) => ExitCode::SUCCESS,
+        // An empty message means the subcommand already reported the
+        // failure (e.g. `client` printing the daemon's error reply);
+        // dumping the usage text over it would only bury the answer.
+        Ok(Err(e)) if e.is_empty() => ExitCode::FAILURE,
         Ok(Err(e)) => {
             eprintln!("error: {e}");
             eprintln!();

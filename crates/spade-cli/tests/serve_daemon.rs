@@ -1,0 +1,212 @@
+//! Process-level daemon tests: a real `spade-cli serve` child process,
+//! killed with real signals. The in-process suite
+//! (`spade-bench/tests/service_robustness.rs`) covers protocol
+//! behaviour; this one covers what only a process boundary can show —
+//! SIGKILL mid-write with a restart over the same cache directory, and
+//! SIGTERM draining to a zero exit code.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use spade_bench::service::ServiceClient;
+use spade_sim::JsonValue;
+
+const RUN_MYC: &str = r#"{"cmd":"run","benchmark":"myc","k":16,"pes":4,"scale":"tiny"}"#;
+
+/// A daemon child process plus the address parsed from its banner line.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    /// Starts `spade-cli serve` on an OS-assigned port over `cache_dir`
+    /// and waits for the banner line announcing the actual address.
+    fn start(cache_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_spade-cli"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--read-timeout-ms",
+                "50",
+                "--cache-dir",
+            ])
+            .arg(cache_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn spade-cli serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).expect("read banner");
+        let doc = JsonValue::parse(banner.trim())
+            .unwrap_or_else(|e| panic!("bad banner {banner:?}: {e}"));
+        let addr: SocketAddr = doc
+            .get("serving")
+            .and_then(JsonValue::as_str)
+            .expect("banner has serving address")
+            .parse()
+            .expect("banner address parses");
+        assert_eq!(doc.get("protocol").and_then(JsonValue::as_u64), Some(1));
+        Daemon {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    fn client(&self) -> ServiceClient {
+        // The listener is up before the banner prints, so this connects
+        // on the first try.
+        ServiceClient::connect(&self.addr).expect("connect to daemon")
+    }
+
+    /// Sends `signum` to the child (std has no cross-signal API).
+    fn signal(&self, signum: &str) {
+        let status = Command::new("kill")
+            .args([signum, &self.child.id().to_string()])
+            .status()
+            .expect("run kill");
+        assert!(status.success(), "kill {signum} failed");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spade_daemon_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn parse(response: &str) -> JsonValue {
+    JsonValue::parse(response).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+/// SIGKILL leaves no chance to clean up; the torn state a crash can
+/// leave behind (a stray `.partial`, a truncated entry) is injected
+/// explicitly so the recovery path is exercised deterministically. The
+/// restarted daemon must quarantine the damage, recompute, and serve
+/// bytes identical to the pre-crash result.
+#[test]
+fn sigkill_mid_write_then_restart_serves_identical_bytes() {
+    let dir = temp_dir("kill9");
+    let fresh_result;
+    let key;
+    {
+        let daemon = Daemon::start(&dir);
+        let mut client = daemon.client();
+        let cold = parse(&client.request_line(RUN_MYC).expect("cold run"));
+        assert_eq!(cold.get("cached").and_then(JsonValue::as_bool), Some(false));
+        fresh_result = cold.get("result").expect("result").render();
+        key = cold
+            .get("key")
+            .and_then(JsonValue::as_str)
+            .expect("cache key")
+            .to_string();
+
+        // Put a second request in flight and SIGKILL while it may be
+        // anywhere in its lifecycle — admission, simulation, or store.
+        let addr = daemon.addr;
+        let in_flight = std::thread::spawn(move || {
+            let mut c = ServiceClient::connect(&addr).expect("connect");
+            // The reply may never come; that is the point.
+            let _ =
+                c.request_line(r#"{"cmd":"run","benchmark":"kro","k":16,"pes":4,"no_cache":true}"#);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        daemon.signal("-KILL");
+        in_flight.join().expect("in-flight client thread");
+        // No summary line on SIGKILL — death was immediate.
+    }
+
+    // Deterministic torn-write injection on top of whatever the kill
+    // left: a garbage partial (crashed writer) and a truncated entry
+    // (interrupted rename target — the worst case the checksum footer
+    // exists to catch).
+    let entry = dir.join(format!("{key}.entry"));
+    let good_bytes = std::fs::read(&entry).expect("entry file exists");
+    std::fs::write(dir.join(format!("{key}.999.0.partial")), b"torn garbage").unwrap();
+    std::fs::write(&entry, &good_bytes[..good_bytes.len() / 2]).unwrap();
+
+    {
+        let daemon = Daemon::start(&dir);
+        let mut client = daemon.client();
+        // The stray partial was swept on open.
+        assert!(
+            !dir.join(format!("{key}.999.0.partial")).exists(),
+            "partial files must be swept at startup"
+        );
+        // The truncated entry fails its checksum: quarantined, missed,
+        // recomputed — and the recomputed bytes match the original run.
+        let recovered = parse(&client.request_line(RUN_MYC).expect("recovered run"));
+        assert_eq!(
+            recovered.get("cached").and_then(JsonValue::as_bool),
+            Some(false),
+            "corrupt entry must not be served"
+        );
+        assert_eq!(
+            recovered.get("result").expect("result").render(),
+            fresh_result
+        );
+        assert!(dir.join("quarantine").exists(), "damage goes to quarantine");
+        // And the slot is clean again: the next probe is a hit with the
+        // same bytes.
+        let warm = parse(&client.request_line(RUN_MYC).expect("warm run"));
+        assert_eq!(warm.get("cached").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(warm.get("result").expect("result").render(), fresh_result);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM is the supervisor's stop button: the daemon drains, flushes
+/// the cache index, prints its lifetime summary, and exits 0.
+#[test]
+fn sigterm_drains_flushes_and_exits_zero() {
+    let dir = temp_dir("sigterm");
+    let mut daemon = Daemon::start(&dir);
+    let mut client = daemon.client();
+    let run = parse(&client.request_line(RUN_MYC).expect("run"));
+    assert_eq!(run.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+    daemon.signal("-TERM");
+    let status = daemon.child.wait().expect("wait for daemon");
+    assert!(status.success(), "SIGTERM must exit 0, got {status}");
+
+    // The summary line made it out before exit.
+    let mut summary = String::new();
+    daemon.stdout.read_line(&mut summary).expect("read summary");
+    let doc = parse(summary.trim());
+    assert_eq!(doc.get("served_ok").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        doc.get("cache")
+            .and_then(|c| c.get("stores"))
+            .and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    // The index was flushed during the drain.
+    let index = std::fs::read_to_string(dir.join("index.json")).expect("index.json");
+    let index = parse(&index);
+    assert_eq!(index.get("entries").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        index
+            .get("stats")
+            .and_then(|s| s.get("stores"))
+            .and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -984,13 +984,24 @@ fn run_naive_loop(env: LoopEnv<'_, '_>) -> Option<SpadeError> {
 }
 
 /// The default shard count for new systems: the `SPADE_SIM_SHARDS`
-/// environment variable, or 1 (sequential) when unset or unparsable.
+/// environment variable, or 1 (sequential) when unset. A set-but-invalid
+/// value (a typo like `SPADE_SIM_SHARDS=two` or `=0`) warns to stderr
+/// once per process and falls back to sequential instead of being
+/// silently swallowed.
 pub fn sim_shards_from_env() -> usize {
-    std::env::var("SPADE_SIM_SHARDS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    if let Ok(v) = std::env::var("SPADE_SIM_SHARDS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: SPADE_SIM_SHARDS={v:?} is not a positive shard \
+                     count; running sequentially (1 shard)"
+                );
+            }),
+        }
+    }
+    1
 }
 
 /// Cluster-aligned shard partition: contiguous PE index ranges, each

@@ -3,10 +3,14 @@
 //! The workspace deliberately carries no external crates (serde was pruned
 //! in the dependency purge), so every machine-readable artifact — run
 //! reports, telemetry series, Chrome traces — is built from this small
-//! value type and rendered by its writer. A matching [`validate`] parser
-//! lets tests and tooling check emitted documents without any dependency.
+//! value type and rendered by its writer. The matching [`JsonValue::parse`]
+//! deserializer and the [`validate`] syntax checker let tests, tooling and
+//! the experiment daemon consume documents without any dependency, and
+//! [`FrameReader`] turns a byte stream into newline-delimited frames with a
+//! hard size cap — the wire format `spade-cli serve` speaks.
 
 use std::fmt;
+use std::io::Read;
 
 /// A JSON value. Objects preserve insertion order, so rendered documents
 /// are deterministic and diff-friendly (the trace golden-file check relies
@@ -89,6 +93,103 @@ impl JsonValue {
         let mut out = String::new();
         self.write_into(&mut out);
         out
+    }
+
+    /// Parses one JSON document into a tree (whitespace-tolerant, nothing
+    /// but whitespace allowed after the value).
+    ///
+    /// Numbers without a fraction or exponent become [`JsonValue::UInt`]
+    /// (or [`JsonValue::Int`] when negative); everything else — and any
+    /// integer too large for 64 bits — becomes [`JsonValue::Float`]. String
+    /// escapes, including `\uXXXX` surrogate pairs, are decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Looks up `key` in an object (first match; emitted documents never
+    /// repeat keys). `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`: `UInt` directly, or a non-negative `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(u) => Some(*u),
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `i64`: `Int` directly, or a `UInt` that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            JsonValue::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(f) => Some(*f),
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// This value as a `usize` (see [`JsonValue::as_u64`]).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` pairs in insertion order, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
     }
 }
 
@@ -176,22 +277,15 @@ fn write_escaped(s: &str, out: &mut String) {
 /// nothing but whitespace after it). Returns the byte offset and a short
 /// description on failure.
 ///
-/// This is a syntax checker, not a full deserializer: emitted artifacts are
-/// verified well-formed without pulling in a JSON library.
+/// This is [`JsonValue::parse`] with the tree discarded — kept as the
+/// lightweight call for tests and tooling that only care about
+/// well-formedness.
 ///
 /// # Errors
 ///
 /// Returns `Err` with the byte offset of the first syntax error.
 pub fn validate(text: &str) -> Result<(), String> {
-    let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
-    p.skip_ws();
-    p.value(0)?;
-    p.skip_ws();
-    if p.pos != bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
-    }
-    Ok(())
+    JsonValue::parse(text).map(drop)
 }
 
 /// Maximum nesting depth [`validate`] accepts; far above anything the
@@ -236,98 +330,166 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self, depth: usize) -> Result<(), String> {
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
         if depth > MAX_DEPTH {
             return Err(self.err("nesting too deep"));
         }
         match self.peek() {
             Some(b'{') => self.object(depth),
             Some(b'[') => self.array(depth),
-            Some(b'"') => self.string(),
-            Some(b't') => self.expect_literal("true"),
-            Some(b'f') => self.expect_literal("false"),
-            Some(b'n') => self.expect_literal("null"),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.expect_literal("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self
+                .expect_literal("false")
+                .map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self.expect_literal("null").map(|()| JsonValue::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
     }
 
-    fn object(&mut self, depth: usize) -> Result<(), String> {
+    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
         self.eat(b'{');
         self.skip_ws();
+        let mut pairs = Vec::new();
         if self.eat(b'}') {
-            return Ok(());
+            return Ok(JsonValue::Object(pairs));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             if !self.eat(b':') {
                 return Err(self.err("expected ':'"));
             }
             self.skip_ws();
-            self.value(depth + 1)?;
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
             self.skip_ws();
             if self.eat(b',') {
                 continue;
             }
             if self.eat(b'}') {
-                return Ok(());
+                return Ok(JsonValue::Object(pairs));
             }
             return Err(self.err("expected ',' or '}'"));
         }
     }
 
-    fn array(&mut self, depth: usize) -> Result<(), String> {
+    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
         self.eat(b'[');
         self.skip_ws();
+        let mut items = Vec::new();
         if self.eat(b']') {
-            return Ok(());
+            return Ok(JsonValue::Array(items));
         }
         loop {
             self.skip_ws();
-            self.value(depth + 1)?;
+            items.push(self.value(depth + 1)?);
             self.skip_ws();
             if self.eat(b',') {
                 continue;
             }
             if self.eat(b']') {
-                return Ok(());
+                return Ok(JsonValue::Array(items));
             }
             return Err(self.err("expected ',' or ']'"));
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    /// Four hex digits after a `\u`, as the code unit they name.
+    fn hex4(&mut self) -> Result<u16, String> {
+        let mut unit = 0u16;
+        for _ in 0..4 {
+            let Some(h) = self.peek().filter(u8::is_ascii_hexdigit) else {
+                return Err(self.err("bad \\u escape"));
+            };
+            let digit = (h as char).to_digit(16).expect("hex digit");
+            unit = unit << 4 | digit as u16;
+            self.pos += 1;
+        }
+        Ok(unit)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
         if !self.eat(b'"') {
             return Err(self.err("expected '\"'"));
         }
+        let start = self.pos;
+        let mut out = String::new();
+        // Raw (escape-free, ASCII-checked) spans are copied in one go; the
+        // scan itself walks bytes, relying on UTF-8 continuation bytes all
+        // being >= 0x80 so they never match the match arms below.
+        let mut raw_from = start;
         while let Some(b) = self.peek() {
-            self.pos += 1;
             match b {
-                b'"' => return Ok(()),
-                b'\\' => match self.peek() {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.pos += 1,
-                    Some(b'u') => {
-                        self.pos += 1;
-                        for _ in 0..4 {
-                            if !self.peek().is_some_and(|h| h.is_ascii_hexdigit()) {
-                                return Err(self.err("bad \\u escape"));
-                            }
+                b'"' => {
+                    out.push_str(self.raw_span(raw_from)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    out.push_str(self.raw_span(raw_from)?);
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
                             self.pos += 1;
+                            let unit = self.hex4()?;
+                            let ch = match unit {
+                                // A high surrogate must pair with a
+                                // following \uDC00..DFFF low surrogate.
+                                0xD800..=0xDBFF => {
+                                    if !(self.eat(b'\\') && self.eat(b'u')) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    let code = 0x10000
+                                        + ((unit as u32 - 0xD800) << 10)
+                                        + (low as u32 - 0xDC00);
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("surrogate pair outside Unicode"))?
+                                }
+                                0xDC00..=0xDFFF => return Err(self.err("unpaired surrogate")),
+                                _ => char::from_u32(unit as u32)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?,
+                            };
+                            out.push(ch);
+                            raw_from = self.pos;
+                            continue;
                         }
+                        _ => return Err(self.err("bad escape")),
                     }
-                    _ => return Err(self.err("bad escape")),
-                },
+                    self.pos += 1;
+                    raw_from = self.pos;
+                }
                 0x00..=0x1f => return Err(self.err("raw control character in string")),
-                _ => {}
+                _ => self.pos += 1,
             }
         }
         Err(self.err("unterminated string"))
     }
 
-    fn number(&mut self) -> Result<(), String> {
-        self.eat(b'-');
+    /// The escape-free bytes from `from` to the cursor, checked valid
+    /// UTF-8 (the input may be any byte slice at this layer).
+    fn raw_span(&self, from: usize) -> Result<&str, String> {
+        std::str::from_utf8(&self.bytes[from..self.pos])
+            .map_err(|_| format!("invalid UTF-8 in string at byte {from}"))
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        let negative = self.eat(b'-');
         let digits_start = self.pos;
         while self.peek().is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
@@ -335,7 +497,14 @@ impl Parser<'_> {
         if self.pos == digits_start {
             return Err(self.err("expected digits"));
         }
+        // JSON forbids leading zeros ("01"): a zero integral part must
+        // stand alone.
+        if self.pos - digits_start > 1 && self.bytes[digits_start] == b'0' {
+            return Err(format!("leading zero at byte {digits_start}"));
+        }
+        let mut integral = true;
         if self.eat(b'.') {
+            integral = false;
             let frac = self.pos;
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
@@ -345,6 +514,7 @@ impl Parser<'_> {
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -357,7 +527,167 @@ impl Parser<'_> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number spans are ASCII by construction");
+        // Plain integers keep full 64-bit precision; fractions, exponents
+        // and over-wide integers fall back to f64.
+        if integral {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(JsonValue::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| format!("unparsable number at byte {start}"))
+    }
+}
+
+/// Default [`FrameReader`] frame cap: far above any legitimate request,
+/// small enough that a hostile client cannot balloon the daemon's memory.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Why a [`FrameReader`] could not produce the next frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// More than the configured cap arrived without a newline. The stream
+    /// is unrecoverable at this point — close the connection.
+    TooLong {
+        /// The configured frame cap in bytes.
+        limit: usize,
+    },
+    /// The stream ended mid-frame (bytes buffered, no final newline) — a
+    /// client that died or dropped the connection between frames.
+    Truncated {
+        /// How many bytes of the unfinished frame had arrived.
+        buffered: usize,
+    },
+    /// The underlying reader failed (includes read timeouts, surfaced as
+    /// `WouldBlock`/`TimedOut`).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLong { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            FrameError::Truncated { buffered } => {
+                write!(f, "stream ended mid-frame ({buffered} bytes buffered)")
+            }
+            FrameError::Io(e) => write!(f, "read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Incremental newline-delimited frame reader — the wire format of the
+/// experiment daemon (one JSON document per line).
+///
+/// Robustness properties the daemon depends on:
+///
+/// * **Bounded buffering.** A frame may arrive in arbitrarily small
+///   pieces, but once more than the cap is buffered without a newline the
+///   reader fails with [`FrameError::TooLong`] instead of growing without
+///   limit.
+/// * **Partial frames are detected.** EOF with buffered bytes is
+///   [`FrameError::Truncated`], never a silently delivered half-frame.
+/// * **Transport-agnostic.** Works over any [`Read`]; socket read
+///   timeouts surface as [`FrameError::Io`].
+///
+/// Trailing `\r` is stripped (so `telnet`-style clients work); empty
+/// lines come back as empty frames for the caller to skip.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Start of un-consumed bytes within `buf`.
+    start: usize,
+    max_frame: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// A reader with the default [`MAX_FRAME_BYTES`] cap.
+    pub fn new(inner: R) -> Self {
+        Self::with_max_frame(inner, MAX_FRAME_BYTES)
+    }
+
+    /// A reader with an explicit frame cap (`>= 1`).
+    pub fn with_max_frame(inner: R, max_frame: usize) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            max_frame: max_frame.max(1),
+        }
+    }
+
+    /// The next frame, without its newline: `Ok(Some(bytes))` per line,
+    /// `Ok(None)` on a clean EOF at a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLong`] when the cap is exceeded,
+    /// [`FrameError::Truncated`] on EOF mid-frame, [`FrameError::Io`] when
+    /// the underlying read fails. After an error the stream should be
+    /// dropped — frame synchronization is lost.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        loop {
+            if let Some(nl) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                // The cap applies even when the whole oversized line is
+                // already buffered (e.g. it arrived in one read): a frame
+                // past the limit is an error, not a delivery.
+                if nl > self.max_frame {
+                    return Err(FrameError::TooLong {
+                        limit: self.max_frame,
+                    });
+                }
+                let mut end = self.start + nl;
+                let frame_start = self.start;
+                self.start = end + 1;
+                if self.buf[frame_start..end].last() == Some(&b'\r') {
+                    end -= 1;
+                }
+                let frame = self.buf[frame_start..end].to_vec();
+                // Reclaim consumed space once it dominates the buffer, so
+                // a long-lived connection never accretes dead bytes.
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                } else if self.start > 8192 {
+                    self.buf.drain(..self.start);
+                    self.start = 0;
+                }
+                return Ok(Some(frame));
+            }
+            if self.buf.len() - self.start > self.max_frame {
+                return Err(FrameError::TooLong {
+                    limit: self.max_frame,
+                });
+            }
+            let mut chunk = [0u8; 8192];
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                if self.buf.len() > self.start {
+                    return Err(FrameError::Truncated {
+                        buffered: self.buf.len() - self.start,
+                    });
+                }
+                return Ok(None);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
     }
 }
 
@@ -438,5 +768,137 @@ mod tests {
         ] {
             assert_eq!(validate(good), Ok(()), "rejected {good:?}");
         }
+    }
+
+    #[test]
+    fn parse_builds_the_expected_tree() {
+        let v = JsonValue::parse("{\"a\": [1, -2, 0.5, \"x\"], \"b\": null}").unwrap();
+        assert_eq!(
+            v,
+            JsonValue::object([
+                (
+                    "a",
+                    JsonValue::Array(vec![1u64.into(), (-2i64).into(), 0.5.into(), "x".into()])
+                ),
+                ("b", JsonValue::Null),
+            ])
+        );
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_array()).map(<[_]>::len),
+            Some(4)
+        );
+        assert_eq!(v.get("b"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogates() {
+        let v = JsonValue::parse(r#""a\"b\\c\ndAé😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAé😀"));
+        for bad in [
+            r#""\ud800""#,  // lone high surrogate
+            r#""\ud800A""#, // high surrogate + non-surrogate
+            r#""\udc00""#,  // lone low surrogate
+            r#""\ux000""#,  // bad hex
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(
+            JsonValue::parse("18446744073709551615").unwrap(),
+            JsonValue::UInt(u64::MAX)
+        );
+        assert_eq!(
+            JsonValue::parse("-9223372036854775808").unwrap(),
+            JsonValue::Int(i64::MIN)
+        );
+        assert_eq!(JsonValue::parse("1.5e3").unwrap(), JsonValue::Float(1500.0));
+        // Integers beyond 64 bits degrade to floats instead of failing.
+        assert!(matches!(
+            JsonValue::parse("184467440737095516160").unwrap(),
+            JsonValue::Float(_)
+        ));
+        assert_eq!(JsonValue::Int(-3).as_i64(), Some(-3));
+        assert_eq!(JsonValue::Int(-3).as_u64(), None);
+        assert_eq!(JsonValue::UInt(7).as_i64(), Some(7));
+        assert_eq!(JsonValue::UInt(7).as_f64(), Some(7.0));
+        assert_eq!(JsonValue::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parse_render_roundtrips() {
+        let v = JsonValue::object([
+            (
+                "xs",
+                JsonValue::Array(vec![1u64.into(), (-2i64).into(), 0.25.into()]),
+            ),
+            ("s", "nested \"quote\" and \u{1} control".into()),
+            ("none", JsonValue::Null),
+            ("flag", true.into()),
+        ]);
+        let text = v.render();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn frame_reader_splits_lines() {
+        let mut r = FrameReader::new(&b"{\"a\":1}\r\nsecond\n\nlast\n"[..]);
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(&b"{\"a\":1}"[..]));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(&b"second"[..]));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(&b"last"[..]));
+        assert!(r.next_frame().unwrap().is_none());
+        assert!(r.next_frame().unwrap().is_none(), "EOF is sticky");
+    }
+
+    #[test]
+    fn frame_reader_reports_truncation() {
+        let mut r = FrameReader::new(&b"complete\npart"[..]);
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(&b"complete"[..]));
+        match r.next_frame() {
+            Err(FrameError::Truncated { buffered: 4 }) => {}
+            other => panic!("expected Truncated {{4}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_reader_caps_frame_length() {
+        let long = [b'x'; 64];
+        let mut r = FrameReader::with_max_frame(&long[..], 16);
+        match r.next_frame() {
+            Err(FrameError::TooLong { limit: 16 }) => {}
+            other => panic!("expected TooLong {{16}}, got {other:?}"),
+        }
+        // A frame at the cap still gets through; the cap is about refusing
+        // to buffer without bound, not about shrinking valid requests.
+        let mut ok = vec![b'y'; 16];
+        ok.push(b'\n');
+        let mut r = FrameReader::with_max_frame(&ok[..], 16);
+        assert_eq!(r.next_frame().unwrap().map(|f| f.len()), Some(16));
+    }
+
+    #[test]
+    fn frame_reader_handles_split_reads() {
+        // A reader that trickles one byte at a time: frames must reassemble.
+        struct Trickle<'a>(&'a [u8]);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.split_first() {
+                    Some((&b, rest)) => {
+                        out[0] = b;
+                        self.0 = rest;
+                        Ok(1)
+                    }
+                    None => Ok(0),
+                }
+            }
+        }
+        let mut r = FrameReader::new(Trickle(b"hello\nworld\n"));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(&b"world"[..]));
+        assert!(r.next_frame().unwrap().is_none());
     }
 }

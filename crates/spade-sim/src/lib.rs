@@ -61,7 +61,7 @@ pub use config::MemConfig;
 pub use dram::{Dram, DramConfig};
 pub use fault::FaultConfig;
 pub use hierarchy::{fast_path_default, AccessPath, MemorySystem};
-pub use json::JsonValue;
+pub use json::{FrameError, FrameReader, JsonValue};
 pub use stats::{DataClass, LevelKind, LevelStats, MemStats};
 pub use telemetry::{
     level_name, TelemetryCounters, TelemetryGauges, TelemetryRecorder, TelemetrySample,

@@ -1,0 +1,250 @@
+//! Property/fuzz tests for the `spade_sim::json` codec: the wire format
+//! of the experiment daemon. Random document round-trips, every-prefix
+//! truncation rejection, byte-mutation garbage (must reject or parse,
+//! never panic), and frame reassembly under adversarial chunking.
+//!
+//! Deterministic by construction: the generator is seeded SplitMix64
+//! (inlined — spade-sim has no dependencies), so a failure reproduces.
+
+use std::io::Read;
+
+use spade_sim::json::MAX_FRAME_BYTES;
+use spade_sim::{FrameError, FrameReader, JsonValue};
+
+/// SplitMix64 (same recurrence as `spade_matrix::rng::Rng64`, inlined
+/// because spade-sim sits below spade-matrix in the crate DAG).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random string exercising escapes: controls, quotes, backslashes,
+/// ASCII, and astral-plane characters (which render as `\uXXXX`
+/// surrogate pairs).
+fn random_string(rng: &mut Rng) -> String {
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| match rng.below(6) {
+            0 => '"',
+            1 => '\\',
+            2 => char::from_u32(rng.below(0x20) as u32).unwrap(),
+            3 => char::from_u32(0x1_F600 + rng.below(16) as u32).unwrap(),
+            4 => char::from_u32(0xE9 + rng.below(64) as u32).unwrap(),
+            _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+        })
+        .collect()
+}
+
+/// A random JSON tree of bounded depth, covering every variant
+/// (including non-finite floats, which must render as `null`).
+fn random_value(rng: &mut Rng, depth: usize) -> JsonValue {
+    let pick = if depth == 0 {
+        rng.below(6)
+    } else {
+        rng.below(8)
+    };
+    match pick {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.next().is_multiple_of(2)),
+        2 => JsonValue::UInt(rng.next()),
+        3 => JsonValue::Int(-((rng.next() >> 1) as i64)),
+        4 => JsonValue::Float(f64::from_bits(rng.next())),
+        5 => JsonValue::Str(random_string(rng)),
+        6 => {
+            let n = rng.below(4) as usize;
+            JsonValue::Array((0..n).map(|_| random_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.below(4) as usize;
+            JsonValue::object((0..n).map(|i| {
+                (
+                    format!("{}{i}", random_string(rng)),
+                    random_value(rng, depth - 1),
+                )
+            }))
+        }
+    }
+}
+
+/// The codec contract: `parse ∘ render` is the identity on rendered
+/// text. (Tree equality is deliberately not the property — the renderer
+/// canonicalizes, e.g. `Float(1500.0)` renders as `1500` and parses
+/// back as `UInt`, and non-finite floats render as `null`.)
+#[test]
+fn random_documents_round_trip_to_identical_text() {
+    let mut rng = Rng(0xDEAD_BEEF);
+    for _ in 0..500 {
+        let value = random_value(&mut rng, 3);
+        let text = value.render();
+        let parsed = JsonValue::parse(&text)
+            .unwrap_or_else(|e| panic!("rendered document failed to parse: {e}\n{text}"));
+        assert_eq!(parsed.render(), text, "render∘parse not a fixpoint");
+    }
+}
+
+/// Every proper prefix of an object document is rejected — the property
+/// the daemon relies on to detect requests cut off mid-frame.
+#[test]
+fn every_truncation_of_an_object_document_is_rejected() {
+    let mut rng = Rng(0x5EED);
+    for _ in 0..50 {
+        let value = JsonValue::object([
+            ("payload", random_value(&mut rng, 2)),
+            ("tail", JsonValue::Bool(true)),
+        ]);
+        let text = value.render();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &text[..cut];
+            assert!(
+                JsonValue::parse(prefix).is_err(),
+                "truncation at byte {cut} of {} parsed: {prefix:?}",
+                text.len()
+            );
+        }
+    }
+}
+
+/// Byte-level mutations of valid documents must parse or reject — never
+/// panic, hang, or tear the parser's state. (The assertion is the call
+/// itself: a panic fails the test.)
+#[test]
+fn mutated_documents_never_panic_the_parser() {
+    let mut rng = Rng(0xF00D_CAFE);
+    for _ in 0..200 {
+        let value = random_value(&mut rng, 3);
+        let mut bytes = value.render().into_bytes();
+        if bytes.is_empty() {
+            continue;
+        }
+        for _ in 0..8 {
+            let at = rng.below(bytes.len() as u64) as usize;
+            bytes[at] = rng.next() as u8;
+        }
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = JsonValue::parse(text);
+        }
+    }
+}
+
+/// Classic garbage corpus: none of it parses, all of it errors (no
+/// panics), and the error carries a byte offset.
+#[test]
+fn garbage_corpus_is_rejected_with_positions() {
+    for garbage in [
+        "",
+        "   ",
+        "{",
+        "}",
+        "[[[",
+        "{\"a\"",
+        "{\"a\":}",
+        "[1,]",
+        "{\"a\":1,}",
+        "nul",
+        "truefalse",
+        "1 2",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"lone surrogate \\ud800\"",
+        "+1",
+        "01",
+        "- 1",
+        "1.",
+        "1e",
+        "{\"dup\" 1}",
+        "\u{7f}GET / HTTP/1.1",
+    ] {
+        assert!(
+            JsonValue::parse(garbage).is_err(),
+            "garbage parsed: {garbage:?}"
+        );
+    }
+}
+
+/// A reader that returns data in adversarially sized chunks (including
+/// zero-progress reads are not allowed by the `Read` contract, so the
+/// minimum is one byte).
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    rng: Rng,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.data.len() {
+            return Ok(0);
+        }
+        let max = (self.data.len() - self.pos).min(buf.len());
+        let n = (self.rng.below(7) as usize + 1).min(max);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Frames reassemble exactly no matter how the byte stream is chunked,
+/// and a stream ending mid-frame reports `Truncated`.
+#[test]
+fn frames_reassemble_under_adversarial_chunking() {
+    let mut rng = Rng(0xC0FFEE);
+    for round in 0..20 {
+        let docs: Vec<String> = (0..5).map(|_| random_value(&mut rng, 2).render()).collect();
+        let mut stream = Vec::new();
+        for d in &docs {
+            stream.extend_from_slice(d.as_bytes());
+            stream.extend_from_slice(if round % 2 == 0 { b"\n" } else { b"\r\n" });
+        }
+        // Odd rounds also leave a truncated tail frame.
+        if round % 2 == 1 {
+            stream.extend_from_slice(b"{\"cut\":");
+        }
+        let mut frames = FrameReader::new(Trickle {
+            data: &stream,
+            pos: 0,
+            rng: Rng(rng.next()),
+        });
+        for doc in &docs {
+            let frame = frames.next_frame().unwrap().expect("frame present");
+            assert_eq!(frame, doc.as_bytes());
+        }
+        match frames.next_frame() {
+            Ok(None) => assert!(round % 2 == 0),
+            Err(FrameError::Truncated { buffered }) => {
+                assert!(round % 2 == 1);
+                assert_eq!(buffered, b"{\"cut\":".len());
+            }
+            other => panic!("unexpected tail outcome: {other:?}"),
+        }
+    }
+}
+
+/// Oversized frames are cut off at the cap — the daemon's first line of
+/// defense against a client streaming an unbounded line.
+#[test]
+fn oversized_frames_hit_the_cap_not_memory() {
+    let mut data = vec![b'x'; 4096];
+    data.push(b'\n');
+    let mut frames = FrameReader::with_max_frame(&data[..], 64);
+    match frames.next_frame() {
+        Err(FrameError::TooLong { limit }) => assert_eq!(limit, 64),
+        other => panic!("expected TooLong, got {other:?}"),
+    }
+}
+
+// The default cap must fit real requests (compile-time check).
+const _: () = assert!(MAX_FRAME_BYTES >= 1 << 20);

@@ -56,4 +56,10 @@ cargo build --release -q -p spade-cli
   --gate-speedup 1.3 --gate-mem-speedup 1.05 \
   --shards 4 --gate-shard-speedup 1.5 --out "$bench_out" >/dev/null
 
+echo "== daemon smoke (serve/client, cache hit, SIGTERM drain)"
+# A real `spade-cli serve` process driven over TCP: cold run, cache hit
+# byte-identity, malformed-frame rejection, concurrent burst, graceful
+# SIGTERM drain. Keeps its cache directory on failure for postmortem.
+scripts/serve_smoke.sh ./target/release/spade-cli
+
 echo "All checks passed."

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the experiment daemon (`spade-cli serve`):
+# starts a real daemon on an OS-assigned port, drives it with
+# `spade-cli client`, and checks the robustness contract from the
+# outside — cold run, byte-identical cache hit, malformed-frame
+# rejection, a concurrent burst, and a SIGTERM drain that exits 0.
+#
+# Usage: scripts/serve_smoke.sh [path-to-spade-cli]
+# The cache directory is kept on failure (its path is printed) so CI can
+# upload it as an artifact for postmortem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI=${1:-./target/release/spade-cli}
+if [ ! -x "$CLI" ]; then
+  echo "== building release spade-cli"
+  cargo build --release -q -p spade-cli
+fi
+
+CACHE_DIR=$(mktemp -d /tmp/spade_serve_smoke.XXXXXX)
+LOG="$CACHE_DIR/serve.log"
+DAEMON_PID=""
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$LOG" >&2 || true
+  echo "--- cache dir kept at $CACHE_DIR ---" >&2
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  exit 1
+}
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== starting daemon (port 0, cache at $CACHE_DIR)"
+"$CLI" serve --addr 127.0.0.1:0 --cache-dir "$CACHE_DIR" \
+  --read-timeout-ms 50 >"$LOG" &
+DAEMON_PID=$!
+
+# The banner line announces the actual address.
+for _ in $(seq 1 100); do
+  [ -s "$LOG" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died before banner"
+  sleep 0.05
+done
+ADDR=$(head -n1 "$LOG" | sed -n 's/.*"serving":"\([^"]*\)".*/\1/p')
+[ -n "$ADDR" ] || fail "no serving address in banner: $(head -n1 "$LOG")"
+echo "   daemon at $ADDR"
+
+client() { "$CLI" client --addr "$ADDR" --request "$1"; }
+
+echo "== ping"
+PING=$(client '{"cmd":"ping"}')
+case "$PING" in *'"ok":true'*) ;; *) fail "ping: $PING" ;; esac
+
+echo "== cold run (must simulate)"
+REQ='{"cmd":"run","benchmark":"myc","k":16,"pes":4,"scale":"tiny"}'
+COLD=$(client "$REQ")
+case "$COLD" in *'"cached":false'*) ;; *) fail "cold run not fresh: $COLD" ;; esac
+
+echo "== warm run (must hit the cache, byte-identical result)"
+WARM=$(client "$REQ")
+case "$WARM" in *'"cached":true'*) ;; *) fail "warm run not cached: $WARM" ;; esac
+# Everything after "result": must match byte for byte.
+[ "${COLD#*\"result\":}" = "${WARM#*\"result\":}" ] || fail "cache hit diverged from fresh run"
+
+echo "== malformed frame (daemon answers, stays up, client exits 1)"
+if BAD=$(client 'this is not json'); then
+  fail "malformed frame did not fail the client: $BAD"
+fi
+PING=$(client '{"cmd":"ping"}') || fail "daemon down after malformed frame"
+
+echo "== concurrent burst (daemon keeps answering)"
+BURST_PIDS=""
+for i in $(seq 1 8); do
+  client "{\"cmd\":\"run\",\"benchmark\":\"kro\",\"k\":16,\"pes\":4,\"no_cache\":true,\"id\":$i}" \
+    >/dev/null 2>&1 &
+  BURST_PIDS="$BURST_PIDS $!"
+done
+for pid in $BURST_PIDS; do wait "$pid" || true; done
+STATUS=$(client '{"cmd":"status"}')
+case "$STATUS" in *'"ok":true'*) ;; *) fail "status after burst: $STATUS" ;; esac
+
+echo "== SIGTERM (drain, flush index, exit 0)"
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+  DAEMON_PID=""
+  fail "daemon did not exit 0 on SIGTERM"
+fi
+DAEMON_PID=""
+SUMMARY=$(tail -n1 "$LOG")
+case "$SUMMARY" in *'"served_ok"'*) ;; *) fail "no summary line: $SUMMARY" ;; esac
+[ -f "$CACHE_DIR/index.json" ] || fail "index.json was not flushed on drain"
+
+rm -rf "$CACHE_DIR"
+echo "serve_smoke: all checks passed."
