@@ -202,6 +202,48 @@ impl ResultCache {
         self.len() == 0
     }
 
+    /// The keys of every committed entry on disk, sorted. A key is just
+    /// the entry's file stem — content-addressed, so enumeration needs no
+    /// index.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.flatten()
+                    .filter_map(|e| {
+                        let name = e.file_name().to_string_lossy().into_owned();
+                        name.strip_suffix(".entry").map(str::to_string)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        keys.sort();
+        keys
+    }
+
+    /// Reads `key` without touching the hit/miss counters — for index
+    /// (re)builds that walk the cache, which are bookkeeping, not
+    /// request traffic. A damaged entry is still quarantined (that
+    /// counter records real events, not traffic).
+    pub fn peek(&self, key: &str) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let bytes = fs::read(&path).ok()?;
+        match decode_entry(&bytes) {
+            Ok(payload) => Some(payload.to_vec()),
+            Err(reason) => {
+                self.quarantine(&path, reason);
+                None
+            }
+        }
+    }
+
+    /// Parses `index.json` if present and valid. Advisory only: callers
+    /// must cross-check anything they take from it against the entries
+    /// actually on disk.
+    pub fn read_index(&self) -> Option<JsonValue> {
+        let text = fs::read_to_string(self.dir.join("index.json")).ok()?;
+        JsonValue::parse(&text).ok()
+    }
+
     fn entry_path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.entry"))
     }
@@ -297,12 +339,28 @@ impl ResultCache {
     ///
     /// Returns the underlying I/O error when the write fails.
     pub fn flush_index(&self) -> io::Result<PathBuf> {
+        self.flush_index_with(None)
+    }
+
+    /// Like [`ResultCache::flush_index`], with an optional `dataset`
+    /// array — per-entry metadata the daemon's `query` surface catalogs —
+    /// persisted alongside the counters so the next daemon can warm its
+    /// catalog without decoding every entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the write fails.
+    pub fn flush_index_with(&self, dataset: Option<JsonValue>) -> io::Result<PathBuf> {
         let stats = self.stats();
-        let doc = JsonValue::object([
-            ("format_version", CACHE_FORMAT_VERSION.into()),
+        let mut fields = vec![
+            ("format_version", JsonValue::from(CACHE_FORMAT_VERSION)),
             ("entries", self.len().into()),
             ("stats", stats.to_json()),
-        ]);
+        ];
+        if let Some(dataset) = dataset {
+            fields.push(("dataset", dataset));
+        }
+        let doc = JsonValue::object(fields);
         let path = self.dir.join("index.json");
         let tmp = self.dir.join(format!(
             "index.{}.{}.partial",

@@ -32,6 +32,7 @@
 
 pub mod cache;
 pub mod machines;
+pub mod metrics;
 pub mod parallel;
 pub mod perf;
 pub mod runner;

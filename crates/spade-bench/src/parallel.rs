@@ -362,6 +362,33 @@ impl Job {
         format!("{:016x}{:016x}", lo.finish(), hi.finish())
     }
 
+    /// Content-addressed identity of this job *as a traced run*: the
+    /// plain [`Job::cache_key`] plus the telemetry window, prefixed `t`
+    /// so trace entries live in their own key space (run keys are pure
+    /// hex, so the prefix is unambiguous). Unlike run keys, a trace key
+    /// must absorb the telemetry window — the telemetry lane is part of
+    /// the served trace bytes.
+    pub fn trace_cache_key(&self) -> String {
+        // Bump when the trace payload composition changes, so a new
+        // daemon never serves a stale trace layout.
+        const TRACE_KEY_SCHEMA: u32 = 1;
+        let base = self.cache_key();
+        let absorb = |h: &mut crate::cache::Fnv64| {
+            h.write_u32(TRACE_KEY_SCHEMA);
+            h.write(base.as_bytes());
+            match self.telemetry_window {
+                Some(w) => h.write_u64(w),
+                None => h.write(b"-"),
+            }
+        };
+        let mut lo = crate::cache::Fnv64::new();
+        absorb(&mut lo);
+        let mut hi = crate::cache::Fnv64::new();
+        hi.write_u64(0x5eed_5eed_5eed_5eed);
+        absorb(&mut hi);
+        format!("t{:016x}{:016x}", lo.finish(), hi.finish())
+    }
+
     /// Runs this job on the calling thread, validating the simulated
     /// output against the workload's memoized gold result. Simulation
     /// errors and gold divergence come back as a typed [`JobError`]; this

@@ -50,7 +50,28 @@
 //! `retry_after_ms` on `overloaded`. Error kinds: `bad_request`,
 //! `overloaded`, `shutting_down`, `deadline_exceeded`, `sim_failed`,
 //! `internal`. DESIGN.md documents the full matrix.
+//!
+//! Protocol v2 adds the observability and dataset surface:
+//!
+//! * `metrics` — a [`MetricsSnapshot`] of the daemon's registry
+//!   (requests by kind/outcome, queue/worker gauges, cache counters,
+//!   latency histograms), answered on the connection thread.
+//! * `query` — enumerate/filter the cached entries as a dataset
+//!   (benchmark, kernel, kind, k, pes, cycle bounds). Served from an
+//!   in-memory catalog that is loaded from `index.json` and rebuilt
+//!   from the entries themselves when the index is stale or missing.
+//! * `trace` — run (or cache-serve) one job with event tracing on and
+//!   stream the Chrome-trace JSON back in the result, byte-identical
+//!   to what `spade-cli trace` writes locally.
+//!
+//! # Observability is pure
+//!
+//! Metrics are relaxed atomics, log spans (`SPADE_LOG=json`) go to
+//! stderr, and neither feeds back into a simulation: every `RunReport`,
+//! telemetry series and trace byte is identical with observability on
+//! or off. The robustness suite pins this.
 
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -68,11 +89,20 @@ use spade_sim::json::MAX_FRAME_BYTES;
 use spade_sim::{Cycle, FrameError, FrameReader, JsonValue};
 
 use crate::cache::{CacheStats, Fnv64, ResultCache};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::parallel::{self, Job, JobOutput, ParallelRunner};
 use crate::suite::Workload;
 
-/// Wire-protocol version, reported by `ping` and `status`.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Wire-protocol version, reported by `ping` and `status`. Version 2
+/// added the `metrics`, `query` and `trace` requests; v1 requests are a
+/// strict subset, so v1 clients keep working unchanged.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Default cap on entries a single `query` response returns. Keeps a
+/// response line comfortably under the default client frame limit even
+/// for a cache holding thousands of sweep results; `limit` in the
+/// request overrides it.
+pub const DEFAULT_QUERY_LIMIT: usize = 500;
 
 /// Upper bound on `pes` accepted from the wire — requests are untrusted,
 /// and the config allocates per-PE state before the simulation starts.
@@ -109,6 +139,12 @@ pub struct ServiceConfig {
     /// executing it. Lets the robustness suite create deterministic
     /// back-pressure with fast jobs; `None` (the default) in production.
     pub worker_delay: Option<Duration>,
+    /// Emit one JSON log line per request-lifecycle event to stderr
+    /// (admission → queue → worker → cache → reply), each carrying the
+    /// request id. Defaults to the `SPADE_LOG=json` environment setting;
+    /// off otherwise. Logging is pure observation — response bytes are
+    /// identical either way.
+    pub log_json: bool,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +162,7 @@ impl Default for ServiceConfig {
             retry_after_ms: 100,
             cache_dir: None,
             worker_delay: None,
+            log_json: std::env::var("SPADE_LOG").is_ok_and(|v| v == "json"),
         }
     }
 }
@@ -146,6 +183,11 @@ pub struct ServiceSummary {
     pub connections: u64,
     /// Result-cache statistics, when a cache was configured.
     pub cache: Option<CacheStats>,
+    /// The full metrics registry at shutdown — lifetime request counts
+    /// per kind/outcome and the latency histograms (queue wait,
+    /// execution wall time, simulated cycles), so a drained daemon
+    /// reports its per-phase latency breakdown, not just totals.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ServiceSummary {
@@ -164,6 +206,7 @@ impl ServiceSummary {
                     None => JsonValue::Null,
                 },
             ),
+            ("metrics", self.metrics.to_json()),
         ])
     }
 }
@@ -172,6 +215,9 @@ impl ServiceSummary {
 struct Inner {
     config: ServiceConfig,
     cache: Option<ResultCache>,
+    /// Queryable catalog of what the cache holds (`Some` iff `cache`).
+    dataset: Option<DatasetIndex>,
+    metrics: ServiceMetrics,
     shutdown: AtomicBool,
     queue_depth: AtomicUsize,
     in_flight: AtomicUsize,
@@ -180,6 +226,10 @@ struct Inner {
     rejected_overload: AtomicU64,
     bad_frames: AtomicU64,
     connections: AtomicU64,
+    /// Monotonic request-id source: every parsed frame gets the next id,
+    /// threading one identity through its log span from admission to
+    /// reply.
+    next_rid: AtomicU64,
     started: Instant,
 }
 
@@ -209,9 +259,16 @@ impl ServiceHandle {
 
 /// One admitted request, queued for a worker.
 struct WorkItem {
+    /// Request id, threading the log span from admission to reply.
+    rid: u64,
+    /// Command name, for the worker's span events.
+    cmd: &'static str,
     kind: WorkKind,
     /// Cache key to store the result under (`None`: don't persist).
     store_key: Option<String>,
+    /// When the item entered the queue — the queue-wait histogram
+    /// measures from here to worker pickup.
+    enqueued: Instant,
     reply: SyncSender<Result<String, (String, String)>>,
 }
 
@@ -229,6 +286,20 @@ enum WorkKind {
         plans: Vec<ExecutionPlan>,
         k: usize,
         pes: usize,
+    },
+    /// Filter the cache catalog. Query rides the same admission queue
+    /// as simulations — it holds the catalog lock and renders up to
+    /// `limit` entries, so it gets the same back-pressure contract.
+    Query { filter: QueryFilter },
+    /// Run (or cache-serve) one traced job and return the Chrome-trace
+    /// document inline in the result.
+    Trace {
+        job: Box<Job>,
+        benchmark: String,
+        kernel: Primitive,
+        k: usize,
+        pes: usize,
+        window: u64,
     },
 }
 
@@ -252,11 +323,14 @@ impl Service {
             Some(dir) => Some(ResultCache::open(dir)?),
             None => None,
         };
+        let dataset = cache.as_ref().map(DatasetIndex::load);
         Ok(Service {
             listener,
             inner: Arc::new(Inner {
                 config,
                 cache,
+                dataset,
+                metrics: ServiceMetrics::new(),
                 shutdown: AtomicBool::new(false),
                 queue_depth: AtomicUsize::new(0),
                 in_flight: AtomicUsize::new(0),
@@ -265,6 +339,7 @@ impl Service {
                 rejected_overload: AtomicU64::new(0),
                 bad_frames: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
+                next_rid: AtomicU64::new(0),
                 started: Instant::now(),
             }),
         })
@@ -343,7 +418,8 @@ impl Service {
             let _ = w.join();
         }
         if let Some(cache) = &inner.cache {
-            if let Err(e) = cache.flush_index() {
+            let dataset = inner.dataset.as_ref().map(DatasetIndex::to_json);
+            if let Err(e) = cache.flush_index_with(dataset) {
                 eprintln!("spade-serve: cache index flush failed: {e}");
             }
         }
@@ -354,6 +430,7 @@ impl Service {
             bad_frames: inner.bad_frames.load(Ordering::Relaxed),
             connections: inner.connections.load(Ordering::Relaxed),
             cache: inner.cache.as_ref().map(ResultCache::stats),
+            metrics: metrics_snapshot(&inner),
         })
     }
 }
@@ -451,118 +528,179 @@ fn process_frame(
     writer: &mut TcpStream,
     frame: &[u8],
 ) -> bool {
+    let rid = inner.next_rid.fetch_add(1, Ordering::Relaxed) + 1;
+    let received = Instant::now();
     let (id, parsed) = match parse_request(frame, inner.config.default_deadline_cycles) {
         Ok(p) => p,
         Err(message) => {
             inner.bad_frames.fetch_add(1, Ordering::Relaxed);
+            log_event(
+                inner,
+                rid,
+                "bad_frame",
+                &[("message", message.as_str().into())],
+            );
             return respond(
                 writer,
                 &error_response(None, None, "bad_request", &message, None),
             );
         }
     };
-    match parsed {
-        Request::Ping => respond(
-            writer,
-            &JsonValue::object([
+    let cmd_name = match &parsed {
+        Request::Ping => "ping",
+        Request::Status => "status",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+        Request::Work { cmd, .. } => cmd,
+    };
+    log_event(inner, rid, "request", &[("cmd", cmd_name.into())]);
+    let (response, ok) = match parsed {
+        Request::Ping => (
+            JsonValue::object([
                 ("ok", true.into()),
                 ("cmd", "ping".into()),
                 ("protocol", PROTOCOL_VERSION.into()),
             ])
             .render(),
+            true,
         ),
-        Request::Status => respond(writer, &status_response(inner).render()),
+        Request::Status => (status_response(inner).render(), true),
+        Request::Metrics => {
+            // Answered on the connection thread, like status: a scrape
+            // must work even when every worker is busy.
+            let mut fields = vec![
+                ("ok", JsonValue::from(true)),
+                ("cmd", "metrics".into()),
+                ("protocol", PROTOCOL_VERSION.into()),
+            ];
+            if let Some(id) = &id {
+                fields.push(("id", id.clone()));
+            }
+            fields.push(("result", metrics_snapshot(inner).to_json()));
+            (JsonValue::object(fields).render(), true)
+        }
         Request::Shutdown => {
             inner.shutdown.store(true, Ordering::SeqCst);
-            respond(
-                writer,
-                &JsonValue::object([
+            (
+                JsonValue::object([
                     ("ok", true.into()),
                     ("cmd", "shutdown".into()),
                     ("draining", true.into()),
                 ])
                 .render(),
+                true,
             )
         }
         Request::Work {
             cmd,
             kind,
             cache_key,
-        } => {
-            // Cache probe happens on the connection thread: a hit never
-            // takes a queue slot and replies in microseconds.
-            if let (Some(cache), Some(key)) = (inner.cache.as_ref(), cache_key.as_deref()) {
-                if let Some(payload) = cache.get(key) {
-                    if let Ok(result) = String::from_utf8(payload) {
-                        inner.served_ok.fetch_add(1, Ordering::Relaxed);
-                        let env = ok_envelope(cmd, id.as_ref(), true, Some(key), &result);
-                        return respond(writer, &env);
-                    }
-                }
+        } => work_response(inner, work_tx, rid, id.as_ref(), cmd, kind, cache_key),
+    };
+    inner.metrics.count_request(cmd_name, ok);
+    log_event(
+        inner,
+        rid,
+        "reply",
+        &[
+            ("cmd", cmd_name.into()),
+            ("ok", ok.into()),
+            ("total_us", (received.elapsed().as_micros() as u64).into()),
+        ],
+    );
+    respond(writer, &response)
+}
+
+/// Answers one `run`/`search`/`query`/`trace` request: cache probe on
+/// the connection thread, then the bounded admission queue. Returns the
+/// response line and whether it reports success.
+fn work_response(
+    inner: &Arc<Inner>,
+    work_tx: &SyncSender<WorkItem>,
+    rid: u64,
+    id: Option<&JsonValue>,
+    cmd: &'static str,
+    kind: WorkKind,
+    cache_key: Option<String>,
+) -> (String, bool) {
+    // Cache probe happens on the connection thread: a hit never
+    // takes a queue slot and replies in microseconds.
+    if let (Some(cache), Some(key)) = (inner.cache.as_ref(), cache_key.as_deref()) {
+        if let Some(payload) = cache.get(key) {
+            if let Ok(result) = String::from_utf8(payload) {
+                inner.served_ok.fetch_add(1, Ordering::Relaxed);
+                log_event(inner, rid, "cache_hit", &[("key", key.into())]);
+                return (ok_envelope(cmd, id, true, Some(key), &result), true);
             }
-            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-            let item = WorkItem {
-                kind,
-                store_key: cache_key.clone(),
-                reply: reply_tx,
-            };
-            match work_tx.try_send(item) {
-                Err(TrySendError::Full(_)) => {
-                    inner.rejected_overload.fetch_add(1, Ordering::Relaxed);
-                    respond(
-                        writer,
-                        &error_response(
-                            id.as_ref(),
-                            Some(cmd),
-                            "overloaded",
-                            &format!(
-                                "admission queue is full ({} slots)",
-                                inner.config.queue_capacity
-                            ),
-                            Some(inner.config.retry_after_ms),
-                        ),
+        }
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let item = WorkItem {
+        rid,
+        cmd,
+        kind,
+        store_key: cache_key.clone(),
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    // The queue slot is counted *before* try_send: the worker may pull
+    // the item (and decrement) the instant the send lands, so counting
+    // afterwards could transiently wrap the depth below zero.
+    let depth = inner.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    match work_tx.try_send(item) {
+        Err(TrySendError::Full(_)) => {
+            inner.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            inner.rejected_overload.fetch_add(1, Ordering::Relaxed);
+            (
+                error_response(
+                    id,
+                    Some(cmd),
+                    "overloaded",
+                    &format!(
+                        "admission queue is full ({} slots)",
+                        inner.config.queue_capacity
+                    ),
+                    Some(inner.config.retry_after_ms),
+                ),
+                false,
+            )
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            inner.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            (
+                error_response(id, Some(cmd), "shutting_down", "daemon is draining", None),
+                false,
+            )
+        }
+        Ok(()) => {
+            log_event(inner, rid, "enqueue", &[("depth", depth.into())]);
+            match reply_rx.recv() {
+                Ok(Ok(result)) => {
+                    inner.served_ok.fetch_add(1, Ordering::Relaxed);
+                    (
+                        ok_envelope(cmd, id, false, cache_key.as_deref(), &result),
+                        true,
                     )
                 }
-                Err(TrySendError::Disconnected(_)) => respond(
-                    writer,
-                    &error_response(
-                        id.as_ref(),
-                        Some(cmd),
-                        "shutting_down",
-                        "daemon is draining",
-                        None,
-                    ),
-                ),
-                Ok(()) => {
-                    inner.queue_depth.fetch_add(1, Ordering::Relaxed);
-                    match reply_rx.recv() {
-                        Ok(Ok(result)) => {
-                            inner.served_ok.fetch_add(1, Ordering::Relaxed);
-                            let env =
-                                ok_envelope(cmd, id.as_ref(), false, cache_key.as_deref(), &result);
-                            respond(writer, &env)
-                        }
-                        Ok(Err((kind, message))) => {
-                            inner.served_err.fetch_add(1, Ordering::Relaxed);
-                            respond(
-                                writer,
-                                &error_response(id.as_ref(), Some(cmd), &kind, &message, None),
-                            )
-                        }
-                        Err(_) => {
-                            inner.served_err.fetch_add(1, Ordering::Relaxed);
-                            respond(
-                                writer,
-                                &error_response(
-                                    id.as_ref(),
-                                    Some(cmd),
-                                    "internal",
-                                    "worker dropped the request",
-                                    None,
-                                ),
-                            )
-                        }
+                Ok(Err((kind, message))) => {
+                    inner.served_err.fetch_add(1, Ordering::Relaxed);
+                    if kind == "deadline_exceeded" {
+                        inner.metrics.deadline_kills.inc();
                     }
+                    (error_response(id, Some(cmd), &kind, &message, None), false)
+                }
+                Err(_) => {
+                    inner.served_err.fetch_add(1, Ordering::Relaxed);
+                    (
+                        error_response(
+                            id,
+                            Some(cmd),
+                            "internal",
+                            "worker dropped the request",
+                            None,
+                        ),
+                        false,
+                    )
                 }
             }
         }
@@ -689,6 +827,7 @@ fn error_response(
 enum Request {
     Ping,
     Status,
+    Metrics,
     Shutdown,
     Work {
         cmd: &'static str,
@@ -719,9 +858,12 @@ fn parse_request(
     let req = match cmd {
         "ping" => Request::Ping,
         "status" => Request::Status,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         "run" => parse_run(&doc, default_deadline)?,
         "search" => parse_search(&doc, default_deadline)?,
+        "query" => parse_query(&doc)?,
+        "trace" => parse_trace(&doc, default_deadline)?,
         other => return Err(format!("unknown cmd {other:?}")),
     };
     Ok((id, req))
@@ -933,6 +1075,103 @@ fn search_cache_key(jobs: &[Job]) -> String {
     format!("s{:016x}{:016x}", lo.finish(), hi.finish())
 }
 
+/// A `trace` request is a `run` request with trace capture forced on
+/// plus an optional telemetry `window` (cycles; default 256, `0`
+/// disables the telemetry lane). Keyed by [`Job::trace_cache_key`], so
+/// a repeated trace is a cache hit with byte-identical trace JSON.
+fn parse_trace(doc: &JsonValue, default_deadline: Option<Cycle>) -> Result<Request, String> {
+    let bench = parse_wire_benchmark(doc)?;
+    let scale = parse_wire_scale(doc)?;
+    let k = parse_wire_k(doc)?;
+    let pes = parse_wire_pes(doc)?;
+    let kernel = parse_wire_kernel(doc)?;
+    let deadline = parse_wire_deadline(doc, default_deadline)?;
+    let no_cache = field_bool(doc, "no_cache", false)?;
+    let window = field_u64(doc, "window")?.unwrap_or(256);
+    let workload = Arc::new(Workload::prepare(bench, scale, k));
+    let plan = parse_wire_plan(doc, &workload.a)?;
+    let config = Arc::new(SystemConfig::scaled(pes));
+    let job = Job::new(&workload, &config, kernel, plan)
+        .with_deadline_cycles(deadline)
+        .with_telemetry((window > 0).then_some(window))
+        .with_trace(true);
+    let cache_key = (!no_cache).then(|| job.trace_cache_key());
+    Ok(Request::Work {
+        cmd: "trace",
+        cache_key,
+        kind: WorkKind::Trace {
+            job: Box::new(job),
+            benchmark: bench.short_name().to_string(),
+            kernel,
+            k,
+            pes,
+            window,
+        },
+    })
+}
+
+/// Filters a `query` request applies to the dataset catalog. Every
+/// field is optional; an empty filter matches everything.
+#[derive(Debug, Clone)]
+struct QueryFilter {
+    benchmark: Option<String>,
+    kernel: Option<String>,
+    kind: Option<String>,
+    k: Option<u64>,
+    pes: Option<u64>,
+    min_cycles: Option<u64>,
+    max_cycles: Option<u64>,
+    limit: usize,
+}
+
+impl QueryFilter {
+    fn matches(&self, m: &EntryMeta) -> bool {
+        self.benchmark.as_deref().is_none_or(|b| b == m.benchmark)
+            && self.kernel.as_deref().is_none_or(|kn| kn == m.kernel)
+            && self.kind.as_deref().is_none_or(|kd| kd == m.kind)
+            && self.k.is_none_or(|k| k == m.k)
+            && self.pes.is_none_or(|p| p == m.pes)
+            && self.min_cycles.is_none_or(|lo| m.cycles >= lo)
+            && self.max_cycles.is_none_or(|hi| m.cycles <= hi)
+    }
+}
+
+/// Validates a `query` request's filter fields — unknown benchmarks,
+/// kernels and kinds are rejected here as `bad_request`, like every
+/// other wire field.
+fn parse_query(doc: &JsonValue) -> Result<Request, String> {
+    let benchmark = match doc.get("benchmark") {
+        None => None,
+        Some(_) => Some(parse_wire_benchmark(doc)?.short_name().to_string()),
+    };
+    let kernel = match doc.get("kernel") {
+        None => None,
+        Some(_) => Some(parse_wire_kernel(doc)?.to_string().to_lowercase()),
+    };
+    let kind = match field_str(doc, "kind", "")? {
+        "" => None,
+        k @ ("run" | "search" | "trace") => Some(k.to_string()),
+        other => return Err(format!("unknown entry kind {other:?}")),
+    };
+    let limit = field_u64(doc, "limit")?.unwrap_or(DEFAULT_QUERY_LIMIT as u64) as usize;
+    Ok(Request::Work {
+        cmd: "query",
+        cache_key: None,
+        kind: WorkKind::Query {
+            filter: QueryFilter {
+                benchmark,
+                kernel,
+                kind,
+                k: field_u64(doc, "k")?,
+                pes: field_u64(doc, "pes")?,
+                min_cycles: field_u64(doc, "min_cycles")?,
+                max_cycles: field_u64(doc, "max_cycles")?,
+                limit,
+            },
+        },
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Workers: simulation, result rendering, cache stores
 // ---------------------------------------------------------------------------
@@ -949,16 +1188,41 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Arc<Mutex<Receiver<WorkItem>>>) {
         let Ok(item) = item else { return };
         inner.queue_depth.fetch_sub(1, Ordering::Relaxed);
         inner.in_flight.fetch_add(1, Ordering::Relaxed);
+        let queue_wait_us = item.enqueued.elapsed().as_micros() as u64;
+        inner.metrics.queue_wait_us.observe(queue_wait_us);
+        log_event(
+            inner,
+            item.rid,
+            "execute",
+            &[
+                ("cmd", item.cmd.into()),
+                ("queue_wait_us", queue_wait_us.into()),
+            ],
+        );
         if let Some(delay) = inner.config.worker_delay {
             std::thread::sleep(delay);
         }
-        let outcome = execute_work(&item.kind);
+        let exec_start = Instant::now();
+        let outcome = execute_work(inner, &item.kind);
+        let exec_us = exec_start.elapsed().as_micros() as u64;
+        inner.metrics.exec_us.observe(exec_us);
+        log_event(
+            inner,
+            item.rid,
+            "executed",
+            &[("ok", outcome.is_ok().into()), ("exec_us", exec_us.into())],
+        );
         if let (Ok(result), Some(cache), Some(key)) =
             (&outcome, inner.cache.as_ref(), item.store_key.as_deref())
         {
             if let Err(e) = cache.put(key, result.as_bytes()) {
                 // A failed store costs persistence, not the request.
                 eprintln!("spade-serve: cache store for {key} failed: {e}");
+            } else {
+                log_event(inner, item.rid, "store", &[("key", key.into())]);
+                if let Some(dataset) = &inner.dataset {
+                    dataset.insert_payload(key, result);
+                }
             }
         }
         // The handler may have given up (connection died); a dead
@@ -979,7 +1243,7 @@ fn error_kind(message: &str) -> &'static str {
     }
 }
 
-fn execute_work(kind: &WorkKind) -> Result<String, (String, String)> {
+fn execute_work(inner: &Arc<Inner>, kind: &WorkKind) -> Result<String, (String, String)> {
     match kind {
         WorkKind::Run {
             job,
@@ -994,11 +1258,56 @@ fn execute_work(kind: &WorkKind) -> Result<String, (String, String)> {
             let mut outputs = ParallelRunner::new(1).run_outputs(std::slice::from_ref(job));
             match outputs.pop().expect("one job in, one result out") {
                 Ok(output) => {
+                    inner.metrics.sim_cycles.observe(output.report.cycles);
                     Ok(run_result_json(benchmark, *kernel, *k, *pes, &job.plan, &output).render())
                 }
                 Err(e) => Err((error_kind(&e.message).to_string(), e.to_string())),
             }
         }
+        WorkKind::Trace {
+            job,
+            benchmark,
+            kernel,
+            k,
+            pes,
+            window,
+        } => {
+            let mut outputs = ParallelRunner::new(1).run_outputs(std::slice::from_ref(job));
+            match outputs.pop().expect("one job in, one result out") {
+                Ok(output) => {
+                    inner.metrics.sim_cycles.observe(output.report.cycles);
+                    let (chrome, events) = trace_document(&output, job.config.num_pes)
+                        .map_err(|e| ("sim_failed".to_string(), e))?;
+                    // Rendered like `ok_envelope`: head object rendered,
+                    // then the Chrome JSON spliced in verbatim so the
+                    // wire bytes equal the local `spade-cli trace` file.
+                    let head = JsonValue::object([
+                        ("benchmark", benchmark.as_str().into()),
+                        ("kernel", kernel.to_string().into()),
+                        ("k", (*k).into()),
+                        ("pes", (*pes).into()),
+                        ("window", (*window).into()),
+                        ("events", events.into()),
+                        ("plan", plan_json(&job.plan)),
+                        ("report", canonical_report(&output.report).to_json()),
+                    ]);
+                    let mut s = head.render();
+                    s.pop();
+                    s.push_str(",\"trace\":");
+                    s.push_str(&chrome);
+                    s.push('}');
+                    Ok(s)
+                }
+                Err(e) => Err((error_kind(&e.message).to_string(), e.to_string())),
+            }
+        }
+        WorkKind::Query { filter } => match &inner.dataset {
+            Some(dataset) => Ok(dataset.query(filter).render()),
+            None => Err((
+                "bad_request".to_string(),
+                "daemon has no cache configured; nothing to query".to_string(),
+            )),
+        },
         WorkKind::Search {
             benchmark,
             jobs,
@@ -1012,7 +1321,10 @@ fn execute_work(kind: &WorkKind) -> Result<String, (String, String)> {
             let mut last_error = String::new();
             for (plan, outcome) in plans.iter().zip(outcomes) {
                 match outcome {
-                    Ok(o) => results.push((plan, o)),
+                    Ok(o) => {
+                        inner.metrics.sim_cycles.observe(o.report.cycles);
+                        results.push((plan, o));
+                    }
                     Err(e) => {
                         failures += 1;
                         last_error = e.to_string();
@@ -1091,6 +1403,273 @@ fn run_result_json(
     ])
 }
 
+/// Builds the Chrome-trace JSON for a traced job output — the telemetry
+/// series (when captured) merged in as its own lane above the PE lanes,
+/// events sorted by time — and returns it with the event count. Both
+/// `spade-cli trace` and the daemon's `trace` request go through here,
+/// so a wire-served trace is byte-identical to the locally written file
+/// by construction.
+///
+/// # Errors
+///
+/// Fails when the job did not actually capture a trace.
+pub fn trace_document(output: &JobOutput, num_pes: usize) -> Result<(String, usize), String> {
+    let mut trace = output
+        .trace
+        .clone()
+        .ok_or_else(|| "tracing produced no event log".to_string())?;
+    if let Some(series) = &output.telemetry {
+        let lane = num_pes as u64 + 1;
+        trace.set_lane(lane, "telemetry");
+        trace.add_telemetry(series, lane);
+        trace.sort_by_time();
+    }
+    let events = trace.len();
+    Ok((trace.to_chrome_json(), events))
+}
+
+// ---------------------------------------------------------------------------
+// Dataset catalog: the cache as a queryable surface
+// ---------------------------------------------------------------------------
+
+/// What the `query` surface knows about one cached entry: enough to
+/// filter and rank (benchmark, kernel, shape, plan, headline numbers)
+/// without decoding the full payload per query.
+#[derive(Debug, Clone)]
+struct EntryMeta {
+    key: String,
+    /// `"run"`, `"search"` or `"trace"` — recovered from the key prefix
+    /// (run keys are pure hex, so `s`/`t` prefixes are unambiguous).
+    kind: &'static str,
+    benchmark: String,
+    /// Lower-case kernel name (`"spmm"` / `"sddmm"`).
+    kernel: String,
+    k: u64,
+    pes: u64,
+    /// The plan (for `search` entries: the best candidate's plan).
+    plan: Option<JsonValue>,
+    /// Simulated cycles (for `search` entries: the best candidate's).
+    cycles: u64,
+    dram_accesses: u64,
+}
+
+impl EntryMeta {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("key", self.key.as_str().into()),
+            ("kind", self.kind.into()),
+            ("benchmark", self.benchmark.as_str().into()),
+            ("kernel", self.kernel.as_str().into()),
+            ("k", self.k.into()),
+            ("pes", self.pes.into()),
+            ("plan", self.plan.clone().unwrap_or(JsonValue::Null)),
+            ("cycles", self.cycles.into()),
+            ("dram_accesses", self.dram_accesses.into()),
+        ])
+    }
+
+    fn from_json(doc: &JsonValue) -> Option<EntryMeta> {
+        let kind = match doc.get("kind")?.as_str()? {
+            "run" => "run",
+            "search" => "search",
+            "trace" => "trace",
+            _ => return None,
+        };
+        Some(EntryMeta {
+            key: doc.get("key")?.as_str()?.to_string(),
+            kind,
+            benchmark: doc.get("benchmark")?.as_str()?.to_string(),
+            kernel: doc.get("kernel")?.as_str()?.to_string(),
+            k: doc.get("k")?.as_u64()?,
+            pes: doc.get("pes")?.as_u64()?,
+            plan: match doc.get("plan") {
+                None | Some(JsonValue::Null) => None,
+                Some(p) => Some(p.clone()),
+            },
+            cycles: doc.get("cycles")?.as_u64()?,
+            dram_accesses: doc.get("dram_accesses")?.as_u64()?,
+        })
+    }
+}
+
+/// Decodes one cached payload into its catalog row. Returns `None` for
+/// payloads that don't carry the expected fields (a foreign or
+/// hand-edited entry) — such entries still serve cache hits, they are
+/// just invisible to `query`.
+fn entry_meta_from_payload(key: &str, payload: &[u8]) -> Option<EntryMeta> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let doc = JsonValue::parse(text).ok()?;
+    let kind = if key.starts_with('s') {
+        "search"
+    } else if key.starts_with('t') {
+        "trace"
+    } else {
+        "run"
+    };
+    let benchmark = doc.get("benchmark")?.as_str()?.to_string();
+    let k = doc.get("k")?.as_u64()?;
+    let pes = doc.get("pes")?.as_u64()?;
+    if kind == "search" {
+        // Candidates are sorted by cycles; the catalog carries the best.
+        let best = doc.get("candidates")?.as_array()?.first()?;
+        Some(EntryMeta {
+            key: key.to_string(),
+            kind,
+            benchmark,
+            kernel: "spmm".to_string(),
+            k,
+            pes,
+            plan: best.get("plan").cloned(),
+            cycles: best.get("cycles")?.as_u64()?,
+            dram_accesses: best.get("dram_accesses")?.as_u64()?,
+        })
+    } else {
+        let report = doc.get("report")?;
+        Some(EntryMeta {
+            key: key.to_string(),
+            kind,
+            benchmark,
+            kernel: doc.get("kernel")?.as_str()?.to_lowercase(),
+            k,
+            pes,
+            plan: doc.get("plan").cloned(),
+            cycles: report.get("cycles")?.as_u64()?,
+            dram_accesses: report.get("dram_accesses")?.as_u64()?,
+        })
+    }
+}
+
+/// In-memory catalog of the cache contents, backing the `query`
+/// request. Built once at bind time and kept current by the workers as
+/// they store; flushed into `index.json` on drain so the next daemon
+/// warms its catalog without decoding every entry. Advisory like the
+/// index itself: the entries on disk are the source of truth, and any
+/// key the stale index doesn't cover is rebuilt from the entry header.
+struct DatasetIndex {
+    entries: Mutex<BTreeMap<String, EntryMeta>>,
+}
+
+impl DatasetIndex {
+    /// Catalogs `cache`: rows from `index.json` where the entry is
+    /// still on disk, decoded from the entry payload otherwise (stale
+    /// or missing index); index rows whose entry vanished are dropped.
+    fn load(cache: &ResultCache) -> DatasetIndex {
+        let mut from_index: BTreeMap<String, EntryMeta> = BTreeMap::new();
+        if let Some(doc) = cache.read_index() {
+            if let Some(items) = doc.get("dataset").and_then(JsonValue::as_array) {
+                for item in items {
+                    if let Some(meta) = EntryMeta::from_json(item) {
+                        from_index.insert(meta.key.clone(), meta);
+                    }
+                }
+            }
+        }
+        let mut entries = BTreeMap::new();
+        for key in cache.keys() {
+            if let Some(meta) = from_index.remove(&key) {
+                entries.insert(key, meta);
+            } else if let Some(payload) = cache.peek(&key) {
+                if let Some(meta) = entry_meta_from_payload(&key, &payload) {
+                    entries.insert(key, meta);
+                }
+            }
+        }
+        DatasetIndex {
+            entries: Mutex::new(entries),
+        }
+    }
+
+    /// Adds (or refreshes) the row for a just-stored payload.
+    fn insert_payload(&self, key: &str, payload: &str) {
+        if let Some(meta) = entry_meta_from_payload(key, payload.as_bytes()) {
+            self.entries
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(key.to_string(), meta);
+        }
+    }
+
+    /// Answers one query: `{"total","matched","returned","entries"}`
+    /// with matches sorted by (benchmark, kernel, cycles, key) — a
+    /// deterministic order, so "best plan per matrix" is the first
+    /// entry per benchmark group.
+    fn query(&self, filter: &QueryFilter) -> JsonValue {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut matched: Vec<&EntryMeta> = entries.values().filter(|m| filter.matches(m)).collect();
+        matched.sort_by(|a, b| {
+            (&a.benchmark, &a.kernel, a.cycles, &a.key).cmp(&(
+                &b.benchmark,
+                &b.kernel,
+                b.cycles,
+                &b.key,
+            ))
+        });
+        let shown: Vec<JsonValue> = matched
+            .iter()
+            .take(filter.limit)
+            .map(|m| m.to_json())
+            .collect();
+        JsonValue::object([
+            ("total", entries.len().into()),
+            ("matched", matched.len().into()),
+            ("returned", shown.len().into()),
+            ("entries", JsonValue::Array(shown)),
+        ])
+    }
+
+    /// The catalog as the `dataset` array persisted in `index.json`.
+    fn to_json(&self) -> JsonValue {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        JsonValue::Array(entries.values().map(EntryMeta::to_json).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observability: the registry snapshot and log spans
+// ---------------------------------------------------------------------------
+
+/// The registry with its mirrored instruments brought current: gauges
+/// from the live atomics, connection/back-pressure/framing counters and
+/// cache behavior from their sources of truth. The live-updated
+/// instruments (request counts, latency histograms, deadline kills) are
+/// already current.
+fn metrics_snapshot(inner: &Inner) -> MetricsSnapshot {
+    let m = &inner.metrics;
+    m.queue_depth
+        .set(inner.queue_depth.load(Ordering::Relaxed) as i64);
+    m.in_flight
+        .set(inner.in_flight.load(Ordering::Relaxed) as i64);
+    m.connections
+        .store(inner.connections.load(Ordering::Relaxed));
+    m.rejected_overload
+        .store(inner.rejected_overload.load(Ordering::Relaxed));
+    m.bad_frames.store(inner.bad_frames.load(Ordering::Relaxed));
+    if let Some(cache) = &inner.cache {
+        m.observe_cache(&cache.stats());
+    }
+    m.snapshot()
+}
+
+/// One structured span event as a single JSON line on stderr, gated on
+/// [`ServiceConfig::log_json`]. Fields: `log:"spade-serve"`, `t_us`
+/// (microseconds since daemon start), `rid`, `event`, plus the
+/// event-specific extras. stderr only — never the protocol stream,
+/// never simulation state — so logging on or off cannot change a
+/// response byte.
+fn log_event(inner: &Inner, rid: u64, event: &str, extra: &[(&str, JsonValue)]) {
+    if !inner.config.log_json {
+        return;
+    }
+    let mut fields: Vec<(&str, JsonValue)> = vec![
+        ("log", "spade-serve".into()),
+        ("t_us", (inner.started.elapsed().as_micros() as u64).into()),
+        ("rid", rid.into()),
+        ("event", event.into()),
+    ];
+    fields.extend_from_slice(extra);
+    eprintln!("{}", JsonValue::object(fields).render());
+}
+
 // ---------------------------------------------------------------------------
 // Termination signals
 // ---------------------------------------------------------------------------
@@ -1148,12 +1727,26 @@ impl ServiceClient {
     ///
     /// Propagates connection failures.
     pub fn connect(addr: &SocketAddr) -> io::Result<ServiceClient> {
+        Self::connect_with_max_frame(addr, MAX_FRAME_BYTES)
+    }
+
+    /// Connects with a custom response-frame byte limit. `client trace`
+    /// uses this: a Chrome-trace response is one line and can exceed the
+    /// default limit that protects ordinary request/response traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_with_max_frame(
+        addr: &SocketAddr,
+        max_frame: usize,
+    ) -> io::Result<ServiceClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
         Ok(ServiceClient {
             writer,
-            frames: FrameReader::new(stream),
+            frames: FrameReader::with_max_frame(stream, max_frame),
         })
     }
 

@@ -321,7 +321,7 @@ fn status_and_ping_report_live_state() {
     let (addr, handle) = spawn_service(test_config(None));
     let mut client = ServiceClient::connect(&addr).expect("connect");
     let ping = parse(&client.request_line("{\"cmd\":\"ping\"}").expect("ping"));
-    assert_eq!(ping.get("protocol").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(ping.get("protocol").and_then(JsonValue::as_u64), Some(2));
     let status = parse(&client.request_line("{\"cmd\":\"status\"}").expect("status"));
     for field in [
         "uptime_ms",
@@ -387,4 +387,313 @@ fn shutdown_drains_and_new_requests_are_turned_away() {
     }
     let summary = handle.join().expect("service thread");
     assert_eq!(summary.served_err, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: metrics scrapes, the dataset query surface, wire traces,
+// and the pure-observation guarantee
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use spade_bench::parallel::{Job, ParallelRunner};
+use spade_bench::service::trace_document;
+use spade_bench::suite::Workload;
+use spade_core::{ExecutionPlan, Primitive, SystemConfig};
+use spade_matrix::generators::{Benchmark, Scale};
+
+const TRACE_MYC: &str =
+    r#"{"cmd":"trace","benchmark":"myc","k":16,"pes":4,"scale":"tiny","window":64}"#;
+
+#[test]
+fn metrics_scrape_reflects_requests_and_cache_traffic() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_metrics_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let ping = parse(&client.request_line("{\"cmd\":\"ping\"}").expect("ping"));
+    assert_eq!(ping.get("ok").and_then(JsonValue::as_bool), Some(true));
+    for _ in 0..2 {
+        let run = parse(&client.request_line(RUN_MYC).expect("run"));
+        assert_eq!(run.get("ok").and_then(JsonValue::as_bool), Some(true));
+    }
+
+    let resp = parse(
+        &client
+            .request_line("{\"cmd\":\"metrics\"}")
+            .expect("metrics"),
+    );
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(resp.get("protocol").and_then(JsonValue::as_u64), Some(2));
+    let snap = spade_bench::metrics::MetricsSnapshot::from_json(
+        resp.get("result").expect("metrics result"),
+    )
+    .expect("decode snapshot");
+
+    let requests = |cmd: &str, outcome: &str| {
+        snap.counter(
+            "spade_requests_total",
+            &[("cmd", cmd), ("outcome", outcome)],
+        )
+    };
+    assert_eq!(requests("ping", "ok"), Some(1));
+    assert_eq!(requests("run", "ok"), Some(2));
+    assert_eq!(requests("run", "error"), Some(0));
+    // One cold miss+store, one warm hit — the registry mirrors the cache.
+    assert_eq!(snap.counter("spade_cache_misses_total", &[]), Some(1));
+    assert_eq!(snap.counter("spade_cache_hits_total", &[]), Some(1));
+    assert_eq!(snap.counter("spade_cache_stores_total", &[]), Some(1));
+    assert_eq!(snap.counter("spade_deadline_kills_total", &[]), Some(0));
+    // Exactly one job reached a worker (the warm request never queued),
+    // so each latency histogram holds one observation.
+    for name in [
+        "spade_queue_wait_microseconds",
+        "spade_exec_microseconds",
+        "spade_sim_cycles",
+    ] {
+        let h = snap
+            .find(name, &[])
+            .unwrap_or_else(|| panic!("missing {name}"));
+        assert_eq!(h.histogram_count(), Some(1), "{name}");
+    }
+
+    // Satellite: the drain summary carries the same snapshot shape, with
+    // the metrics scrape itself now counted too.
+    let summary = shutdown_and_join(&addr, handle);
+    let m = &summary.metrics;
+    assert_eq!(
+        m.counter("spade_requests_total", &[("cmd", "run"), ("outcome", "ok")]),
+        Some(2)
+    );
+    assert_eq!(
+        m.counter(
+            "spade_requests_total",
+            &[("cmd", "metrics"), ("outcome", "ok")]
+        ),
+        Some(1)
+    );
+    assert_eq!(m.counter("spade_cache_hits_total", &[]), Some(1));
+    assert!(
+        summary.to_json().get("metrics").is_some(),
+        "machine-readable drain summary must embed the metrics snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_query_reflects_exactly_the_cached_entries() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_query_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let mut keys = Vec::new();
+    for req in [
+        RUN_MYC,
+        r#"{"cmd":"run","benchmark":"kro","k":16,"pes":4,"scale":"tiny"}"#,
+        TRACE_MYC,
+    ] {
+        let doc = parse(&client.request_line(req).expect("seed request"));
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+        keys.push(
+            doc.get("key")
+                .and_then(JsonValue::as_str)
+                .expect("cached request carries its key")
+                .to_string(),
+        );
+    }
+    keys.sort();
+
+    let query = |client: &mut ServiceClient, req: &str| {
+        let doc = parse(&client.request_line(req).expect("query"));
+        assert_eq!(
+            doc.get("ok").and_then(JsonValue::as_bool),
+            Some(true),
+            "{req}"
+        );
+        doc.get("result").expect("query result").clone()
+    };
+
+    // The unfiltered catalog is exactly the entries the runs above wrote.
+    let all = query(&mut client, r#"{"cmd":"query"}"#);
+    assert_eq!(all.get("total").and_then(JsonValue::as_u64), Some(3));
+    assert_eq!(all.get("matched").and_then(JsonValue::as_u64), Some(3));
+    let mut listed: Vec<String> = all
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .expect("entries")
+        .iter()
+        .map(|e| {
+            e.get("key")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    listed.sort();
+    assert_eq!(listed, keys, "catalog must mirror the cache exactly");
+
+    // Filters: by benchmark, by kind, and a filter that matches nothing.
+    let myc = query(
+        &mut client,
+        r#"{"cmd":"query","benchmark":"myc","kind":"run"}"#,
+    );
+    assert_eq!(myc.get("matched").and_then(JsonValue::as_u64), Some(1));
+    let entry = &myc.get("entries").and_then(JsonValue::as_array).unwrap()[0];
+    assert_eq!(
+        entry.get("benchmark").and_then(JsonValue::as_str),
+        Some("MYC")
+    );
+    assert_eq!(
+        entry.get("kernel").and_then(JsonValue::as_str),
+        Some("spmm")
+    );
+    assert_eq!(entry.get("kind").and_then(JsonValue::as_str), Some("run"));
+    assert!(entry.get("cycles").and_then(JsonValue::as_u64).unwrap() > 0);
+    let traces = query(&mut client, r#"{"cmd":"query","kind":"trace"}"#);
+    assert_eq!(traces.get("matched").and_then(JsonValue::as_u64), Some(1));
+    let none = query(
+        &mut client,
+        r#"{"cmd":"query","benchmark":"kro","kind":"trace"}"#,
+    );
+    assert_eq!(none.get("matched").and_then(JsonValue::as_u64), Some(0));
+
+    // Bad filter values are bad requests, like every other wire field.
+    let bad = parse(
+        &client
+            .request_line(r#"{"cmd":"query","kind":"frobnicate"}"#)
+            .expect("bad query"),
+    );
+    assert_eq!(bad.get("ok").and_then(JsonValue::as_bool), Some(false));
+
+    shutdown_and_join(&addr, handle);
+
+    // Delete the advisory index: a restarted daemon must rebuild the
+    // catalog from the entry payloads themselves.
+    std::fs::remove_file(dir.join("index.json")).expect("remove index");
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+    let mut client = ServiceClient::connect(&addr).expect("reconnect");
+    let rebuilt = query(&mut client, r#"{"cmd":"query"}"#);
+    let mut listed: Vec<String> = rebuilt
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .expect("entries")
+        .iter()
+        .map(|e| {
+            e.get("key")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    listed.sort();
+    assert_eq!(listed, keys, "catalog must survive losing index.json");
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wire_served_trace_is_byte_identical_to_a_local_trace() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_trace_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let cold = client.request_line(TRACE_MYC).expect("cold trace");
+    let cold_doc = parse(&cold);
+    assert_eq!(cold_doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        cold_doc.get("cached").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    let result = cold_doc.get("result").expect("trace result");
+    assert_eq!(result.get("window").and_then(JsonValue::as_u64), Some(64));
+
+    // The envelope splices the Chrome JSON in verbatim; everything after
+    // `"trace":` up to the two closing braces is the document itself.
+    let idx = cold.find(",\"trace\":").expect("trace field in response");
+    let wire_trace = &cold[idx + ",\"trace\":".len()..cold.len() - 2];
+
+    // The same job executed locally, exactly as `spade-cli trace` builds
+    // it (defaults mirrored from the wire parser, including the service's
+    // default deadline).
+    let workload = Arc::new(Workload::prepare(Benchmark::Myc, Scale::Tiny, 16));
+    let plan = ExecutionPlan::spmm_base(&workload.a).expect("plan");
+    let config = Arc::new(SystemConfig::scaled(4));
+    let job = Job::new(&workload, &config, Primitive::Spmm, plan)
+        .with_deadline_cycles(Some(4_000_000_000))
+        .with_telemetry(Some(64))
+        .with_trace(true);
+    let mut outputs = ParallelRunner::new(1).run_outputs(std::slice::from_ref(&job));
+    let output = outputs.pop().expect("one output").expect("local trace run");
+    let (chrome, events) = trace_document(&output, config.num_pes).expect("local document");
+
+    assert_eq!(
+        result.get("events").and_then(JsonValue::as_u64),
+        Some(events as u64)
+    );
+    assert!(
+        wire_trace == chrome,
+        "wire-served trace differs from the locally built document"
+    );
+
+    // A warm repeat is a cache hit with the same bytes.
+    let warm = client.request_line(TRACE_MYC).expect("warm trace");
+    let warm_doc = parse(&warm);
+    assert_eq!(
+        warm_doc.get("cached").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    let warm_idx = warm
+        .find(",\"trace\":")
+        .expect("trace field in warm response");
+    assert!(
+        warm[warm_idx..warm.len() - 2].strip_prefix(",\"trace\":") == Some(&chrome[..]),
+        "cache-served trace bytes drifted"
+    );
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn observability_never_changes_served_bytes() {
+    // Two daemons over fresh caches, identical except that one has JSON
+    // span logging enabled. Every reply — run, trace, query — must be
+    // byte-identical: metrics and logs observe, they never participate.
+    let base = std::env::temp_dir().join(format!("spade_svc_pure_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let requests = [
+        RUN_MYC,
+        RUN_MYC,
+        TRACE_MYC,
+        r#"{"cmd":"query","kind":"run"}"#,
+    ];
+
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for (tag, log_json) in [("plain", false), ("logged", true)] {
+        let dir = base.join(tag);
+        let config = ServiceConfig {
+            log_json,
+            ..test_config(Some(&dir))
+        };
+        let (addr, handle) = spawn_service(config);
+        let mut client = ServiceClient::connect(&addr).expect("connect");
+        let mut lines = Vec::new();
+        for req in requests {
+            lines.push(client.request_line(req).expect("request"));
+        }
+        shutdown_and_join(&addr, handle);
+        transcripts.push(lines);
+    }
+
+    for (i, (plain, logged)) in transcripts[0].iter().zip(&transcripts[1]).enumerate() {
+        assert!(
+            plain == logged,
+            "request {i} ({}) served different bytes with logging on",
+            requests[i]
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
 }

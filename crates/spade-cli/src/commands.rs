@@ -37,8 +37,17 @@ pub const USAGE: &str = "usage:
   spade-cli mm     --file <matrix.mtx> [--k 32] [--pes 56] [--format json|text]
   spade-cli serve  [--addr 127.0.0.1:7700] [--cache-dir DIR] [--workers N]
                    [--queue 32] [--max-connections 32] [--deadline-cycles N]
-                   [--read-timeout-ms 500]
+                   [--read-timeout-ms 500] [--log-json]
   spade-cli client --addr <host:port> --request '<json>'
+  spade-cli client ping|status|metrics|shutdown --addr <host:port>
+                   [--format json|text] [--prom (metrics only)]
+  spade-cli client run|search|trace --addr <host:port> --benchmark <name>
+                   [job flags as above] [--no-cache] [--format json|text]
+                   [--window 256 --out <file.trace.json> (trace only)]
+  spade-cli client query --addr <host:port> [--benchmark <name>]
+                   [--kernel spmm|sddmm] [--kind run|search|trace] [--k N]
+                   [--pes N] [--min-cycles N] [--max-cycles N] [--limit N]
+                   [--format json|text]
   spade-cli bench-perf [--scale tiny|small|default|large] [--k 32] [--pes 56]
                    [--mem-ops 200000] [--gate-speedup X] [--gate-mem-speedup X]
                    [--shards 4] [--gate-shard-speedup X] [--out BENCH_sim.json]
@@ -448,13 +457,9 @@ fn trace_cmd(argv: &[String]) -> Result<(), String> {
         shards,
         None,
     )?;
-    let mut trace = output.trace.ok_or("tracing produced no event log")?;
-    if let Some(series) = &output.telemetry {
-        let lane = system_config.num_pes as u64 + 1;
-        trace.set_lane(lane, "telemetry");
-        trace.add_telemetry(series, lane);
-        trace.sort_by_time();
-    }
+    // The shared builder keeps local traces byte-identical to the
+    // daemon's wire-served `trace` responses.
+    let (chrome, events) = service::trace_document(&output, system_config.num_pes)?;
     let out_path = match args.get("out") {
         Some(p) => p.to_string(),
         None => format!(
@@ -463,10 +468,9 @@ fn trace_cmd(argv: &[String]) -> Result<(), String> {
             kernel.to_string().to_lowercase()
         ),
     };
-    std::fs::write(&out_path, trace.to_chrome_json()).map_err(|e| format!("{out_path}: {e}"))?;
+    std::fs::write(&out_path, &chrome).map_err(|e| format!("{out_path}: {e}"))?;
     println!(
-        "wrote {out_path}: {} events over {} cycles (load in ui.perfetto.dev)",
-        trace.len(),
+        "wrote {out_path}: {events} events over {} cycles (load in ui.perfetto.dev)",
         output.report.cycles
     );
     Ok(())
@@ -637,7 +641,7 @@ fn run_mm(argv: &[String]) -> Result<(), String> {
 /// SIGTERM/ctrl-c (or an in-band `shutdown` request) drains in-flight
 /// jobs, flushes the cache index and exits 0.
 fn serve(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["log-json"])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7700").to_string();
     let mut config = service::ServiceConfig::default();
     config.workers = args.get_parsed("workers", config.workers)?;
@@ -650,6 +654,12 @@ fn serve(argv: &[String]) -> Result<(), String> {
         args.get_parsed("read-timeout-ms", config.read_timeout.as_millis() as u64)?;
     config.read_timeout = std::time::Duration::from_millis(timeout_ms.max(1));
     config.cache_dir = args.get("cache-dir").map(std::path::PathBuf::from);
+    // `--log-json` turns the request log spans on explicitly; the
+    // SPADE_LOG=json environment default (already in `config`) stays
+    // effective either way.
+    if args.has("log-json") {
+        config.log_json = true;
+    }
     service::install_termination_handler();
     let svc = service::Service::bind(&addr, config).map_err(|e| format!("{addr}: bind: {e}"))?;
     let local = svc.local_addr().map_err(|e| e.to_string())?;
@@ -672,30 +682,460 @@ fn serve(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `spade-cli client`: send one request line to a running daemon and
-/// print the response line — the scripting primitive for smoke tests
-/// and cache-warm sweeps.
+/// `spade-cli client`: talk to a running daemon — the scripting
+/// primitive for smoke tests, cache-warm sweeps and operations.
+///
+/// Two modes share one wire protocol: raw (`--request '<json>'` sends
+/// the line verbatim) and typed subcommands (`ping`, `status`,
+/// `metrics`, `query`, `run`, `search`, `trace`, `shutdown`) that build
+/// the request from flags. Every subcommand honours `--format
+/// json|text`: `json` prints the daemon's response line untouched,
+/// `text` a human rendering. A protocol-level failure prints the raw
+/// response and exits non-zero either way.
 fn client(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let (sub, rest) = match argv.first() {
+        Some(first) if !first.starts_with("--") => (Some(first.as_str()), &argv[1..]),
+        _ => (None, argv),
+    };
+    match sub {
+        None => client_raw(rest),
+        Some("ping") => client_simple(rest, "ping"),
+        Some("shutdown") => client_simple(rest, "shutdown"),
+        Some("status") => client_status(rest),
+        Some("metrics") => client_metrics(rest),
+        Some("query") => client_query(rest),
+        Some("run") => client_job(rest, "run"),
+        Some("search") => client_job(rest, "search"),
+        Some("trace") => client_trace(rest),
+        Some(other) => Err(format!("client: unknown subcommand '{other}'")),
+    }
+}
+
+/// Parses `--addr` and connects, with a response-frame limit.
+fn client_connect(
+    args: &Args,
+    max_frame: usize,
+) -> Result<(std::net::SocketAddr, service::ServiceClient), String> {
     let addr = args.get("addr").ok_or("--addr is required")?;
-    let request = args.get("request").ok_or("--request is required")?;
     let addr: std::net::SocketAddr = addr
         .parse()
         .map_err(|_| format!("--addr: cannot parse '{addr}'"))?;
-    let mut client =
-        service::ServiceClient::connect(&addr).map_err(|e| format!("{addr}: connect: {e}"))?;
+    let client = service::ServiceClient::connect_with_max_frame(&addr, max_frame)
+        .map_err(|e| format!("{addr}: connect: {e}"))?;
+    Ok((addr, client))
+}
+
+/// Sends one request and returns `(raw line, parsed doc)`. A
+/// `"ok":false` reply is printed raw and converted into the silent
+/// error (empty message) that makes `main` exit non-zero without the
+/// usage dump — scripts branch on the exit code, the line is the
+/// report.
+fn client_roundtrip(
+    client: &mut service::ServiceClient,
+    addr: &std::net::SocketAddr,
+    request: &str,
+) -> Result<(String, JsonValue), String> {
     let response = client
         .request_line(request)
         .map_err(|e| format!("{addr}: {e}"))?;
-    println!("{response}");
-    // Exit non-zero on a protocol-level failure so scripts can branch
-    // on back-pressure and error replies without parsing JSON. The
-    // response line above *is* the report — the empty error message
-    // tells main to skip the usage dump.
     match JsonValue::parse(&response) {
-        Ok(doc) if doc.get("ok").and_then(JsonValue::as_bool) == Some(false) => Err(String::new()),
-        _ => Ok(()),
+        Ok(doc) if doc.get("ok").and_then(JsonValue::as_bool) == Some(false) => {
+            println!("{response}");
+            Err(String::new())
+        }
+        Ok(doc) => Ok((response, doc)),
+        Err(e) => Err(format!("{addr}: unparseable response ({e}): {response}")),
     }
+}
+
+/// A `u64` response field, defaulting to 0 — display only, never logic.
+fn ju(doc: &JsonValue, key: &str) -> u64 {
+    doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn parse_flag_u64(name: &str, v: &str) -> Result<u64, String> {
+    v.parse()
+        .map_err(|_| format!("--{name}: cannot parse '{v}'"))
+}
+
+/// Legacy raw mode: `--request '<json>'` verbatim.
+fn client_raw(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let request = args
+        .get("request")
+        .ok_or("--request is required")?
+        .to_string();
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let (response, _doc) = client_roundtrip(&mut client, &addr, &request)?;
+    println!("{response}");
+    Ok(())
+}
+
+/// `client ping` / `client shutdown`: one command word, no payload.
+fn client_simple(argv: &[String], cmd: &str) -> Result<(), String> {
+    let args = Args::parse(argv, &["json"])?;
+    let json = parse_format(&args)?;
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let request = JsonValue::object([("cmd", cmd.into())]).render();
+    let (response, doc) = client_roundtrip(&mut client, &addr, &request)?;
+    if json {
+        println!("{response}");
+    } else if cmd == "ping" {
+        println!("{addr}: ok (protocol {})", ju(&doc, "protocol"));
+    } else {
+        println!("{addr}: draining");
+    }
+    Ok(())
+}
+
+/// `client status`: the daemon's live state as a human table (or the
+/// raw response with `--format json`).
+fn client_status(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["json"])?;
+    let json = parse_format(&args)?;
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let request = JsonValue::object([("cmd", "status".into())]).render();
+    let (response, doc) = client_roundtrip(&mut client, &addr, &request)?;
+    if json {
+        println!("{response}");
+        return Ok(());
+    }
+    println!(
+        "daemon {addr}  protocol {}  uptime {} ms{}",
+        ju(&doc, "protocol"),
+        ju(&doc, "uptime_ms"),
+        if doc.get("shutting_down").and_then(JsonValue::as_bool) == Some(true) {
+            "  (draining)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "queue      {}/{} waiting, {} in flight on {} workers",
+        ju(&doc, "queue_depth"),
+        ju(&doc, "queue_capacity"),
+        ju(&doc, "in_flight"),
+        ju(&doc, "workers")
+    );
+    println!(
+        "served     ok {}  err {}  overloaded {}  bad-frames {}  connections {}",
+        ju(&doc, "served_ok"),
+        ju(&doc, "served_err"),
+        ju(&doc, "rejected_overload"),
+        ju(&doc, "bad_frames"),
+        ju(&doc, "connections")
+    );
+    match doc.get("cache") {
+        None | Some(JsonValue::Null) => println!("cache      none"),
+        Some(c) => println!(
+            "cache      {} entries  hits {}  misses {}  stores {}  quarantined {}",
+            ju(c, "entries"),
+            ju(c, "hits"),
+            ju(c, "misses"),
+            ju(c, "stores"),
+            ju(c, "quarantined")
+        ),
+    }
+    Ok(())
+}
+
+/// `client metrics`: scrape the daemon's registry. `--prom` prints the
+/// Prometheus text exposition (rendered client-side from the JSON
+/// snapshot — no HTTP endpoint anywhere), `--format json` the raw
+/// response, text a compact value listing.
+fn client_metrics(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["json", "prom"])?;
+    let json = parse_format(&args)?;
+    let prom = args.has("prom");
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let request = JsonValue::object([("cmd", "metrics".into())]).render();
+    let (response, doc) = client_roundtrip(&mut client, &addr, &request)?;
+    if json {
+        println!("{response}");
+        return Ok(());
+    }
+    let result = doc.get("result").ok_or("metrics response has no result")?;
+    let snapshot = spade_bench::metrics::MetricsSnapshot::from_json(result)?;
+    if prom {
+        print!("{}", snapshot.to_prometheus());
+        return Ok(());
+    }
+    for s in &snapshot.samples {
+        let labels = if s.labels.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "{{{}}}",
+                s.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        match &s.value {
+            spade_bench::metrics::SampleValue::Counter(v) => println!("{}{labels} {v}", s.name),
+            spade_bench::metrics::SampleValue::Gauge(v) => println!("{}{labels} {v}", s.name),
+            spade_bench::metrics::SampleValue::Histogram { sum, counts, .. } => println!(
+                "{}{labels} count={} sum={sum}",
+                s.name,
+                counts.iter().sum::<u64>()
+            ),
+        }
+    }
+    Ok(())
+}
+
+/// `client query`: filter the daemon's cache dataset. Every filter flag
+/// is optional; matches come back sorted by (benchmark, kernel,
+/// cycles), so the first row per benchmark is its best plan.
+fn client_query(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["json"])?;
+    let json = parse_format(&args)?;
+    let mut fields: Vec<(&str, JsonValue)> = vec![("cmd", "query".into())];
+    for key in ["benchmark", "kernel", "kind"] {
+        if let Some(v) = args.get(key) {
+            fields.push((key, v.into()));
+        }
+    }
+    for (flag, key) in [
+        ("k", "k"),
+        ("pes", "pes"),
+        ("min-cycles", "min_cycles"),
+        ("max-cycles", "max_cycles"),
+        ("limit", "limit"),
+    ] {
+        if let Some(v) = args.get(flag) {
+            fields.push((key, parse_flag_u64(flag, v)?.into()));
+        }
+    }
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let (response, doc) =
+        client_roundtrip(&mut client, &addr, &JsonValue::object(fields).render())?;
+    if json {
+        println!("{response}");
+        return Ok(());
+    }
+    let result = doc.get("result").ok_or("query response has no result")?;
+    println!(
+        "matched {} of {} cached entries (showing {})",
+        ju(result, "matched"),
+        ju(result, "total"),
+        ju(result, "returned")
+    );
+    let entries = result
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or("query response has no entries")?;
+    if entries.is_empty() {
+        return Ok(());
+    }
+    println!(
+        "{:<7} {:<6} {:<6} {:>5} {:>5} {:>12} {:>10}  {:<18} key",
+        "kind", "bench", "kernel", "k", "pes", "cycles", "dram", "plan"
+    );
+    for e in entries {
+        let plan = match e.get("plan") {
+            None | Some(JsonValue::Null) => "-".to_string(),
+            Some(p) => format!(
+                "rp={} cp={}{}",
+                ju(p, "row_panel_size"),
+                ju(p, "col_panel_size"),
+                if p.get("barriers").and_then(JsonValue::as_bool) == Some(true) {
+                    " b"
+                } else {
+                    ""
+                }
+            ),
+        };
+        println!(
+            "{:<7} {:<6} {:<6} {:>5} {:>5} {:>12} {:>10}  {:<18} {}",
+            e.get("kind").and_then(JsonValue::as_str).unwrap_or("?"),
+            e.get("benchmark")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+            e.get("kernel").and_then(JsonValue::as_str).unwrap_or("?"),
+            ju(e, "k"),
+            ju(e, "pes"),
+            ju(e, "cycles"),
+            ju(e, "dram_accesses"),
+            plan,
+            e.get("key").and_then(JsonValue::as_str).unwrap_or("?")
+        );
+    }
+    Ok(())
+}
+
+/// The wire fields shared by `client run|search|trace`, built from the
+/// same flags the local subcommands take. Validation happens
+/// server-side; the client only insists that numbers parse.
+fn wire_job_fields(args: &Args, cmd: &str) -> Result<Vec<(&'static str, JsonValue)>, String> {
+    let mut fields: Vec<(&'static str, JsonValue)> = Vec::new();
+    fields.push((
+        "benchmark",
+        args.get("benchmark")
+            .ok_or("--benchmark is required")?
+            .into(),
+    ));
+    if let Some(v) = args.get("scale") {
+        fields.push(("scale", v.into()));
+    }
+    if let Some(v) = args.get("kernel") {
+        fields.push(("kernel", v.into()));
+    }
+    for (flag, key) in [("k", "k"), ("pes", "pes"), ("rp", "rp")] {
+        if let Some(v) = args.get(flag) {
+            fields.push((key, parse_flag_u64(flag, v)?.into()));
+        }
+    }
+    if let Some(v) = args.get("cp") {
+        if v == "all" {
+            fields.push(("cp", "all".into()));
+        } else {
+            fields.push(("cp", parse_flag_u64("cp", v)?.into()));
+        }
+    }
+    if let Some(v) = args.get("rmatrix") {
+        fields.push(("rmatrix", v.into()));
+    }
+    if args.has("barriers") {
+        fields.push(("barriers", true.into()));
+    }
+    if let Some(v) = args.get("deadline-cycles") {
+        fields.push((
+            "deadline_cycles",
+            parse_flag_u64("deadline-cycles", v)?.into(),
+        ));
+    }
+    if args.has("no-cache") {
+        fields.push(("no_cache", true.into()));
+    }
+    if cmd == "search" && args.has("full") {
+        fields.push(("full", true.into()));
+    }
+    Ok(fields)
+}
+
+/// `client run` / `client search`: submit one job to the daemon.
+fn client_job(argv: &[String], cmd: &'static str) -> Result<(), String> {
+    let args = Args::parse(argv, &["json", "barriers", "no-cache", "full"])?;
+    let json = parse_format(&args)?;
+    let mut fields: Vec<(&str, JsonValue)> = vec![("cmd", cmd.into())];
+    fields.extend(wire_job_fields(&args, cmd)?);
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let (response, doc) =
+        client_roundtrip(&mut client, &addr, &JsonValue::object(fields).render())?;
+    if json {
+        println!("{response}");
+        return Ok(());
+    }
+    let result = doc.get("result").ok_or("response has no result")?;
+    let cached = if doc.get("cached").and_then(JsonValue::as_bool) == Some(true) {
+        "cached"
+    } else {
+        "fresh"
+    };
+    let key = doc.get("key").and_then(JsonValue::as_str).unwrap_or("-");
+    if cmd == "run" {
+        let report = result.get("report").ok_or("result has no report")?;
+        println!(
+            "{} {} k={} pes={}: {} cycles, {} DRAM accesses ({cached}, key {key})",
+            result
+                .get("benchmark")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+            result
+                .get("kernel")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+            ju(result, "k"),
+            ju(result, "pes"),
+            ju(report, "cycles"),
+            ju(report, "dram_accesses")
+        );
+    } else {
+        let candidates = result
+            .get("candidates")
+            .and_then(JsonValue::as_array)
+            .ok_or("result has no candidates")?;
+        println!(
+            "{} k={} pes={}: {} plans, {} failures ({cached}, key {key}); best first:",
+            result
+                .get("benchmark")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+            ju(result, "k"),
+            ju(result, "pes"),
+            candidates.len(),
+            ju(result, "failures")
+        );
+        for c in candidates.iter().take(5) {
+            let plan = c.get("plan");
+            println!(
+                "  {:>10} cycles  RP={:<6} CP={:<8} barriers={}",
+                ju(c, "cycles"),
+                plan.map_or(0, |p| ju(p, "row_panel_size")),
+                plan.map_or(0, |p| ju(p, "col_panel_size")),
+                plan.and_then(|p| p.get("barriers"))
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false)
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `client trace`: run (or cache-serve) a traced job on the daemon and
+/// write the Chrome-trace JSON locally — byte-identical to what
+/// `spade-cli trace` produces for the same job. Trace responses are one
+/// long line, so the read limit is raised well past the default.
+fn client_trace(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["json", "barriers", "no-cache"])?;
+    let json = parse_format(&args)?;
+    let mut fields: Vec<(&str, JsonValue)> = vec![("cmd", "trace".into())];
+    fields.extend(wire_job_fields(&args, "trace")?);
+    if let Some(v) = args.get("window") {
+        fields.push(("window", parse_flag_u64("window", v)?.into()));
+    }
+    let (addr, mut client) = client_connect(&args, 256 << 20)?;
+    let (response, doc) =
+        client_roundtrip(&mut client, &addr, &JsonValue::object(fields).render())?;
+    if json {
+        println!("{response}");
+        return Ok(());
+    }
+    let result = doc.get("result").ok_or("trace response has no result")?;
+    let trace = result.get("trace").ok_or("trace response has no trace")?;
+    let out_path = match args.get("out") {
+        Some(p) => p.to_string(),
+        None => format!(
+            "{}-{}.trace.json",
+            result
+                .get("benchmark")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("remote"),
+            result
+                .get("kernel")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("spmm")
+                .to_lowercase()
+        ),
+    };
+    // Re-rendering the parsed value reproduces the daemon's exact bytes:
+    // the codec's render∘parse fixpoint is pinned by the json fuzz suite.
+    std::fs::write(&out_path, trace.render()).map_err(|e| format!("{out_path}: {e}"))?;
+    let report = result.get("report");
+    let cached = if doc.get("cached").and_then(JsonValue::as_bool) == Some(true) {
+        "cached"
+    } else {
+        "fresh"
+    };
+    println!(
+        "wrote {out_path}: {} events over {} cycles ({cached}, load in ui.perfetto.dev)",
+        ju(result, "events"),
+        report.map_or(0, |r| ju(r, "cycles"))
+    );
+    Ok(())
 }
 
 /// `bench-perf`: measures simulator host throughput under the event-driven

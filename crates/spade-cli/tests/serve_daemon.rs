@@ -55,7 +55,7 @@ impl Daemon {
             .expect("banner has serving address")
             .parse()
             .expect("banner address parses");
-        assert_eq!(doc.get("protocol").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(doc.get("protocol").and_then(JsonValue::as_u64), Some(2));
         Daemon {
             child,
             addr,
@@ -208,5 +208,158 @@ fn sigterm_drains_flushes_and_exits_zero() {
             .and_then(JsonValue::as_u64),
         Some(1)
     );
+    // The machine-readable summary embeds the final metrics snapshot,
+    // with the run counted.
+    let snap = spade_bench::metrics::MetricsSnapshot::from_json(
+        doc.get("metrics").expect("summary has metrics"),
+    )
+    .expect("summary metrics decode");
+    assert_eq!(
+        snap.counter("spade_requests_total", &[("cmd", "run"), ("outcome", "ok")]),
+        Some(1)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs the built `spade-cli` with `args`, returning success + stdout.
+fn cli(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_spade-cli"))
+        .args(args)
+        .output()
+        .expect("run spade-cli");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// The typed `client` subcommands, end to end against a live daemon:
+/// run (json and text), status, a Prometheus scrape, a dataset query,
+/// and a wire-served trace byte-compared against the locally produced
+/// file.
+#[test]
+fn client_subcommands_drive_the_daemon_end_to_end() {
+    let dir = temp_dir("client");
+    let mut daemon = Daemon::start(&dir);
+    let addr = daemon.addr.to_string();
+
+    let (ok, out) = cli(&[
+        "client",
+        "run",
+        "--addr",
+        &addr,
+        "--benchmark",
+        "myc",
+        "--k",
+        "16",
+        "--pes",
+        "4",
+        "--scale",
+        "tiny",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "client run failed: {out}");
+    let doc = parse(out.trim());
+    assert_eq!(doc.get("cached").and_then(JsonValue::as_bool), Some(false));
+    let key = doc
+        .get("key")
+        .and_then(JsonValue::as_str)
+        .expect("run key")
+        .to_string();
+
+    let (ok, out) = cli(&[
+        "client",
+        "run",
+        "--addr",
+        &addr,
+        "--benchmark",
+        "myc",
+        "--k",
+        "16",
+        "--pes",
+        "4",
+        "--scale",
+        "tiny",
+    ]);
+    assert!(ok, "client run (text) failed: {out}");
+    assert!(out.contains("cycles") && out.contains("cached"), "{out}");
+
+    let (ok, out) = cli(&["client", "status", "--addr", &addr]);
+    assert!(ok, "client status failed: {out}");
+    assert!(out.contains("served") && out.contains("cache"), "{out}");
+
+    let (ok, out) = cli(&["client", "metrics", "--addr", &addr, "--prom"]);
+    assert!(ok, "client metrics failed: {out}");
+    assert!(
+        out.contains("spade_requests_total{cmd=\"run\",outcome=\"ok\"} 2"),
+        "scrape missing run counter:\n{out}"
+    );
+    assert!(out.contains("spade_cache_hits_total 1"), "{out}");
+
+    let (ok, out) = cli(&[
+        "client", "query", "--addr", &addr, "--kind", "run", "--format", "json",
+    ]);
+    assert!(ok, "client query failed: {out}");
+    let entries = parse(out.trim());
+    let entries = entries
+        .get("result")
+        .and_then(|r| r.get("entries"))
+        .and_then(JsonValue::as_array)
+        .expect("query entries");
+    assert_eq!(entries.len(), 1);
+    assert_eq!(
+        entries[0].get("key").and_then(JsonValue::as_str),
+        Some(key.as_str())
+    );
+
+    // Wire-served trace vs the locally written file: byte-identical.
+    let remote = dir.join("remote.trace.json");
+    let local = dir.join("local.trace.json");
+    let (ok, out) = cli(&[
+        "client",
+        "trace",
+        "--addr",
+        &addr,
+        "--benchmark",
+        "myc",
+        "--k",
+        "16",
+        "--pes",
+        "4",
+        "--scale",
+        "tiny",
+        "--window",
+        "64",
+        "--out",
+        remote.to_str().unwrap(),
+    ]);
+    assert!(ok, "client trace failed: {out}");
+    let (ok, out) = cli(&[
+        "trace",
+        "myc",
+        "--scale",
+        "tiny",
+        "--k",
+        "16",
+        "--pes",
+        "4",
+        "--window",
+        "64",
+        "--out",
+        local.to_str().unwrap(),
+    ]);
+    assert!(ok, "local trace failed: {out}");
+    let remote_bytes = std::fs::read(&remote).expect("remote trace file");
+    let local_bytes = std::fs::read(&local).expect("local trace file");
+    assert!(
+        remote_bytes == local_bytes,
+        "wire-served trace differs from the local file"
+    );
+
+    let (ok, out) = cli(&["client", "shutdown", "--addr", &addr]);
+    assert!(ok, "client shutdown failed: {out}");
+    let status = daemon.child.wait().expect("wait for daemon");
+    assert!(status.success(), "drain after client shutdown must exit 0");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -67,6 +67,23 @@ case "$WARM" in *'"cached":true'*) ;; *) fail "warm run not cached: $WARM" ;; es
 # Everything after "result": must match byte for byte.
 [ "${COLD#*\"result\":}" = "${WARM#*\"result\":}" ] || fail "cache hit diverged from fresh run"
 
+echo "== metrics scrape (request and cache counters must be live)"
+METRICS_OUT=${METRICS_OUT:-/tmp/spade_serve_metrics.json}
+"$CLI" client metrics --addr "$ADDR" --format json >"$METRICS_OUT" \
+  || fail "metrics request failed"
+# After the cold+warm pair: two ok run requests, one cache hit.
+PROM=$("$CLI" client metrics --addr "$ADDR" --prom) || fail "prom render failed"
+echo "$PROM" | grep -q 'spade_requests_total{cmd="run",outcome="ok"} 2' \
+  || fail "run counter not at 2 after warm pass: $(echo "$PROM" | grep requests_total)"
+echo "$PROM" | grep -q 'spade_cache_hits_total 1' \
+  || fail "cache hit counter not at 1 after warm pass: $(echo "$PROM" | grep cache)"
+echo "   snapshot written to $METRICS_OUT"
+
+echo "== dataset query (catalog must list the cached run)"
+QUERY=$("$CLI" client query --addr "$ADDR" --benchmark myc --kind run --format json) \
+  || fail "query request failed"
+case "$QUERY" in *'"matched":1'*) ;; *) fail "query did not find the cached run: $QUERY" ;; esac
+
 echo "== malformed frame (daemon answers, stays up, client exits 1)"
 if BAD=$(client 'this is not json'); then
   fail "malformed frame did not fail the client: $BAD"
@@ -93,6 +110,7 @@ fi
 DAEMON_PID=""
 SUMMARY=$(tail -n1 "$LOG")
 case "$SUMMARY" in *'"served_ok"'*) ;; *) fail "no summary line: $SUMMARY" ;; esac
+case "$SUMMARY" in *'"metrics"'*) ;; *) fail "summary has no metrics snapshot: $SUMMARY" ;; esac
 [ -f "$CACHE_DIR/index.json" ] || fail "index.json was not flushed on drain"
 
 rm -rf "$CACHE_DIR"
