@@ -550,9 +550,14 @@ fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
 // ---------------------------------------------------------------------------
 
 /// Request kinds the daemon counts, in protocol order.
-pub const REQUEST_KINDS: [&str; 8] = [
-    "ping", "status", "metrics", "query", "run", "search", "trace", "shutdown",
+pub const REQUEST_KINDS: [&str; 9] = [
+    "ping", "status", "metrics", "query", "run", "search", "trace", "batch", "shutdown",
 ];
+
+/// Per-job outcomes inside a `batch` request: served fresh, served from
+/// the cache, rejected with back-pressure, or failed (bad spec,
+/// deadline, simulation error).
+pub const BATCH_JOB_OUTCOMES: [&str; 4] = ["ok", "cached", "rejected", "error"];
 
 /// Wall-time bucket bounds in microseconds: 100 µs to one minute,
 /// roughly ×5 per step — wide enough for a cache hit and a full-scale
@@ -582,6 +587,10 @@ pub struct ServiceMetrics {
     registry: MetricsRegistry,
     /// `(ok, error)` counter per [`REQUEST_KINDS`] entry.
     requests: Vec<(Arc<Counter>, Arc<Counter>)>,
+    /// One counter per [`BATCH_JOB_OUTCOMES`] entry — a batch counts
+    /// once in `spade_requests_total{cmd="batch"}` and once per job
+    /// here.
+    batch_jobs: Vec<Arc<Counter>>,
     /// Requests rejected with `overloaded` back-pressure.
     pub rejected_overload: Arc<Counter>,
     /// Frames that failed to parse as a request.
@@ -624,6 +633,16 @@ impl ServiceMetrics {
                         "Requests handled, by command and outcome.",
                         &[("cmd", kind), ("outcome", "error")],
                     ),
+                )
+            })
+            .collect();
+        let batch_jobs = BATCH_JOB_OUTCOMES
+            .iter()
+            .map(|outcome| {
+                r.counter(
+                    "spade_batch_jobs_total",
+                    "Jobs carried by batch requests, by per-job outcome.",
+                    &[("outcome", outcome)],
                 )
             })
             .collect();
@@ -698,6 +717,7 @@ impl ServiceMetrics {
         ServiceMetrics {
             registry: r,
             requests,
+            batch_jobs,
             rejected_overload,
             bad_frames,
             deadline_kills,
@@ -725,6 +745,15 @@ impl ServiceMetrics {
             } else {
                 err_c.inc()
             }
+        }
+    }
+
+    /// Counts one job carried by a `batch` request, by its per-job
+    /// outcome (`ok`/`cached`/`rejected`/`error`). Unknown outcomes are
+    /// ignored; the caller only emits members of [`BATCH_JOB_OUTCOMES`].
+    pub fn count_batch_job(&self, outcome: &str) {
+        if let Some(i) = BATCH_JOB_OUTCOMES.iter().position(|o| *o == outcome) {
+            self.batch_jobs[i].inc();
         }
     }
 

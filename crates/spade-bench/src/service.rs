@@ -64,6 +64,24 @@
 //!   stream the Chrome-trace JSON back in the result, byte-identical
 //!   to what `spade-cli trace` writes locally.
 //!
+//! Protocol v3 adds sweep fan-out and server-side aggregation:
+//!
+//! * `batch` — one request carrying many `run`-shaped jobs (an explicit
+//!   `jobs` array, or a `sweep` cross-product template over benchmarks ×
+//!   kernels × k × pes × plans). Jobs fan out through the same bounded
+//!   admission queue; each job probes the cache individually, fails
+//!   individually, and — when the queue fills mid-batch — is rejected
+//!   individually with `overloaded` + `retry_after_ms` while the jobs
+//!   that fit keep running. The reply lists per-job payloads in job
+//!   order, each byte-identical to the equivalent standalone `run`.
+//! * `query` grows `group_by` (`benchmark`/`kernel`/`pes`): the daemon
+//!   folds the filtered catalog into per-group min/max/mean cycles and
+//!   a best-plan projection, so "best plan per matrix" is one request.
+//! * `retry_after_ms` is no longer a constant: the hint scales with
+//!   queue occupancy and the observed queue-wait histogram (see
+//!   [`scaled_retry_after_ms`]), so a saturated daemon tells clients to
+//!   back off longer.
+//!
 //! # Observability is pure
 //!
 //! Metrics are relaxed atomics, log spans (`SPADE_LOG=json`) go to
@@ -94,9 +112,10 @@ use crate::parallel::{self, Job, JobOutput, ParallelRunner};
 use crate::suite::Workload;
 
 /// Wire-protocol version, reported by `ping` and `status`. Version 2
-/// added the `metrics`, `query` and `trace` requests; v1 requests are a
-/// strict subset, so v1 clients keep working unchanged.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// added the `metrics`, `query` and `trace` requests; version 3 adds
+/// `batch` and the `query` `group_by` aggregations. Earlier requests
+/// are a strict subset, so v1/v2 clients keep working unchanged.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Default cap on entries a single `query` response returns. Keeps a
 /// response line comfortably under the default client frame limit even
@@ -110,6 +129,44 @@ const MAX_REQUEST_PES: usize = 1024;
 
 /// Upper bound on `k` accepted from the wire (dense operand columns).
 const MAX_REQUEST_K: usize = 4096;
+
+/// Upper bound on jobs one `batch` request may carry (explicit list or
+/// expanded sweep template). Bounds the per-connection reply buffer the
+/// way `queue_capacity` bounds admitted work.
+pub const MAX_BATCH_JOBS: usize = 256;
+
+/// Stores between debounced `index.json` flushes. Under sustained load
+/// the catalog is persisted every this-many stores; when the admission
+/// queue drains the pending stores are flushed immediately, so
+/// sequential traffic is persisted as it lands and a SIGKILL loses at
+/// most the last `INDEX_FLUSH_EVERY - 1` rows of the *advisory* index
+/// (the entries themselves are already durable).
+const INDEX_FLUSH_EVERY: u64 = 8;
+
+/// Ceiling on the load-scaled `retry_after_ms` hint.
+pub const MAX_RETRY_AFTER_MS: u64 = 60_000;
+
+/// The back-pressure hint, scaled from load: `base` (the configured
+/// [`ServiceConfig::retry_after_ms`]) when the queue is empty, growing
+/// linearly to `5 * base` at full occupancy, plus the mean observed
+/// queue wait — a saturated daemon whose jobs wait seconds tells
+/// clients to come back in seconds, not in the idle-tuned constant.
+/// Monotone in both `queue_depth` and `mean_queue_wait_us`; capped at
+/// [`MAX_RETRY_AFTER_MS`].
+#[must_use]
+pub fn scaled_retry_after_ms(
+    base: u64,
+    queue_depth: usize,
+    queue_capacity: usize,
+    mean_queue_wait_us: u64,
+) -> u64 {
+    let cap = queue_capacity.max(1) as u64;
+    let depth = (queue_depth as u64).min(cap);
+    let occupancy_scaled = base.saturating_add(base.saturating_mul(4).saturating_mul(depth) / cap);
+    occupancy_scaled
+        .saturating_add(mean_queue_wait_us / 1_000)
+        .min(MAX_RETRY_AFTER_MS)
+}
 
 /// How the daemon is shaped: queue depth, worker count, deadlines,
 /// cache location. `Default` is sized for an interactive host.
@@ -131,7 +188,9 @@ pub struct ServiceConfig {
     pub read_timeout: Duration,
     /// Per-frame byte cap (a line longer than this fails the request).
     pub max_frame_bytes: usize,
-    /// `retry_after_ms` hint carried by `overloaded` rejections.
+    /// Base `retry_after_ms` hint carried by `overloaded` rejections —
+    /// the wire value scales up with queue occupancy and observed queue
+    /// wait (see [`scaled_retry_after_ms`]); this is the idle floor.
     pub retry_after_ms: u64,
     /// Result-cache directory; `None` disables persistence.
     pub cache_dir: Option<PathBuf>,
@@ -230,12 +289,28 @@ struct Inner {
     /// threading one identity through its log span from admission to
     /// reply.
     next_rid: AtomicU64,
+    /// Stores committed since the last `index.json` flush — the
+    /// debounce counter behind [`maybe_flush_index`].
+    index_dirty: AtomicU64,
     started: Instant,
 }
 
 impl Inner {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || termination_signal_received()
+    }
+
+    /// The current `retry_after_ms` hint: the configured base scaled by
+    /// queue occupancy and the mean observed queue wait.
+    fn retry_after_hint(&self) -> u64 {
+        let wait = &self.metrics.queue_wait_us;
+        let mean_wait_us = wait.sum().checked_div(wait.count()).unwrap_or(0);
+        scaled_retry_after_ms(
+            self.config.retry_after_ms,
+            self.queue_depth.load(Ordering::Relaxed),
+            self.config.queue_capacity,
+            mean_wait_us,
+        )
     }
 }
 
@@ -340,6 +415,7 @@ impl Service {
                 bad_frames: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
                 next_rid: AtomicU64::new(0),
+                index_dirty: AtomicU64::new(0),
                 started: Instant::now(),
             }),
         })
@@ -444,7 +520,7 @@ fn refuse_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
         None,
         "overloaded",
         "connection limit reached",
-        Some(inner.config.retry_after_ms),
+        Some(inner.retry_after_hint()),
     );
     let _ = stream.write_all(resp.as_bytes());
     let _ = stream.write_all(b"\n");
@@ -552,6 +628,7 @@ fn process_frame(
         Request::Metrics => "metrics",
         Request::Shutdown => "shutdown",
         Request::Work { cmd, .. } => cmd,
+        Request::Batch { .. } => "batch",
     };
     log_event(inner, rid, "request", &[("cmd", cmd_name.into())]);
     let (response, ok) = match parsed {
@@ -596,6 +673,7 @@ fn process_frame(
             kind,
             cache_key,
         } => work_response(inner, work_tx, rid, id.as_ref(), cmd, kind, cache_key),
+        Request::Batch { jobs } => batch_response(inner, work_tx, rid, id.as_ref(), jobs),
     };
     inner.metrics.count_request(cmd_name, ok);
     log_event(
@@ -660,7 +738,7 @@ fn work_response(
                         "admission queue is full ({} slots)",
                         inner.config.queue_capacity
                     ),
-                    Some(inner.config.retry_after_ms),
+                    Some(inner.retry_after_hint()),
                 ),
                 false,
             )
@@ -705,6 +783,213 @@ fn work_response(
             }
         }
     }
+}
+
+/// One rendered per-job object inside a batch reply: success, with the
+/// result bytes spliced verbatim like [`ok_envelope`] — a batch job's
+/// payload is byte-identical to the standalone request's.
+fn batch_job_ok(index: usize, cached: bool, key: Option<&str>, result: &str) -> String {
+    let mut s = String::with_capacity(result.len() + 96);
+    s.push_str("{\"index\":");
+    s.push_str(&index.to_string());
+    s.push_str(",\"ok\":true,\"cached\":");
+    s.push_str(if cached { "true" } else { "false" });
+    if let Some(key) = key {
+        s.push_str(",\"key\":\"");
+        s.push_str(key);
+        s.push('"');
+    }
+    s.push_str(",\"result\":");
+    s.push_str(result);
+    s.push('}');
+    s
+}
+
+/// One rendered per-job failure inside a batch reply, mirroring the
+/// standalone error envelope's `error` object.
+fn batch_job_error(index: usize, kind: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut fields = vec![
+        ("index", JsonValue::from(index)),
+        ("ok", false.into()),
+        (
+            "error",
+            JsonValue::object([("kind", kind.into()), ("message", message.into())]),
+        ),
+    ];
+    if let Some(ms) = retry_after_ms {
+        fields.push(("retry_after_ms", ms.into()));
+    }
+    JsonValue::object(fields).render()
+}
+
+/// A batch slot between admission and collection.
+enum BatchSlot {
+    /// Answered on the connection thread (cache hit, rejection, or a
+    /// malformed job spec).
+    Done {
+        rendered: String,
+        outcome: &'static str,
+    },
+    /// Admitted; the worker's reply arrives on `rx`.
+    Pending {
+        rx: Receiver<Result<String, (String, String)>>,
+        cache_key: Option<String>,
+    },
+}
+
+/// Answers one `batch` request: every job probes the cache on the
+/// connection thread, misses are enqueued one by one through the same
+/// bounded admission queue as standalone requests, and replies are
+/// collected in job order. Admission is per job — when the queue fills
+/// mid-batch the jobs that fit keep running and the rest are rejected
+/// with `overloaded` + the load-scaled retry hint; a failing job
+/// (deadline, simulation error, malformed spec) fails only its slot.
+/// The batch envelope itself is `ok:true` whenever the request parsed;
+/// per-job outcomes and the summary counts tell the rest.
+fn batch_response(
+    inner: &Arc<Inner>,
+    work_tx: &SyncSender<WorkItem>,
+    rid: u64,
+    id: Option<&JsonValue>,
+    jobs: Vec<Result<RunSpec, String>>,
+) -> (String, bool) {
+    let total = jobs.len();
+    log_event(inner, rid, "batch", &[("jobs", total.into())]);
+    let mut slots = Vec::with_capacity(total);
+    for (index, spec) in jobs.into_iter().enumerate() {
+        let spec = match spec {
+            Ok(spec) => spec,
+            Err(message) => {
+                slots.push(BatchSlot::Done {
+                    rendered: batch_job_error(index, "bad_request", &message, None),
+                    outcome: "error",
+                });
+                continue;
+            }
+        };
+        if let (Some(cache), Some(key)) = (inner.cache.as_ref(), spec.cache_key.as_deref()) {
+            if let Some(payload) = cache.get(key) {
+                if let Ok(result) = String::from_utf8(payload) {
+                    inner.served_ok.fetch_add(1, Ordering::Relaxed);
+                    log_event(
+                        inner,
+                        rid,
+                        "batch_cache_hit",
+                        &[("index", index.into()), ("key", key.into())],
+                    );
+                    slots.push(BatchSlot::Done {
+                        rendered: batch_job_ok(index, true, Some(key), &result),
+                        outcome: "cached",
+                    });
+                    continue;
+                }
+            }
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let (kind, cache_key) = spec.into_work();
+        let item = WorkItem {
+            rid,
+            cmd: "batch",
+            kind,
+            store_key: cache_key.clone(),
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        // Same ordering rule as `work_response`: count the slot before
+        // try_send so a racing worker can't underflow the depth.
+        let depth = inner.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match work_tx.try_send(item) {
+            Err(TrySendError::Full(_)) => {
+                inner.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                inner.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                slots.push(BatchSlot::Done {
+                    rendered: batch_job_error(
+                        index,
+                        "overloaded",
+                        &format!(
+                            "admission queue is full ({} slots)",
+                            inner.config.queue_capacity
+                        ),
+                        Some(inner.retry_after_hint()),
+                    ),
+                    outcome: "rejected",
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                inner.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                slots.push(BatchSlot::Done {
+                    rendered: batch_job_error(index, "shutting_down", "daemon is draining", None),
+                    outcome: "error",
+                });
+            }
+            Ok(()) => {
+                log_event(
+                    inner,
+                    rid,
+                    "batch_enqueue",
+                    &[("index", index.into()), ("depth", depth.into())],
+                );
+                slots.push(BatchSlot::Pending {
+                    rx: reply_rx,
+                    cache_key,
+                });
+            }
+        }
+    }
+    let (mut succeeded, mut cached, mut failed, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+    let mut rendered_jobs = Vec::with_capacity(total);
+    for (index, slot) in slots.into_iter().enumerate() {
+        let (rendered, outcome) = match slot {
+            BatchSlot::Done { rendered, outcome } => (rendered, outcome),
+            BatchSlot::Pending { rx, cache_key } => match rx.recv() {
+                Ok(Ok(result)) => {
+                    inner.served_ok.fetch_add(1, Ordering::Relaxed);
+                    (
+                        batch_job_ok(index, false, cache_key.as_deref(), &result),
+                        "ok",
+                    )
+                }
+                Ok(Err((kind, message))) => {
+                    inner.served_err.fetch_add(1, Ordering::Relaxed);
+                    if kind == "deadline_exceeded" {
+                        inner.metrics.deadline_kills.inc();
+                    }
+                    (batch_job_error(index, &kind, &message, None), "error")
+                }
+                Err(_) => {
+                    inner.served_err.fetch_add(1, Ordering::Relaxed);
+                    (
+                        batch_job_error(index, "internal", "worker dropped the job", None),
+                        "error",
+                    )
+                }
+            },
+        };
+        inner.metrics.count_batch_job(outcome);
+        match outcome {
+            "ok" => succeeded += 1,
+            "cached" => {
+                succeeded += 1;
+                cached += 1;
+            }
+            "rejected" => rejected += 1,
+            _ => failed += 1,
+        }
+        rendered_jobs.push(rendered);
+    }
+    let mut s = String::with_capacity(rendered_jobs.iter().map(String::len).sum::<usize>() + 192);
+    s.push_str("{\"ok\":true,\"cmd\":\"batch\"");
+    if let Some(id) = id {
+        s.push_str(",\"id\":");
+        s.push_str(&id.render());
+    }
+    s.push_str(&format!(
+        ",\"result\":{{\"total\":{total},\"succeeded\":{succeeded},\"cached\":{cached},\
+         \"failed\":{failed},\"rejected\":{rejected},\"jobs\":["
+    ));
+    s.push_str(&rendered_jobs.join(","));
+    s.push_str("]}}");
+    (s, true)
 }
 
 fn respond(writer: &mut TcpStream, line: &str) -> bool {
@@ -834,6 +1119,13 @@ enum Request {
         kind: WorkKind,
         cache_key: Option<String>,
     },
+    /// A sweep: many `run`-shaped jobs answered in one reply. Each slot
+    /// is either a parsed job or the `bad_request` message that job spec
+    /// earned — a malformed job fails only its own slot, in keeping with
+    /// the per-job containment contract.
+    Batch {
+        jobs: Vec<Result<RunSpec, String>>,
+    },
 }
 
 /// Parses one frame into a request, applying the same validation the CLI
@@ -864,6 +1156,7 @@ fn parse_request(
         "search" => parse_search(&doc, default_deadline)?,
         "query" => parse_query(&doc)?,
         "trace" => parse_trace(&doc, default_deadline)?,
+        "batch" => parse_batch(&doc, default_deadline)?,
         other => return Err(format!("unknown cmd {other:?}")),
     };
     Ok((id, req))
@@ -992,7 +1285,43 @@ fn parse_wire_plan(doc: &JsonValue, a: &spade_matrix::Coo) -> Result<ExecutionPl
     Ok(plan)
 }
 
-fn parse_run(doc: &JsonValue, default_deadline: Option<Cycle>) -> Result<Request, String> {
+/// One parsed `run`-shaped job: the standalone `run` request and every
+/// `batch` slot go through exactly this, so a batch job's cache key,
+/// deadline resolution and rendered payload are byte-for-byte those of
+/// the equivalent individual request.
+struct RunSpec {
+    job: Box<Job>,
+    benchmark: String,
+    kernel: Primitive,
+    k: usize,
+    pes: usize,
+    cache_key: Option<String>,
+}
+
+impl RunSpec {
+    fn into_work(self) -> (WorkKind, Option<String>) {
+        (
+            WorkKind::Run {
+                job: self.job,
+                benchmark: self.benchmark,
+                kernel: self.kernel,
+                k: self.k,
+                pes: self.pes,
+            },
+            self.cache_key,
+        )
+    }
+}
+
+/// Parses one `run`-shaped document. `workloads` memoizes prepared
+/// workloads across the jobs of a batch — a sweep over pes × plans
+/// re-uses one matrix preparation per (benchmark, scale, k) instead of
+/// preparing it per job; a standalone `run` passes an empty map.
+fn parse_run_spec(
+    doc: &JsonValue,
+    default_deadline: Option<Cycle>,
+    workloads: &mut BTreeMap<String, Arc<Workload>>,
+) -> Result<RunSpec, String> {
     let bench = parse_wire_benchmark(doc)?;
     let scale = parse_wire_scale(doc)?;
     let k = parse_wire_k(doc)?;
@@ -1000,7 +1329,11 @@ fn parse_run(doc: &JsonValue, default_deadline: Option<Cycle>) -> Result<Request
     let kernel = parse_wire_kernel(doc)?;
     let deadline = parse_wire_deadline(doc, default_deadline)?;
     let no_cache = field_bool(doc, "no_cache", false)?;
-    let workload = Arc::new(Workload::prepare(bench, scale, k));
+    let workload = Arc::clone(
+        workloads
+            .entry(format!("{}/{:?}/{k}", bench.short_name(), scale))
+            .or_insert_with(|| Arc::new(Workload::prepare(bench, scale, k))),
+    );
     let plan = parse_wire_plan(doc, &workload.a)?;
     let config = Arc::new(SystemConfig::scaled(pes));
     // The deadline is resolved at admission (per-request field or the
@@ -1008,17 +1341,140 @@ fn parse_run(doc: &JsonValue, default_deadline: Option<Cycle>) -> Result<Request
     // cache key — before the cache probe.
     let job = Job::new(&workload, &config, kernel, plan).with_deadline_cycles(deadline);
     let cache_key = (!no_cache).then(|| job.cache_key());
+    Ok(RunSpec {
+        job: Box::new(job),
+        benchmark: bench.short_name().to_string(),
+        kernel,
+        k,
+        pes,
+        cache_key,
+    })
+}
+
+fn parse_run(doc: &JsonValue, default_deadline: Option<Cycle>) -> Result<Request, String> {
+    let spec = parse_run_spec(doc, default_deadline, &mut BTreeMap::new())?;
+    let cache_key = spec.cache_key.clone();
+    let (kind, _) = spec.into_work();
     Ok(Request::Work {
         cmd: "run",
         cache_key,
-        kind: WorkKind::Run {
-            job: Box::new(job),
-            benchmark: bench.short_name().to_string(),
-            kernel,
-            k,
-            pes,
-        },
+        kind,
     })
+}
+
+/// Fields a batch request may set once for every job (anything but the
+/// envelope and the job list itself): per-job fields win, batch-level
+/// fields fill the gaps.
+fn merged_job_doc(job: &JsonValue, batch: &JsonValue) -> Result<JsonValue, String> {
+    let JsonValue::Object(job_fields) = job else {
+        return Err("each batch job must be an object".into());
+    };
+    let mut fields = job_fields.clone();
+    if let JsonValue::Object(batch_fields) = batch {
+        for (key, value) in batch_fields {
+            if matches!(key.as_str(), "cmd" | "id" | "jobs" | "sweep") {
+                continue;
+            }
+            if job.get(key).is_none() {
+                fields.push((key.clone(), value.clone()));
+            }
+        }
+    }
+    Ok(JsonValue::Object(fields))
+}
+
+fn sweep_list<'a>(sweep: &'a JsonValue, key: &str) -> Result<Option<&'a [JsonValue]>, String> {
+    match sweep.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or(format!("sweep \"{key}\" must be an array"))?;
+            if items.is_empty() {
+                return Err(format!("sweep \"{key}\" must not be empty"));
+            }
+            Ok(Some(items))
+        }
+    }
+}
+
+/// Expands a `sweep` template into per-job documents: the cross product
+/// benchmarks × kernels × k × pes × plans, in exactly that nesting
+/// order — the job order of the reply is a deterministic function of
+/// the request.
+fn expand_sweep(sweep: &JsonValue) -> Result<Vec<JsonValue>, String> {
+    let benchmarks =
+        sweep_list(sweep, "benchmarks")?.ok_or("sweep requires a \"benchmarks\" array")?;
+    let default_kernels = [JsonValue::from("spmm")];
+    let kernels = sweep_list(sweep, "kernels")?.unwrap_or(&default_kernels);
+    let default_ks = [JsonValue::from(32u64)];
+    let ks = sweep_list(sweep, "k")?.unwrap_or(&default_ks);
+    let default_pes = [JsonValue::from(56u64)];
+    let pes_list = sweep_list(sweep, "pes")?.unwrap_or(&default_pes);
+    let default_plans = [JsonValue::object::<&str>([])];
+    let plans = sweep_list(sweep, "plans")?.unwrap_or(&default_plans);
+    let mut docs = Vec::new();
+    for bench in benchmarks {
+        for kernel in kernels {
+            for k in ks {
+                for pes in pes_list {
+                    for plan in plans {
+                        let JsonValue::Object(plan_fields) = plan else {
+                            return Err("each sweep plan must be an object".into());
+                        };
+                        let mut fields: Vec<(String, JsonValue)> = vec![
+                            ("benchmark".into(), bench.clone()),
+                            ("kernel".into(), kernel.clone()),
+                            ("k".into(), k.clone()),
+                            ("pes".into(), pes.clone()),
+                        ];
+                        fields.extend(plan_fields.iter().cloned());
+                        docs.push(JsonValue::Object(fields));
+                    }
+                }
+            }
+        }
+    }
+    Ok(docs)
+}
+
+/// Parses a `batch` request: an explicit `jobs` array or a `sweep`
+/// template (exactly one of the two), every other top-level field acting
+/// as a per-job default. Structural problems (no jobs, both forms, over
+/// the cap) reject the request; a single malformed job spec only poisons
+/// its own slot.
+fn parse_batch(doc: &JsonValue, default_deadline: Option<Cycle>) -> Result<Request, String> {
+    let job_docs = match (doc.get("jobs"), doc.get("sweep")) {
+        (Some(_), Some(_)) => {
+            return Err("\"jobs\" and \"sweep\" are mutually exclusive".into());
+        }
+        (None, None) => {
+            return Err("batch requires a \"jobs\" array or a \"sweep\" template".into());
+        }
+        (Some(jobs), None) => {
+            let items = jobs.as_array().ok_or("\"jobs\" must be an array")?;
+            if items.is_empty() {
+                return Err("\"jobs\" must not be empty".into());
+            }
+            items.to_vec()
+        }
+        (None, Some(sweep)) => expand_sweep(sweep)?,
+    };
+    if job_docs.len() > MAX_BATCH_JOBS {
+        return Err(format!(
+            "batch of {} jobs exceeds the service limit {MAX_BATCH_JOBS}",
+            job_docs.len()
+        ));
+    }
+    let mut workloads = BTreeMap::new();
+    let jobs = job_docs
+        .iter()
+        .map(|job| {
+            merged_job_doc(job, doc)
+                .and_then(|merged| parse_run_spec(&merged, default_deadline, &mut workloads))
+        })
+        .collect();
+    Ok(Request::Batch { jobs })
 }
 
 fn parse_search(doc: &JsonValue, default_deadline: Option<Cycle>) -> Result<Request, String> {
@@ -1110,6 +1566,34 @@ fn parse_trace(doc: &JsonValue, default_deadline: Option<Cycle>) -> Result<Reque
     })
 }
 
+/// The catalog dimension a `query` aggregation groups on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupKey {
+    /// Per matrix (the wire accepts `"benchmark"` or `"matrix"`).
+    Benchmark,
+    Kernel,
+    Pes,
+}
+
+impl GroupKey {
+    /// The group label for one catalog row.
+    fn of(self, m: &EntryMeta) -> String {
+        match self {
+            GroupKey::Benchmark => m.benchmark.clone(),
+            GroupKey::Kernel => m.kernel.clone(),
+            GroupKey::Pes => m.pes.to_string(),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            GroupKey::Benchmark => "benchmark",
+            GroupKey::Kernel => "kernel",
+            GroupKey::Pes => "pes",
+        }
+    }
+}
+
 /// Filters a `query` request applies to the dataset catalog. Every
 /// field is optional; an empty filter matches everything.
 #[derive(Debug, Clone)]
@@ -1122,6 +1606,9 @@ struct QueryFilter {
     min_cycles: Option<u64>,
     max_cycles: Option<u64>,
     limit: usize,
+    /// `Some`: aggregate the matches into per-group projections instead
+    /// of listing them (`limit` then caps the group list).
+    group_by: Option<GroupKey>,
 }
 
 impl QueryFilter {
@@ -1153,7 +1640,27 @@ fn parse_query(doc: &JsonValue) -> Result<Request, String> {
         k @ ("run" | "search" | "trace") => Some(k.to_string()),
         other => return Err(format!("unknown entry kind {other:?}")),
     };
-    let limit = field_u64(doc, "limit")?.unwrap_or(DEFAULT_QUERY_LIMIT as u64) as usize;
+    // An explicit zero used to silently return no rows — ambiguous
+    // enough (is it "no limit"?) that it is now rejected outright.
+    // DESIGN.md §7.1 documents the choice.
+    let limit = match field_u64(doc, "limit")? {
+        Some(0) => {
+            return Err(format!(
+                "\"limit\": 0 would return no rows; omit the field for the default ({DEFAULT_QUERY_LIMIT}) or give a positive cap"
+            ));
+        }
+        Some(n) => n as usize,
+        None => DEFAULT_QUERY_LIMIT,
+    };
+    let group_by = match field_str(doc, "group_by", "")? {
+        "" => None,
+        "benchmark" | "matrix" => Some(GroupKey::Benchmark),
+        "kernel" => Some(GroupKey::Kernel),
+        "pes" => Some(GroupKey::Pes),
+        other => {
+            return Err(format!("unknown group_by {other:?} (benchmark|kernel|pes)"));
+        }
+    };
     Ok(Request::Work {
         cmd: "query",
         cache_key: None,
@@ -1167,6 +1674,7 @@ fn parse_query(doc: &JsonValue) -> Result<Request, String> {
                 min_cycles: field_u64(doc, "min_cycles")?,
                 max_cycles: field_u64(doc, "max_cycles")?,
                 limit,
+                group_by,
             },
         },
     })
@@ -1223,12 +1731,44 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Arc<Mutex<Receiver<WorkItem>>>) {
                 if let Some(dataset) = &inner.dataset {
                     dataset.insert_payload(key, result);
                 }
+                inner.index_dirty.fetch_add(1, Ordering::Relaxed);
+                maybe_flush_index(inner);
             }
         }
         // The handler may have given up (connection died); a dead
         // receiver just drops the result.
         let _ = item.reply.send(outcome);
         inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Debounced `index.json` flush, called by workers after each committed
+/// store. The index used to be written only on graceful drain, so a
+/// SIGKILL'd daemon restarted with a permanently stale index and every
+/// cold `query` re-decoded entry payloads. Now the catalog is persisted
+/// during normal operation: immediately when the admission queue is
+/// empty (sequential traffic — a result is on disk in the index before
+/// its reply is sent), and every [`INDEX_FLUSH_EVERY`] stores under
+/// sustained load. The write itself is the cache's atomic
+/// temp-file+rename, so a crash mid-flush leaves the previous index.
+fn maybe_flush_index(inner: &Arc<Inner>) {
+    let (Some(cache), Some(dataset)) = (&inner.cache, &inner.dataset) else {
+        return;
+    };
+    let dirty = inner.index_dirty.load(Ordering::Relaxed);
+    if dirty == 0 {
+        return;
+    }
+    if dirty < INDEX_FLUSH_EVERY && inner.queue_depth.load(Ordering::Relaxed) > 0 {
+        return; // debounce: more work is queued, batch the stores up
+    }
+    if inner.index_dirty.swap(0, Ordering::Relaxed) == 0 {
+        return; // another worker won the flush race
+    }
+    if let Err(e) = cache.flush_index_with(Some(dataset.to_json())) {
+        // A failed flush costs index freshness, not correctness: the
+        // entries are durable and the catalog rebuilds from them.
+        eprintln!("spade-serve: cache index flush failed: {e}");
     }
 }
 
@@ -1592,7 +2132,8 @@ impl DatasetIndex {
     /// Answers one query: `{"total","matched","returned","entries"}`
     /// with matches sorted by (benchmark, kernel, cycles, key) — a
     /// deterministic order, so "best plan per matrix" is the first
-    /// entry per benchmark group.
+    /// entry per benchmark group. With `group_by`, the matches are
+    /// folded server-side instead (see [`DatasetIndex::aggregate`]).
     fn query(&self, filter: &QueryFilter) -> JsonValue {
         let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         let mut matched: Vec<&EntryMeta> = entries.values().filter(|m| filter.matches(m)).collect();
@@ -1604,6 +2145,9 @@ impl DatasetIndex {
                 &b.key,
             ))
         });
+        if let Some(group_by) = filter.group_by {
+            return Self::aggregate(entries.len(), &matched, group_by, filter.limit);
+        }
         let shown: Vec<JsonValue> = matched
             .iter()
             .take(filter.limit)
@@ -1614,6 +2158,54 @@ impl DatasetIndex {
             ("matched", matched.len().into()),
             ("returned", shown.len().into()),
             ("entries", JsonValue::Array(shown)),
+        ])
+    }
+
+    /// Folds the (already filtered and sorted) matches into per-group
+    /// projections: count, min/max/mean cycles, and the best entry —
+    /// fewest cycles, key as the deterministic tie-break — whose plan is
+    /// the group's best-plan answer. Groups come back sorted by label;
+    /// `limit` caps how many are rendered.
+    fn aggregate(
+        total: usize,
+        matched: &[&EntryMeta],
+        group_by: GroupKey,
+        limit: usize,
+    ) -> JsonValue {
+        let mut groups: BTreeMap<String, Vec<&EntryMeta>> = BTreeMap::new();
+        for m in matched {
+            groups.entry(group_by.of(m)).or_default().push(m);
+        }
+        let group_count = groups.len();
+        let shown: Vec<JsonValue> = groups
+            .into_iter()
+            .take(limit)
+            .map(|(label, members)| {
+                let count = members.len() as u64;
+                let min = members.iter().map(|m| m.cycles).min().unwrap_or(0);
+                let max = members.iter().map(|m| m.cycles).max().unwrap_or(0);
+                let sum: u64 = members.iter().map(|m| m.cycles).sum();
+                let best = members
+                    .iter()
+                    .min_by(|a, b| (a.cycles, &a.key).cmp(&(b.cycles, &b.key)))
+                    .expect("groups are never empty");
+                JsonValue::object([
+                    ("group", label.as_str().into()),
+                    ("count", count.into()),
+                    ("min_cycles", min.into()),
+                    ("max_cycles", max.into()),
+                    ("mean_cycles", (sum as f64 / count as f64).into()),
+                    ("best", best.to_json()),
+                ])
+            })
+            .collect();
+        JsonValue::object([
+            ("total", total.into()),
+            ("matched", matched.len().into()),
+            ("group_by", group_by.name().into()),
+            ("groups_matched", group_count.into()),
+            ("returned", shown.len().into()),
+            ("groups", JsonValue::Array(shown)),
         ])
     }
 

@@ -22,6 +22,12 @@ fn exposition() -> String {
     m.count_request("run", false);
     m.count_request("query", true);
     m.count_request("trace", true);
+    m.count_request("batch", true);
+    m.count_batch_job("ok");
+    m.count_batch_job("ok");
+    m.count_batch_job("cached");
+    m.count_batch_job("rejected");
+    m.count_batch_job("error");
     m.rejected_overload.add(2);
     m.bad_frames.inc();
     m.deadline_kills.inc();

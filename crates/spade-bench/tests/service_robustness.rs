@@ -321,7 +321,7 @@ fn status_and_ping_report_live_state() {
     let (addr, handle) = spawn_service(test_config(None));
     let mut client = ServiceClient::connect(&addr).expect("connect");
     let ping = parse(&client.request_line("{\"cmd\":\"ping\"}").expect("ping"));
-    assert_eq!(ping.get("protocol").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(ping.get("protocol").and_then(JsonValue::as_u64), Some(3));
     let status = parse(&client.request_line("{\"cmd\":\"status\"}").expect("status"));
     for field in [
         "uptime_ms",
@@ -425,7 +425,7 @@ fn metrics_scrape_reflects_requests_and_cache_traffic() {
             .expect("metrics"),
     );
     assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
-    assert_eq!(resp.get("protocol").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(resp.get("protocol").and_then(JsonValue::as_u64), Some(3));
     let snap = spade_bench::metrics::MetricsSnapshot::from_json(
         resp.get("result").expect("metrics result"),
     )
@@ -696,4 +696,633 @@ fn observability_never_changes_served_bytes() {
         );
     }
     let _ = std::fs::remove_dir_all(&base);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v3: batch sweeps, server-side aggregation, and the bugfix
+// sweep (index freshness, load-scaled back-pressure, limit: 0)
+// ---------------------------------------------------------------------------
+
+use spade_bench::service::{scaled_retry_after_ms, MAX_RETRY_AFTER_MS};
+
+/// The raw bytes of the first `"result":` object at or after `from` —
+/// brace-matched and string-aware, so byte-identity assertions compare
+/// the spliced payload itself, not a parse/re-render of it.
+fn raw_result_slice(raw: &str, from: usize) -> &str {
+    let rel = raw[from..].find("\"result\":").expect("result field") + "\"result\":".len();
+    let start = from + rel;
+    let bytes = raw.as_bytes();
+    assert_eq!(bytes[start], b'{', "result payload must be an object");
+    let (mut depth, mut in_str, mut escaped) = (0usize, false, false);
+    for (i, &b) in bytes[start..].iter().enumerate() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &raw[start..=start + i];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated result object in {raw:?}");
+}
+
+fn jobs_of(doc: &JsonValue) -> Vec<JsonValue> {
+    doc.get("result")
+        .and_then(|r| r.get("jobs"))
+        .and_then(JsonValue::as_array)
+        .expect("batch jobs array")
+        .to_vec()
+}
+
+fn batch_count(doc: &JsonValue, field: &str) -> u64 {
+    doc.get("result")
+        .and_then(|r| r.get(field))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("batch count {field} in {}", doc.render()))
+}
+
+/// Batch tests that expect every job admitted need headroom beyond the
+/// deliberately tiny default queue: phase-1 admission never waits, so a
+/// queue shallower than the batch races the workers' dequeue timing.
+fn batch_config(cache_dir: Option<&Path>) -> ServiceConfig {
+    ServiceConfig {
+        queue_capacity: 8,
+        ..test_config(cache_dir)
+    }
+}
+
+const BATCH_3: &str = concat!(
+    r#"{"cmd":"batch","scale":"tiny","jobs":["#,
+    r#"{"benchmark":"myc","k":16,"pes":4},"#,
+    r#"{"benchmark":"kro","k":16,"pes":4},"#,
+    r#"{"benchmark":"myc","k":16,"pes":8}]}"#
+);
+
+const SOLO_3: [&str; 3] = [
+    r#"{"cmd":"run","benchmark":"myc","k":16,"pes":4,"scale":"tiny"}"#,
+    r#"{"cmd":"run","benchmark":"kro","k":16,"pes":4,"scale":"tiny"}"#,
+    r#"{"cmd":"run","benchmark":"myc","k":16,"pes":8,"scale":"tiny"}"#,
+];
+
+#[test]
+fn batch_jobs_are_byte_identical_to_individual_requests() {
+    // Two fresh daemons over separate caches: one serves the jobs
+    // individually, the other as a single batch. The per-job payload
+    // bytes must match — cold (simulated) and warm (cache-served).
+    let solo_dir = std::env::temp_dir().join(format!("spade_svc_b_solo_{}", std::process::id()));
+    let batch_dir = std::env::temp_dir().join(format!("spade_svc_b_batch_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let _ = std::fs::remove_dir_all(&batch_dir);
+
+    let (addr, handle) = spawn_service(test_config(Some(&solo_dir)));
+    let mut client = ServiceClient::connect(&addr).expect("connect solo");
+    let mut solo_payloads = Vec::new();
+    for req in SOLO_3 {
+        let raw = client.request_line(req).expect("solo run");
+        let doc = parse(&raw);
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+        solo_payloads.push(raw_result_slice(&raw, 0).to_string());
+    }
+    shutdown_and_join(&addr, handle);
+
+    let (addr, handle) = spawn_service(batch_config(Some(&batch_dir)));
+    let mut client = ServiceClient::connect(&addr).expect("connect batch");
+    let cold = client.request_line(BATCH_3).expect("cold batch");
+    let cold_doc = parse(&cold);
+    assert_eq!(cold_doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(batch_count(&cold_doc, "total"), 3);
+    assert_eq!(batch_count(&cold_doc, "succeeded"), 3);
+    assert_eq!(batch_count(&cold_doc, "cached"), 0);
+    assert_eq!(batch_count(&cold_doc, "failed"), 0);
+    assert_eq!(batch_count(&cold_doc, "rejected"), 0);
+    for (i, job) in jobs_of(&cold_doc).iter().enumerate() {
+        assert_eq!(job.get("index").and_then(JsonValue::as_u64), Some(i as u64));
+        assert_eq!(job.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(job.get("cached").and_then(JsonValue::as_bool), Some(false));
+        assert!(job.get("key").and_then(JsonValue::as_str).is_some());
+    }
+    // The headline acceptance property: each batch slot splices exactly
+    // the bytes the standalone request served.
+    for (i, solo) in solo_payloads.iter().enumerate() {
+        let at = cold
+            .find(&format!("{{\"index\":{i},"))
+            .expect("job slot marker");
+        assert!(
+            raw_result_slice(&cold, at) == solo,
+            "cold batch job {i} payload differs from the standalone reply"
+        );
+    }
+
+    // Warm repeat: every slot is a cache hit with the same bytes.
+    let warm = client.request_line(BATCH_3).expect("warm batch");
+    let warm_doc = parse(&warm);
+    assert_eq!(batch_count(&warm_doc, "succeeded"), 3);
+    assert_eq!(batch_count(&warm_doc, "cached"), 3);
+    for (i, job) in jobs_of(&warm_doc).iter().enumerate() {
+        assert_eq!(job.get("cached").and_then(JsonValue::as_bool), Some(true));
+        let at = warm
+            .find(&format!("{{\"index\":{i},"))
+            .expect("warm job slot");
+        assert!(
+            raw_result_slice(&warm, at) == solo_payloads[i],
+            "warm batch job {i} payload drifted"
+        );
+    }
+
+    // And the cross-check: standalone requests on the batch daemon are
+    // warm hits serving the very same bytes.
+    for (req, solo) in SOLO_3.iter().zip(&solo_payloads) {
+        let raw = client.request_line(req).expect("solo on batch daemon");
+        let doc = parse(&raw);
+        assert_eq!(doc.get("cached").and_then(JsonValue::as_bool), Some(true));
+        assert!(raw_result_slice(&raw, 0) == solo.as_str());
+    }
+
+    let summary = shutdown_and_join(&addr, handle);
+    // Per-job work units: 3 cold + 3 warm batch + 3 warm standalone.
+    assert_eq!(summary.served_ok, 9);
+    let batch_jobs = |outcome: &str| {
+        summary
+            .metrics
+            .counter("spade_batch_jobs_total", &[("outcome", outcome)])
+    };
+    assert_eq!(batch_jobs("ok"), Some(3));
+    assert_eq!(batch_jobs("cached"), Some(3));
+    assert_eq!(batch_jobs("rejected"), Some(0));
+    assert_eq!(batch_jobs("error"), Some(0));
+    assert_eq!(
+        summary.metrics.counter(
+            "spade_requests_total",
+            &[("cmd", "batch"), ("outcome", "ok")]
+        ),
+        Some(2)
+    );
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let _ = std::fs::remove_dir_all(&batch_dir);
+}
+
+#[test]
+fn batch_sweep_expands_the_cross_product_in_order() {
+    let (addr, handle) = spawn_service(batch_config(None));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let resp = parse(
+        &client
+            .request_line(
+                r#"{"cmd":"batch","scale":"tiny","sweep":{"benchmarks":["myc","kro"],"k":[16],"pes":[4,8]}}"#,
+            )
+            .expect("sweep batch"),
+    );
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(batch_count(&resp, "total"), 4);
+    assert_eq!(batch_count(&resp, "succeeded"), 4);
+    // benchmarks × k × pes, benchmark-major: the reply order is a
+    // deterministic function of the request.
+    let expect = [("myc", 4), ("myc", 8), ("kro", 4), ("kro", 8)];
+    for (i, job) in jobs_of(&resp).iter().enumerate() {
+        let result = job.get("result").expect("job result");
+        let bench = result
+            .get("benchmark")
+            .and_then(JsonValue::as_str)
+            .expect("benchmark");
+        assert!(
+            bench.eq_ignore_ascii_case(expect[i].0),
+            "job {i}: {bench} != {}",
+            expect[i].0
+        );
+        assert_eq!(
+            result.get("pes").and_then(JsonValue::as_u64),
+            Some(expect[i].1),
+            "job {i}"
+        );
+    }
+    let summary = shutdown_and_join(&addr, handle);
+    assert_eq!(summary.served_ok, 4);
+}
+
+#[test]
+fn batch_structural_errors_reject_while_bad_jobs_poison_only_their_slot() {
+    let (addr, handle) = spawn_service(batch_config(None));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    // Structural problems reject the whole request as bad_request.
+    for frame in [
+        r#"{"cmd":"batch"}"#,
+        r#"{"cmd":"batch","jobs":[{"benchmark":"myc"}],"sweep":{"benchmarks":["myc"]}}"#,
+        r#"{"cmd":"batch","jobs":[]}"#,
+        r#"{"cmd":"batch","jobs":"myc"}"#,
+        r#"{"cmd":"batch","sweep":{"benchmarks":[]}}"#,
+        r#"{"cmd":"batch","sweep":{"k":[16]}}"#,
+    ] {
+        let resp = parse(&client.request_line(frame).expect("reply"));
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("bad_request"),
+            "frame {frame:?} got {}",
+            resp.render()
+        );
+    }
+    // A malformed job spec poisons exactly its own slot.
+    let resp = parse(
+        &client
+            .request_line(concat!(
+                r#"{"cmd":"batch","scale":"tiny","jobs":["#,
+                r#"{"benchmark":"myc","k":16,"pes":4},"#,
+                r#"{"benchmark":"nope"},"#,
+                r#"{"benchmark":"kro","k":16,"pes":4}]}"#
+            ))
+            .expect("poisoned batch"),
+    );
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(batch_count(&resp, "succeeded"), 2);
+    assert_eq!(batch_count(&resp, "failed"), 1);
+    let jobs = jobs_of(&resp);
+    assert_eq!(jobs[0].get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(jobs[2].get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        jobs[1]
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str),
+        Some("bad_request")
+    );
+    let summary = shutdown_and_join(&addr, handle);
+    assert_eq!((summary.served_ok, summary.served_err), (2, 0));
+}
+
+#[test]
+fn batch_deadline_poisoned_job_fails_alone() {
+    let (addr, handle) = spawn_service(batch_config(None));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let resp = parse(
+        &client
+            .request_line(concat!(
+                r#"{"cmd":"batch","scale":"tiny","jobs":["#,
+                r#"{"benchmark":"myc","k":16,"pes":4},"#,
+                r#"{"benchmark":"myc","k":16,"pes":4,"deadline_cycles":50},"#,
+                r#"{"benchmark":"kro","k":16,"pes":4}]}"#
+            ))
+            .expect("batch with poisoned middle job"),
+    );
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(batch_count(&resp, "succeeded"), 2);
+    assert_eq!(batch_count(&resp, "failed"), 1);
+    let jobs = jobs_of(&resp);
+    assert_eq!(jobs[0].get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(jobs[2].get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        jobs[1]
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str),
+        Some("deadline_exceeded"),
+        "got {}",
+        jobs[1].render()
+    );
+    let summary = shutdown_and_join(&addr, handle);
+    assert_eq!((summary.served_ok, summary.served_err), (2, 1));
+    assert_eq!(
+        summary
+            .metrics
+            .counter("spade_batch_jobs_total", &[("outcome", "error")]),
+        Some(1)
+    );
+    assert_eq!(
+        summary.metrics.counter("spade_deadline_kills_total", &[]),
+        Some(1)
+    );
+}
+
+#[test]
+fn mid_batch_overload_admits_what_fits() {
+    let config = ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        worker_delay: Some(Duration::from_secs(3)),
+        ..test_config(None)
+    };
+    let base_retry = config.retry_after_ms;
+    let (addr, handle) = spawn_service(config);
+
+    // Occupy the single worker; the batch below then fills the single
+    // queue slot with its first job and gets per-job rejections for the
+    // rest — admission is per job, never all-or-nothing.
+    let slow = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(&addr).expect("connect slow");
+        c.request_line(r#"{"cmd":"run","benchmark":"myc","k":16,"pes":4,"no_cache":true}"#)
+            .expect("slow run")
+    });
+    std::thread::sleep(Duration::from_millis(600));
+
+    let mut client = ServiceClient::connect(&addr).expect("connect batch");
+    let resp = parse(
+        &client
+            .request_line(concat!(
+                r#"{"cmd":"batch","scale":"tiny","no_cache":true,"jobs":["#,
+                r#"{"benchmark":"kro","k":16,"pes":4},"#,
+                r#"{"benchmark":"myc","k":16,"pes":8},"#,
+                r#"{"benchmark":"kro","k":16,"pes":8}]}"#
+            ))
+            .expect("overloaded batch"),
+    );
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(batch_count(&resp, "total"), 3);
+    assert_eq!(batch_count(&resp, "succeeded"), 1);
+    assert_eq!(batch_count(&resp, "rejected"), 2);
+    assert_eq!(batch_count(&resp, "failed"), 0);
+    let jobs = jobs_of(&resp);
+    assert_eq!(jobs[0].get("ok").and_then(JsonValue::as_bool), Some(true));
+    for (i, job) in jobs.iter().enumerate().skip(1) {
+        assert_eq!(
+            job.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("overloaded"),
+            "job {i} got {}",
+            job.render()
+        );
+        // The satellite fix: the retry hint is scaled from live load,
+        // not the static base — at full occupancy it is strictly larger.
+        let hint = job
+            .get("retry_after_ms")
+            .and_then(JsonValue::as_u64)
+            .expect("rejected slots carry a retry hint");
+        assert!(
+            hint >= 5 * base_retry,
+            "hint {hint} not scaled up from base {base_retry} at full occupancy"
+        );
+        assert!(hint <= MAX_RETRY_AFTER_MS);
+    }
+
+    let slow = parse(&slow.join().expect("slow thread"));
+    assert_eq!(slow.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let summary = shutdown_and_join(&addr, handle);
+    assert_eq!(summary.rejected_overload, 2);
+    assert_eq!(summary.served_ok, 2);
+}
+
+#[test]
+fn retry_hint_scales_monotonically_with_load() {
+    let base = 100;
+    // Idle floor: an empty queue and no recorded waits keep the base.
+    assert_eq!(scaled_retry_after_ms(base, 0, 8, 0), base);
+    // Monotone in occupancy, up to 5x base at a full queue.
+    let mut last = 0;
+    for depth in 0..=8 {
+        let hint = scaled_retry_after_ms(base, depth, 8, 0);
+        assert!(hint >= last, "hint regressed at depth {depth}");
+        last = hint;
+    }
+    assert_eq!(scaled_retry_after_ms(base, 8, 8, 0), 5 * base);
+    // Depth beyond capacity clamps instead of exploding.
+    assert_eq!(scaled_retry_after_ms(base, 1000, 8, 0), 5 * base);
+    // Monotone in the observed mean queue wait (microseconds → ms).
+    assert_eq!(
+        scaled_retry_after_ms(base, 4, 8, 250_000),
+        scaled_retry_after_ms(base, 4, 8, 0) + 250
+    );
+    // And capped: a pathological backlog never asks for more than the
+    // ceiling.
+    assert_eq!(
+        scaled_retry_after_ms(base, 8, 8, u64::MAX),
+        MAX_RETRY_AFTER_MS
+    );
+}
+
+#[test]
+fn group_by_aggregates_match_a_client_side_fold() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_agg_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    for req in SOLO_3 {
+        let doc = parse(&client.request_line(req).expect("seed run"));
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+    }
+    // A fourth run so the kro group also has two members.
+    let doc = parse(
+        &client
+            .request_line(r#"{"cmd":"run","benchmark":"kro","k":16,"pes":8,"scale":"tiny"}"#)
+            .expect("seed run"),
+    );
+    assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+    // The reference: a client-side fold over the plain query rows.
+    let rows = parse(&client.request_line(r#"{"cmd":"query"}"#).expect("query"));
+    let rows = rows
+        .get("result")
+        .and_then(|r| r.get("entries"))
+        .and_then(JsonValue::as_array)
+        .expect("entries")
+        .to_vec();
+    assert_eq!(rows.len(), 4);
+    let mut fold: std::collections::BTreeMap<String, Vec<&JsonValue>> =
+        std::collections::BTreeMap::new();
+    for row in &rows {
+        let bench = row
+            .get("benchmark")
+            .and_then(JsonValue::as_str)
+            .expect("benchmark")
+            .to_string();
+        fold.entry(bench).or_default().push(row);
+    }
+
+    let agg = parse(
+        &client
+            .request_line(r#"{"cmd":"query","group_by":"benchmark"}"#)
+            .expect("agg"),
+    );
+    assert_eq!(agg.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let result = agg.get("result").expect("agg result");
+    assert_eq!(
+        result.get("group_by").and_then(JsonValue::as_str),
+        Some("benchmark")
+    );
+    assert_eq!(
+        result.get("groups_matched").and_then(JsonValue::as_u64),
+        Some(fold.len() as u64)
+    );
+    let groups = result
+        .get("groups")
+        .and_then(JsonValue::as_array)
+        .expect("groups");
+    assert_eq!(groups.len(), fold.len());
+    for group in groups {
+        let label = group
+            .get("group")
+            .and_then(JsonValue::as_str)
+            .expect("label");
+        let members = &fold[label];
+        let cycles: Vec<u64> = members
+            .iter()
+            .map(|m| m.get("cycles").and_then(JsonValue::as_u64).unwrap())
+            .collect();
+        assert_eq!(
+            group.get("count").and_then(JsonValue::as_u64),
+            Some(cycles.len() as u64)
+        );
+        assert_eq!(
+            group.get("min_cycles").and_then(JsonValue::as_u64),
+            cycles.iter().min().copied()
+        );
+        assert_eq!(
+            group.get("max_cycles").and_then(JsonValue::as_u64),
+            cycles.iter().max().copied()
+        );
+        let mean = cycles.iter().sum::<u64>() as f64 / cycles.len() as f64;
+        assert_eq!(
+            group.get("mean_cycles").and_then(JsonValue::as_f64),
+            Some(mean)
+        );
+        // Best: fewest cycles, key as tie-break — identical to the fold.
+        let best = members
+            .iter()
+            .min_by_key(|m| {
+                (
+                    m.get("cycles").and_then(JsonValue::as_u64).unwrap(),
+                    m.get("key")
+                        .and_then(JsonValue::as_str)
+                        .unwrap()
+                        .to_string(),
+                )
+            })
+            .unwrap();
+        assert_eq!(
+            group.get("best").expect("best").render(),
+            best.render(),
+            "best entry for {label}"
+        );
+    }
+
+    // `matrix` is an accepted alias, pes grouping has two labels, and an
+    // unknown key is a bad request.
+    let alias = parse(
+        &client
+            .request_line(r#"{"cmd":"query","group_by":"matrix"}"#)
+            .expect("alias agg"),
+    );
+    assert_eq!(
+        alias
+            .get("result")
+            .and_then(|r| r.get("group_by"))
+            .and_then(JsonValue::as_str),
+        Some("benchmark")
+    );
+    let by_pes = parse(
+        &client
+            .request_line(r#"{"cmd":"query","group_by":"pes"}"#)
+            .expect("pes agg"),
+    );
+    assert_eq!(
+        by_pes
+            .get("result")
+            .and_then(|r| r.get("groups_matched"))
+            .and_then(JsonValue::as_u64),
+        Some(2)
+    );
+    let bad = parse(
+        &client
+            .request_line(r#"{"cmd":"query","group_by":"plan"}"#)
+            .expect("bad agg"),
+    );
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str),
+        Some("bad_request")
+    );
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_limit_zero_is_rejected_not_silently_empty() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_limit0_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let resp = parse(
+        &client
+            .request_line(r#"{"cmd":"query","limit":0}"#)
+            .expect("limit 0"),
+    );
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert_eq!(
+        resp.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str),
+        Some("bad_request")
+    );
+    assert!(
+        resp.get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(JsonValue::as_str)
+            .is_some_and(|m| m.contains("limit")),
+        "message should name the offending field: {}",
+        resp.render()
+    );
+    // An explicit positive limit still works.
+    let ok = parse(
+        &client
+            .request_line(r#"{"cmd":"query","limit":5}"#)
+            .expect("limit 5"),
+    );
+    assert_eq!(ok.get("ok").and_then(JsonValue::as_bool), Some(true));
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn index_flushes_during_normal_operation_not_only_at_drain() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_flush_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_service(test_config(Some(&dir)));
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let mut keys = Vec::new();
+    for req in &SOLO_3[..2] {
+        let doc = parse(&client.request_line(req).expect("run"));
+        keys.push(
+            doc.get("key")
+                .and_then(JsonValue::as_str)
+                .expect("key")
+                .to_string(),
+        );
+    }
+    // The satellite fix: with an idle queue every store flushes the
+    // index before the reply is sent, so the on-disk catalog is already
+    // current — no drain needed. (A SIGKILL now loses nothing; the
+    // process-level test lives in spade-cli's serve_daemon suite.)
+    let text = std::fs::read_to_string(dir.join("index.json"))
+        .expect("index.json must exist while the daemon is still running");
+    let index = JsonValue::parse(&text).expect("parse index");
+    let listed: Vec<&str> = index
+        .get("dataset")
+        .and_then(JsonValue::as_array)
+        .expect("dataset rows")
+        .iter()
+        .filter_map(|e| e.get("key").and_then(JsonValue::as_str))
+        .collect();
+    for key in &keys {
+        assert!(
+            listed.contains(&key.as_str()),
+            "store {key} missing from the live index {listed:?}"
+        );
+    }
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
 }

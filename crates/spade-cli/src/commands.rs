@@ -48,6 +48,15 @@ pub const USAGE: &str = "usage:
                    [--kernel spmm|sddmm] [--kind run|search|trace] [--k N]
                    [--pes N] [--min-cycles N] [--max-cycles N] [--limit N]
                    [--format json|text]
+  spade-cli client batch --addr <host:port> --benchmarks a,b,c
+                   [--kernels spmm,sddmm] [--k 32,128] [--pes 56,112]
+                   [--rp N] [--cp N|all] [--rmatrix cache|bypass|victim]
+                   [--barriers] [--scale ...] [--deadline-cycles N]
+                   [--no-cache] [--format json|text]
+  spade-cli client agg --addr <host:port> --group-by benchmark|kernel|pes
+                   [query filters as above] [--format json|text]
+  spade-cli client best-plans --addr <host:port> [query filters as above]
+                   [--format json|text]
   spade-cli bench-perf [--scale tiny|small|default|large] [--k 32] [--pes 56]
                    [--mem-ops 200000] [--gate-speedup X] [--gate-mem-speedup X]
                    [--shards 4] [--gate-shard-speedup X] [--out BENCH_sim.json]
@@ -687,8 +696,8 @@ fn serve(argv: &[String]) -> Result<(), String> {
 ///
 /// Two modes share one wire protocol: raw (`--request '<json>'` sends
 /// the line verbatim) and typed subcommands (`ping`, `status`,
-/// `metrics`, `query`, `run`, `search`, `trace`, `shutdown`) that build
-/// the request from flags. Every subcommand honours `--format
+/// `metrics`, `query`, `batch`, `agg`, `best-plans`, `run`, `search`,
+/// `trace`, `shutdown`) that build the request from flags. Every subcommand honours `--format
 /// json|text`: `json` prints the daemon's response line untouched,
 /// `text` a human rendering. A protocol-level failure prints the raw
 /// response and exits non-zero either way.
@@ -704,6 +713,9 @@ fn client(argv: &[String]) -> Result<(), String> {
         Some("status") => client_status(rest),
         Some("metrics") => client_metrics(rest),
         Some("query") => client_query(rest),
+        Some("batch") => client_batch(rest),
+        Some("agg") => client_agg(rest, None),
+        Some("best-plans") => client_agg(rest, Some("benchmark")),
         Some("run") => client_job(rest, "run"),
         Some("search") => client_job(rest, "search"),
         Some("trace") => client_trace(rest),
@@ -758,13 +770,16 @@ fn parse_flag_u64(name: &str, v: &str) -> Result<u64, String> {
         .map_err(|_| format!("--{name}: cannot parse '{v}'"))
 }
 
-/// Legacy raw mode: `--request '<json>'` verbatim.
+/// Raw mode: `--request '<json>'`. The request is one JSON document on
+/// a newline-delimited wire, so embedded newlines (a multi-line shell
+/// string) are folded to spaces — insignificant between JSON tokens,
+/// fatal to the framing.
 fn client_raw(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     let request = args
         .get("request")
         .ok_or("--request is required")?
-        .to_string();
+        .replace(['\n', '\r'], " ");
     let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
     let (response, _doc) = client_roundtrip(&mut client, &addr, &request)?;
     println!("{response}");
@@ -961,6 +976,256 @@ fn client_query(argv: &[String]) -> Result<(), String> {
             ju(e, "dram_accesses"),
             plan,
             e.get("key").and_then(JsonValue::as_str).unwrap_or("?")
+        );
+    }
+    Ok(())
+}
+
+/// Splits a comma-separated flag value into non-empty items.
+fn comma_list(name: &str, v: &str) -> Result<Vec<String>, String> {
+    let items: Vec<String> = v
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if items.is_empty() {
+        return Err(format!("--{name}: expected a comma-separated list"));
+    }
+    Ok(items)
+}
+
+/// Same, with every item parsed as a number.
+fn comma_list_u64(name: &str, v: &str) -> Result<Vec<JsonValue>, String> {
+    comma_list(name, v)?
+        .iter()
+        .map(|item| parse_flag_u64(name, item).map(JsonValue::from))
+        .collect()
+}
+
+/// `client batch`: one request, a whole sweep. The comma-list flags
+/// form the server-side cross product (benchmarks × kernels × k × pes);
+/// the singular plan/scale/cache flags apply to every job. The daemon
+/// fans the jobs out through its admission queue and replies once, with
+/// per-job payloads in job order.
+fn client_batch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["json", "barriers", "no-cache"])?;
+    let json = parse_format(&args)?;
+    let mut sweep: Vec<(&str, JsonValue)> = Vec::new();
+    let benchmarks = comma_list(
+        "benchmarks",
+        args.get("benchmarks").ok_or("--benchmarks is required")?,
+    )?;
+    sweep.push((
+        "benchmarks",
+        JsonValue::Array(benchmarks.iter().map(|b| b.as_str().into()).collect()),
+    ));
+    if let Some(v) = args.get("kernels") {
+        sweep.push((
+            "kernels",
+            JsonValue::Array(
+                comma_list("kernels", v)?
+                    .iter()
+                    .map(|k| k.as_str().into())
+                    .collect(),
+            ),
+        ));
+    }
+    for (flag, key) in [("k", "k"), ("pes", "pes")] {
+        if let Some(v) = args.get(flag) {
+            sweep.push((key, JsonValue::Array(comma_list_u64(flag, v)?)));
+        }
+    }
+    let mut plan: Vec<(&str, JsonValue)> = Vec::new();
+    if let Some(v) = args.get("rp") {
+        plan.push(("rp", parse_flag_u64("rp", v)?.into()));
+    }
+    if let Some(v) = args.get("cp") {
+        if v == "all" {
+            plan.push(("cp", "all".into()));
+        } else {
+            plan.push(("cp", parse_flag_u64("cp", v)?.into()));
+        }
+    }
+    if let Some(v) = args.get("rmatrix") {
+        plan.push(("rmatrix", v.into()));
+    }
+    if args.has("barriers") {
+        plan.push(("barriers", true.into()));
+    }
+    if !plan.is_empty() {
+        sweep.push(("plans", JsonValue::Array(vec![JsonValue::object(plan)])));
+    }
+    let mut fields: Vec<(&str, JsonValue)> =
+        vec![("cmd", "batch".into()), ("sweep", JsonValue::object(sweep))];
+    if let Some(v) = args.get("scale") {
+        fields.push(("scale", v.into()));
+    }
+    if let Some(v) = args.get("deadline-cycles") {
+        fields.push((
+            "deadline_cycles",
+            parse_flag_u64("deadline-cycles", v)?.into(),
+        ));
+    }
+    if args.has("no-cache") {
+        fields.push(("no_cache", true.into()));
+    }
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let (response, doc) =
+        client_roundtrip(&mut client, &addr, &JsonValue::object(fields).render())?;
+    if json {
+        println!("{response}");
+        return Ok(());
+    }
+    let result = doc.get("result").ok_or("batch response has no result")?;
+    println!(
+        "batch: {} jobs — {} ok ({} cached), {} failed, {} rejected",
+        ju(result, "total"),
+        ju(result, "succeeded"),
+        ju(result, "cached"),
+        ju(result, "failed"),
+        ju(result, "rejected")
+    );
+    let jobs = result
+        .get("jobs")
+        .and_then(JsonValue::as_array)
+        .ok_or("batch response has no jobs")?;
+    for job in jobs {
+        let index = ju(job, "index");
+        if job.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+            let r = job.get("result").ok_or("batch job has no result")?;
+            let report = r.get("report").ok_or("batch job has no report")?;
+            let cached = if job.get("cached").and_then(JsonValue::as_bool) == Some(true) {
+                " (cached)"
+            } else {
+                ""
+            };
+            println!(
+                "  [{index}] {} {} k={} pes={}: {} cycles, {} DRAM accesses{cached}",
+                r.get("benchmark")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?"),
+                r.get("kernel").and_then(JsonValue::as_str).unwrap_or("?"),
+                ju(r, "k"),
+                ju(r, "pes"),
+                ju(report, "cycles"),
+                ju(report, "dram_accesses")
+            );
+        } else {
+            let error = job.get("error");
+            println!(
+                "  [{index}] error {}: {}",
+                error
+                    .and_then(|e| e.get("kind"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?"),
+                error
+                    .and_then(|e| e.get("message"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+            );
+        }
+    }
+    // Any failed or rejected job makes the whole invocation non-zero,
+    // after the per-job report above — scripts branch on the exit code.
+    if ju(result, "failed") + ju(result, "rejected") > 0 {
+        return Err(String::new());
+    }
+    Ok(())
+}
+
+/// `client agg` / `client best-plans`: server-side aggregation over the
+/// cache dataset. `agg` requires `--group-by benchmark|kernel|pes`;
+/// `best-plans` is the preset `--group-by benchmark --kind run`, the
+/// best-plan-per-matrix fold EXPERIMENTS.md used to script client-side.
+fn client_agg(argv: &[String], preset_group_by: Option<&str>) -> Result<(), String> {
+    let args = Args::parse(argv, &["json"])?;
+    let json = parse_format(&args)?;
+    let group_by = match (args.get("group-by"), preset_group_by) {
+        (Some(v), _) => v,
+        (None, Some(preset)) => preset,
+        (None, None) => return Err("--group-by is required (benchmark|kernel|pes)".into()),
+    };
+    let mut fields: Vec<(&str, JsonValue)> =
+        vec![("cmd", "query".into()), ("group_by", group_by.into())];
+    for key in ["benchmark", "kernel", "kind"] {
+        if let Some(v) = args.get(key) {
+            fields.push((key, v.into()));
+        }
+    }
+    if preset_group_by.is_some() && args.get("kind").is_none() {
+        fields.push(("kind", "run".into()));
+    }
+    for (flag, key) in [
+        ("k", "k"),
+        ("pes", "pes"),
+        ("min-cycles", "min_cycles"),
+        ("max-cycles", "max_cycles"),
+        ("limit", "limit"),
+    ] {
+        if let Some(v) = args.get(flag) {
+            fields.push((key, parse_flag_u64(flag, v)?.into()));
+        }
+    }
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let (response, doc) =
+        client_roundtrip(&mut client, &addr, &JsonValue::object(fields).render())?;
+    if json {
+        println!("{response}");
+        return Ok(());
+    }
+    let result = doc.get("result").ok_or("agg response has no result")?;
+    println!(
+        "group_by {}: {} groups over {} matched of {} cached entries",
+        result
+            .get("group_by")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?"),
+        ju(result, "returned"),
+        ju(result, "matched"),
+        ju(result, "total")
+    );
+    let groups = result
+        .get("groups")
+        .and_then(JsonValue::as_array)
+        .ok_or("agg response has no groups")?;
+    if groups.is_empty() {
+        return Ok(());
+    }
+    println!(
+        "{:<10} {:>5} {:>12} {:>12} {:>14}  {:<18} best key",
+        "group", "n", "min", "max", "mean", "best plan"
+    );
+    for g in groups {
+        let best = g.get("best");
+        let plan = match best.and_then(|b| b.get("plan")) {
+            None | Some(JsonValue::Null) => "-".to_string(),
+            Some(p) => format!(
+                "rp={} cp={}{}",
+                ju(p, "row_panel_size"),
+                ju(p, "col_panel_size"),
+                if p.get("barriers").and_then(JsonValue::as_bool) == Some(true) {
+                    " b"
+                } else {
+                    ""
+                }
+            ),
+        };
+        let mean = g
+            .get("mean_cycles")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        println!(
+            "{:<10} {:>5} {:>12} {:>12} {:>14.1}  {:<18} {}",
+            g.get("group").and_then(JsonValue::as_str).unwrap_or("?"),
+            ju(g, "count"),
+            ju(g, "min_cycles"),
+            ju(g, "max_cycles"),
+            mean,
+            plan,
+            best.and_then(|b| b.get("key"))
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?")
         );
     }
     Ok(())
@@ -1496,5 +1761,53 @@ mod tests {
         ]))
         .unwrap();
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn client_batch_requires_benchmarks() {
+        let err = dispatch(&argv(&["client", "batch", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--benchmarks"), "{err}");
+    }
+
+    #[test]
+    fn client_batch_rejects_bad_lists() {
+        // A list of separators is empty once trimmed.
+        let err = dispatch(&argv(&[
+            "client",
+            "batch",
+            "--addr",
+            "127.0.0.1:1",
+            "--benchmarks",
+            ", ,",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("comma-separated"), "{err}");
+        let err = dispatch(&argv(&[
+            "client",
+            "batch",
+            "--addr",
+            "127.0.0.1:1",
+            "--benchmarks",
+            "myc",
+            "--k",
+            "16,oops",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--k: cannot parse 'oops'"), "{err}");
+    }
+
+    #[test]
+    fn client_agg_requires_group_by() {
+        let err = dispatch(&argv(&["client", "agg", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--group-by"), "{err}");
+    }
+
+    #[test]
+    fn comma_lists_parse_and_trim() {
+        assert_eq!(
+            comma_list("benchmarks", "myc, kro ,pap").unwrap(),
+            vec!["myc".to_string(), "kro".to_string(), "pap".to_string()]
+        );
+        assert_eq!(comma_list_u64("k", "16,32").unwrap().len(), 2);
     }
 }

@@ -55,7 +55,7 @@ impl Daemon {
             .expect("banner has serving address")
             .parse()
             .expect("banner address parses");
-        assert_eq!(doc.get("protocol").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(doc.get("protocol").and_then(JsonValue::as_u64), Some(3));
         Daemon {
             child,
             addr,
@@ -169,6 +169,68 @@ fn sigkill_mid_write_then_restart_serves_identical_bytes() {
         assert_eq!(warm.get("cached").and_then(JsonValue::as_bool), Some(true));
         assert_eq!(warm.get("result").expect("result").render(), fresh_result);
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The stale-index bugfix, at the process level: the index used to be
+/// flushed only in the drain path, so SIGKILL — which never drains —
+/// left it permanently stale and every cold `query` rescanned entry
+/// payloads. Now each store flushes the index while the queue is idle,
+/// so a SIGKILL'd daemon leaves `index.json` current and the restart
+/// catalogs from it directly.
+#[test]
+fn sigkill_after_stores_leaves_a_fresh_index() {
+    let dir = temp_dir("kill9_index");
+    let mut keys = Vec::new();
+    {
+        let daemon = Daemon::start(&dir);
+        let mut client = daemon.client();
+        for req in [
+            RUN_MYC,
+            r#"{"cmd":"run","benchmark":"kro","k":16,"pes":4,"scale":"tiny"}"#,
+        ] {
+            let doc = parse(&client.request_line(req).expect("run"));
+            assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+            keys.push(
+                doc.get("key")
+                    .and_then(JsonValue::as_str)
+                    .expect("key")
+                    .to_string(),
+            );
+        }
+        daemon.signal("-KILL");
+        // Dropped here: no drain, no summary — death was immediate.
+    }
+
+    let index = std::fs::read_to_string(dir.join("index.json"))
+        .expect("index.json must exist after SIGKILL");
+    let index = parse(&index);
+    assert_eq!(index.get("entries").and_then(JsonValue::as_u64), Some(2));
+    let listed: Vec<&str> = index
+        .get("dataset")
+        .and_then(JsonValue::as_array)
+        .expect("dataset rows")
+        .iter()
+        .filter_map(|e| e.get("key").and_then(JsonValue::as_str))
+        .collect();
+    for key in &keys {
+        assert!(
+            listed.contains(&key.as_str()),
+            "store {key} missing from the post-SIGKILL index {listed:?}"
+        );
+    }
+
+    // The restart catalogs both entries straight from the fresh index.
+    let daemon = Daemon::start(&dir);
+    let mut client = daemon.client();
+    let rows = parse(&client.request_line(r#"{"cmd":"query"}"#).expect("query"));
+    assert_eq!(
+        rows.get("result")
+            .and_then(|r| r.get("matched"))
+            .and_then(JsonValue::as_u64),
+        Some(2)
+    );
+    drop(daemon);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -355,6 +417,72 @@ fn client_subcommands_drive_the_daemon_end_to_end() {
     assert!(
         remote_bytes == local_bytes,
         "wire-served trace differs from the local file"
+    );
+
+    // A batch sweep through the typed client: the myc job is already
+    // cached from the runs above, the kro job simulates fresh — one
+    // request, per-job outcomes.
+    let (ok, out) = cli(&[
+        "client",
+        "batch",
+        "--addr",
+        &addr,
+        "--benchmarks",
+        "myc,kro",
+        "--k",
+        "16",
+        "--pes",
+        "4",
+        "--scale",
+        "tiny",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "client batch failed: {out}");
+    let doc = parse(out.trim());
+    let result = doc.get("result").expect("batch result");
+    assert_eq!(result.get("total").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(result.get("succeeded").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(result.get("cached").and_then(JsonValue::as_u64), Some(1));
+    let jobs = result
+        .get("jobs")
+        .and_then(JsonValue::as_array)
+        .expect("batch jobs");
+    assert_eq!(
+        jobs[0].get("cached").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        jobs[1].get("cached").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+
+    // Server-side aggregation: best-plans is the per-benchmark fold.
+    let (ok, out) = cli(&["client", "best-plans", "--addr", &addr]);
+    assert!(ok, "client best-plans failed: {out}");
+    let lower = out.to_lowercase();
+    assert!(
+        lower.contains("group_by benchmark") && lower.contains("myc") && lower.contains("kro"),
+        "best-plans output incomplete:\n{out}"
+    );
+    let (ok, out) = cli(&[
+        "client",
+        "agg",
+        "--addr",
+        &addr,
+        "--group-by",
+        "pes",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "client agg failed: {out}");
+    let doc = parse(out.trim());
+    assert_eq!(
+        doc.get("result")
+            .and_then(|r| r.get("groups_matched"))
+            .and_then(JsonValue::as_u64),
+        Some(1),
+        "every seeded entry ran at 4 PEs"
     );
 
     let (ok, out) = cli(&["client", "shutdown", "--addr", &addr]);

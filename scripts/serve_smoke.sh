@@ -84,6 +84,25 @@ QUERY=$("$CLI" client query --addr "$ADDR" --benchmark myc --kind run --format j
   || fail "query request failed"
 case "$QUERY" in *'"matched":1'*) ;; *) fail "query did not find the cached run: $QUERY" ;; esac
 
+echo "== batch sweep (one request, per-job outcomes; myc is already warm)"
+BATCH=$("$CLI" client batch --addr "$ADDR" --benchmarks myc,pac \
+  --k 16 --pes 4 --scale tiny --format json) || fail "batch request failed"
+case "$BATCH" in *'"total":2'*) ;; *) fail "batch total != 2: $BATCH" ;; esac
+case "$BATCH" in *'"succeeded":2'*) ;; *) fail "batch jobs failed: $BATCH" ;; esac
+case "$BATCH" in *'"cached":1'*) ;; *) fail "warm myc job was not a cache hit: $BATCH" ;; esac
+PROM=$("$CLI" client metrics --addr "$ADDR" --prom) || fail "prom render failed"
+echo "$PROM" | grep -q 'spade_batch_jobs_total{outcome="ok"} 1' \
+  || fail "batch ok counter not at 1: $(echo "$PROM" | grep batch_jobs)"
+echo "$PROM" | grep -q 'spade_batch_jobs_total{outcome="cached"} 1' \
+  || fail "batch cached counter not at 1: $(echo "$PROM" | grep batch_jobs)"
+
+echo "== aggregation (server-side group-by over the cache dataset)"
+AGG=$("$CLI" client agg --addr "$ADDR" --group-by benchmark --kind run --format json) \
+  || fail "agg request failed"
+case "$AGG" in *'"groups_matched":2'*) ;; *) fail "agg groups != 2: $AGG" ;; esac
+case "$AGG" in *'"best":'*) ;; *) fail "agg groups carry no best entry: $AGG" ;; esac
+"$CLI" client best-plans --addr "$ADDR" >/dev/null || fail "best-plans failed"
+
 echo "== malformed frame (daemon answers, stays up, client exits 1)"
 if BAD=$(client 'this is not json'); then
   fail "malformed frame did not fail the client: $BAD"
