@@ -33,6 +33,7 @@
 pub mod cache;
 pub mod machines;
 pub mod metrics;
+pub mod model;
 pub mod parallel;
 pub mod perf;
 pub mod runner;

@@ -550,9 +550,19 @@ fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
 // ---------------------------------------------------------------------------
 
 /// Request kinds the daemon counts, in protocol order.
-pub const REQUEST_KINDS: [&str; 9] = [
-    "ping", "status", "metrics", "query", "run", "search", "trace", "batch", "shutdown",
+pub const REQUEST_KINDS: [&str; 10] = [
+    "ping", "status", "metrics", "query", "run", "search", "trace", "batch", "advise", "shutdown",
 ];
+
+/// The tiers an `advise` answer can come from (see
+/// `spade_core::advisor::AdviseSource`).
+pub const ADVISE_SOURCES: [&str; 3] = ["model", "heuristic", "exhaustive"];
+
+/// Advise-latency bucket bounds in microseconds: the whole point of the
+/// model tier is sub-millisecond selection, so the buckets resolve 50 µs
+/// to 25 ms (anything beyond is a regression worth seeing).
+pub const ADVISE_LATENCY_BUCKETS_US: [u64; 9] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000];
 
 /// Per-job outcomes inside a `batch` request: served fresh, served from
 /// the cache, rejected with back-pressure, or failed (bad spec,
@@ -613,6 +623,10 @@ pub struct ServiceMetrics {
     pub exec_us: Arc<Histogram>,
     /// Simulated cycles per completed simulation.
     pub sim_cycles: Arc<Histogram>,
+    /// One counter per [`ADVISE_SOURCES`] entry: which tier answered.
+    advise_total: Vec<Arc<Counter>>,
+    /// Advise selection latency, microseconds (no simulation included).
+    pub advise_latency_us: Arc<Histogram>,
 }
 
 impl ServiceMetrics {
@@ -714,6 +728,22 @@ impl ServiceMetrics {
             &[],
             &SIM_CYCLE_BUCKETS,
         );
+        let advise_total = ADVISE_SOURCES
+            .iter()
+            .map(|source| {
+                r.counter(
+                    "spade_advise_total",
+                    "Advise answers, by the tier that produced the plan.",
+                    &[("source", source)],
+                )
+            })
+            .collect();
+        let advise_latency_us = r.histogram(
+            "spade_advise_latency_microseconds",
+            "Plan-selection latency of advise answers (features + ranking, no simulation).",
+            &[],
+            &ADVISE_LATENCY_BUCKETS_US,
+        );
         ServiceMetrics {
             registry: r,
             requests,
@@ -731,6 +761,8 @@ impl ServiceMetrics {
             queue_wait_us,
             exec_us,
             sim_cycles,
+            advise_total,
+            advise_latency_us,
         }
     }
 
@@ -755,6 +787,16 @@ impl ServiceMetrics {
         if let Some(i) = BATCH_JOB_OUTCOMES.iter().position(|o| *o == outcome) {
             self.batch_jobs[i].inc();
         }
+    }
+
+    /// Counts one advise answer from `source` (a member of
+    /// [`ADVISE_SOURCES`]; unknown sources are ignored) and observes its
+    /// selection latency.
+    pub fn count_advise(&self, source: &str, latency_us: u64) {
+        if let Some(i) = ADVISE_SOURCES.iter().position(|s| *s == source) {
+            self.advise_total[i].inc();
+        }
+        self.advise_latency_us.observe(latency_us);
     }
 
     /// Mirrors the result cache's own counters into the registry (the

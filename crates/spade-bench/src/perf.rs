@@ -426,13 +426,23 @@ impl PerfSummary {
     /// Speedup of the highest-shard-count row over the 1-shard baseline —
     /// the number the `--gate-shard-speedup` CI gate checks. Zero when the
     /// shard bench was disabled or never scaled past one shard.
+    ///
+    /// Rows with more shards than the host has cores are *undersubscribed*
+    /// — their threads time-slice instead of running in parallel, so their
+    /// "speedup" measures the host, not the sharded driver — and are
+    /// excluded here (they still appear in the JSON rows, flagged).
     pub fn max_shard_speedup(&self) -> f64 {
         let base = self.shard_baseline_cps();
         self.shard_rows
             .iter()
-            .filter(|r| r.shards > 1)
+            .filter(|r| r.shards > 1 && !self.undersubscribed(r))
             .max_by_key(|r| r.shards)
             .map_or(0.0, |r| r.speedup_over(base))
+    }
+
+    /// `true` when `row` ran with more shards than the host has cores.
+    fn undersubscribed(&self, row: &ShardRow) -> bool {
+        row.shards as usize > self.host_cores
     }
 
     /// The summary as the `BENCH_sim.json` document.
@@ -484,6 +494,7 @@ impl PerfSummary {
                     ("cycles", r.cycles.into()),
                     ("sim_cycles_per_host_sec", r.cps.into()),
                     ("speedup", r.speedup_over(base).into()),
+                    ("undersubscribed", self.undersubscribed(r).into()),
                     (
                         "shard_wall_ns",
                         JsonValue::Array(r.shard_wall_ns.iter().map(|&w| w.into()).collect()),
@@ -624,6 +635,270 @@ pub fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// One benchmark's advise measurement: selection latency of the tiered
+/// `advise --fast` path vs the quick `find_opt` sweep, and the quality of
+/// the plan it picked (cycles relative to the exhaustive quick Opt).
+#[derive(Debug, Clone)]
+pub struct AdviseBenchRow {
+    /// Workload short name.
+    pub workload: String,
+    /// Cycles of the exhaustive quick-Opt plan (the quality baseline).
+    pub opt_cycles: u64,
+    /// Cycles of the plan the tiered advise selected.
+    pub advised_cycles: u64,
+    /// Which tier answered (`model` or `heuristic`).
+    pub source: String,
+    /// Wall microseconds the tiered selection took (features + candidate
+    /// enumeration + ranking; no simulation).
+    pub advise_us: f64,
+    /// Wall microseconds the quick `find_opt` sweep took.
+    pub find_opt_us: f64,
+}
+
+impl AdviseBenchRow {
+    /// Selected-plan cycles over exhaustive-Opt cycles (1.0 = perfect).
+    pub fn quality(&self) -> f64 {
+        if self.opt_cycles > 0 {
+            self.advised_cycles as f64 / self.opt_cycles as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// `find_opt` wall time over advise wall time.
+    pub fn speedup(&self) -> f64 {
+        if self.advise_us > 0.0 {
+            self.find_opt_us / self.advise_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `bench-advise` result: per-benchmark rows, suite geomeans, and the
+/// model fitted on the full sweep (the shippable artifact).
+#[derive(Debug, Clone)]
+pub struct AdviseBench {
+    /// Suite scale the sweep ran at.
+    pub scale: Scale,
+    /// Dense row size.
+    pub k: usize,
+    /// SPADE PE count.
+    pub pes: usize,
+    /// One row per Figure 9 benchmark.
+    pub rows: Vec<AdviseBenchRow>,
+    /// The cost model fitted on every sweep row (all benchmarks), for
+    /// saving next to the bench JSON. Per-benchmark rows above were scored
+    /// with leave-one-benchmark-out models, so the quality numbers are
+    /// honest about unseen matrices.
+    pub model: crate::model::CostModel,
+}
+
+impl AdviseBench {
+    /// Geomean of selected-plan cycles over exhaustive-Opt cycles — the
+    /// `--gate-advise-quality` number (≤ 1.0 is ideal).
+    pub fn geomean_quality(&self) -> f64 {
+        geomean(
+            &self
+                .rows
+                .iter()
+                .map(AdviseBenchRow::quality)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Geomean of `find_opt` wall time over advise wall time — the
+    /// `--gate-advise-speedup` number.
+    pub fn geomean_speedup(&self) -> f64 {
+        geomean(
+            &self
+                .rows
+                .iter()
+                .map(AdviseBenchRow::speedup)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The `"bench_advise"` section for `BENCH_sim.json`.
+    pub fn to_json(&self) -> JsonValue {
+        let rows: Vec<JsonValue> = self
+            .rows
+            .iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(r.workload.as_str())),
+                    ("opt_cycles", r.opt_cycles.into()),
+                    ("advised_cycles", r.advised_cycles.into()),
+                    ("quality", r.quality().into()),
+                    ("source", r.source.as_str().into()),
+                    ("advise_us", r.advise_us.into()),
+                    ("find_opt_us", r.find_opt_us.into()),
+                    ("speedup", r.speedup().into()),
+                ])
+            })
+            .collect();
+        JsonValue::object([
+            ("scale", format!("{:?}", self.scale).to_lowercase().into()),
+            ("k", self.k.into()),
+            ("pes", self.pes.into()),
+            ("geomean_quality", self.geomean_quality().into()),
+            ("geomean_speedup", self.geomean_speedup().into()),
+            ("holdout_mare", self.model.accuracy.holdout_mare.into()),
+            ("rows", JsonValue::Array(rows)),
+        ])
+    }
+}
+
+/// Turns one simulated `(plan, report)` pair into a training row.
+fn training_row(
+    benchmark: &str,
+    features: &[f64],
+    plan: &spade_core::ExecutionPlan,
+    k: usize,
+    pes: usize,
+    cycles: u64,
+) -> crate::model::TrainingRow {
+    crate::model::TrainingRow {
+        benchmark: benchmark.to_string(),
+        features: features.to_vec(),
+        row_panel: plan.tiling.row_panel_size,
+        col_panel: plan.tiling.col_panel_size,
+        r_policy: plan.r_policy,
+        barriers: plan.barriers.is_enabled(),
+        k,
+        pes,
+        cycles,
+    }
+}
+
+/// Runs the advise benchmark over the Figure 9 suite.
+///
+/// Per benchmark, the quick `find_opt` sweep is run (timed — that is the
+/// latency being replaced) and every simulated candidate becomes a
+/// training row. The tiered advise is then timed per benchmark with a
+/// model fitted on *the other nine benchmarks' rows* (leave-one-out, so
+/// the model never saw the matrix it advises), and the selected plan's
+/// cycles are looked up from the sweep. No simulation happens on the
+/// advise path.
+///
+/// # Errors
+///
+/// Returns a message when a simulation fails or the full-sweep model
+/// cannot be fitted.
+pub fn run_advise_bench(
+    scale: Scale,
+    k: usize,
+    pes: usize,
+    runner: &ParallelRunner,
+) -> Result<AdviseBench, String> {
+    use crate::model::{CostModel, TrainingRow};
+    use crate::runner::{opt_candidates, select_opt};
+    use spade_core::advisor::{advise_candidates, advise_tiered};
+    use spade_core::ExecutionPlan;
+    use spade_matrix::analysis::MatrixFeatures;
+
+    let config = Arc::new(machines::spade_system(pes));
+    let workloads: Vec<Arc<Workload>> = Workload::suite(scale, k)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    struct Sweep {
+        plan_cycles: Vec<(ExecutionPlan, u64)>,
+        opt_cycles: u64,
+        find_opt_us: f64,
+    }
+
+    let mut sweeps: Vec<Sweep> = Vec::new();
+    let mut all_rows: Vec<TrainingRow> = Vec::new();
+    for w in &workloads {
+        // The timed quick find_opt sweep (same code path as find_opt).
+        let plans = opt_candidates(w, true);
+        let start = Instant::now();
+        let jobs: Vec<Job> = plans
+            .iter()
+            .map(|&p| Job::new(w, &config, Primitive::Spmm, p))
+            .collect();
+        let reports = runner.run(&jobs);
+        let (_, opt_report) = select_opt(&plans, &reports);
+        let find_opt_us = start.elapsed().as_secs_f64() * 1e6;
+
+        // Simulate the advise candidates the sweep missed (untimed): the
+        // lookup table must cover every plan the advisor can select.
+        let adv_plans = advise_candidates(&w.a, k, &config).map_err(|e| e.to_string())?;
+        let extra: Vec<ExecutionPlan> = adv_plans
+            .iter()
+            .filter(|p| !plans.contains(p))
+            .copied()
+            .collect();
+        let extra_jobs: Vec<Job> = extra
+            .iter()
+            .map(|&p| Job::new(w, &config, Primitive::Spmm, p))
+            .collect();
+        let extra_reports = runner.run(&extra_jobs);
+
+        let features = MatrixFeatures::compute(&w.a).as_vec();
+        let mut plan_cycles: Vec<(ExecutionPlan, u64)> = Vec::new();
+        for (p, r) in plans.iter().zip(&reports).map(|(p, r)| (*p, r.cycles)) {
+            plan_cycles.push((p, r));
+        }
+        for (p, r) in extra
+            .iter()
+            .zip(&extra_reports)
+            .map(|(p, r)| (*p, r.cycles))
+        {
+            plan_cycles.push((p, r));
+        }
+        for &(p, cycles) in &plan_cycles {
+            all_rows.push(training_row(&w.name, &features, &p, k, pes, cycles));
+        }
+        sweeps.push(Sweep {
+            plan_cycles,
+            opt_cycles: opt_report.cycles,
+            find_opt_us,
+        });
+    }
+
+    let mut rows = Vec::new();
+    for (w, sweep) in workloads.iter().zip(&sweeps) {
+        // Leave-one-benchmark-out: the model advising `w` never saw it.
+        let train: Vec<TrainingRow> = all_rows
+            .iter()
+            .filter(|r| r.benchmark != w.name)
+            .cloned()
+            .collect();
+        let model = CostModel::fit(&train)?;
+
+        let start = Instant::now();
+        let advice = advise_tiered(&w.a, k, &config, Some(&model)).map_err(|e| e.to_string())?;
+        let advise_us = (start.elapsed().as_secs_f64() * 1e6).max(0.01);
+
+        let advised_cycles = sweep
+            .plan_cycles
+            .iter()
+            .find(|(p, _)| *p == advice.plan)
+            .map(|&(_, c)| c)
+            .ok_or_else(|| format!("advised plan for {} missing from the sweep", w.name))?;
+        rows.push(AdviseBenchRow {
+            workload: w.name.clone(),
+            opt_cycles: sweep.opt_cycles,
+            advised_cycles,
+            source: advice.source.as_str().to_string(),
+            advise_us,
+            find_opt_us: sweep.find_opt_us,
+        });
+    }
+
+    let model = CostModel::fit(&all_rows)?;
+    Ok(AdviseBench {
+        scale,
+        k,
+        pes,
+        rows,
+        model,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +969,91 @@ mod tests {
         assert!(text.contains("\"host_cores\":8"));
         assert!(text.contains("\"max_shard_speedup\""));
         assert!(text.contains("\"shards\":4"));
+    }
+
+    #[test]
+    fn undersubscribed_shard_rows_are_flagged_and_excluded() {
+        // A 1-core host "measuring" 4-shard speedup is measuring its own
+        // time-slicing; the row must be flagged and must not become
+        // max_shard_speedup.
+        let summary = PerfSummary {
+            scale: Scale::Tiny,
+            k: 32,
+            pes: 4,
+            threads: 1,
+            rows: Vec::new(),
+            mem_ops: 0,
+            mem_rows: Vec::new(),
+            host_cores: 1,
+            shard_rows: vec![
+                ShardRow {
+                    shards: 1,
+                    cycles: 1000,
+                    cps: 1.0e6,
+                    shard_wall_ns: Vec::new(),
+                },
+                ShardRow {
+                    shards: 2,
+                    cycles: 1000,
+                    cps: 0.2e6,
+                    shard_wall_ns: vec![100.0, 100.0],
+                },
+                ShardRow {
+                    shards: 4,
+                    cycles: 1000,
+                    cps: 0.14e6,
+                    shard_wall_ns: vec![100.0; 4],
+                },
+            ],
+        };
+        // Every >1-shard row is undersubscribed on a 1-core host, so no
+        // row qualifies: the headline metric is 0, not a bogus 0.14x.
+        assert_eq!(summary.max_shard_speedup(), 0.0);
+        let text = summary.to_json().render();
+        assert!(text.contains("\"undersubscribed\":true"));
+        assert!(text.contains("\"max_shard_speedup\":0"));
+        // On an 8-core host the same rows count again.
+        let wide = PerfSummary {
+            host_cores: 8,
+            ..summary
+        };
+        assert!((wide.max_shard_speedup() - 0.14).abs() < 1e-12);
+        assert!(wide
+            .to_json()
+            .render()
+            .contains("\"undersubscribed\":false"));
+    }
+
+    #[test]
+    fn advise_bench_measures_latency_and_quality() {
+        let bench = run_advise_bench(Scale::Tiny, 16, 4, &ParallelRunner::new(2)).unwrap();
+        assert_eq!(bench.rows.len(), Benchmark::ALL.len());
+        for row in &bench.rows {
+            assert!(row.opt_cycles > 0);
+            assert!(row.advised_cycles > 0);
+            assert!(row.advise_us > 0.0);
+            assert!(
+                row.find_opt_us > row.advise_us,
+                "{}: advise not faster",
+                row.workload
+            );
+            assert!(
+                row.source == "model" || row.source == "heuristic",
+                "unexpected source {}",
+                row.source
+            );
+        }
+        // Quality can dip below 1.0: the advise candidates include the
+        // structural heuristic's pick, which is outside the quick search
+        // space and sometimes beats quick Opt.
+        let quality = bench.geomean_quality();
+        assert!(quality > 0.0 && quality < 1.5, "geomean quality {quality}");
+        assert!(bench.geomean_speedup() > 1.0);
+        let text = bench.to_json().render();
+        assert_eq!(spade_sim::json::validate(&text), Ok(()));
+        assert!(text.contains("\"geomean_quality\""));
+        assert!(text.contains("\"geomean_speedup\""));
+        assert!(text.contains("\"source\""));
     }
 
     #[test]

@@ -92,12 +92,13 @@
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use spade_core::advisor::advise_tiered;
 use spade_core::{
     BarrierPolicy, CMatrixPolicy, ExecutionPlan, PlanSearchSpace, Primitive, RMatrixPolicy,
     RunReport, SystemConfig,
@@ -108,14 +109,18 @@ use spade_sim::{Cycle, FrameError, FrameReader, JsonValue};
 
 use crate::cache::{CacheStats, Fnv64, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::model::CostModel;
 use crate::parallel::{self, Job, JobOutput, ParallelRunner};
 use crate::suite::Workload;
 
 /// Wire-protocol version, reported by `ping` and `status`. Version 2
-/// added the `metrics`, `query` and `trace` requests; version 3 adds
-/// `batch` and the `query` `group_by` aggregations. Earlier requests
-/// are a strict subset, so v1/v2 clients keep working unchanged.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// added the `metrics`, `query` and `trace` requests; version 3 added
+/// `batch` and the `query` `group_by` aggregations; version 4 adds the
+/// `advise` request (plan selection, answered on the connection thread
+/// like `metrics` — it never occupies a simulation worker). Earlier
+/// requests are a strict subset, so v1–v3 clients keep working
+/// unchanged.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Default cap on entries a single `query` response returns. Keeps a
 /// response line comfortably under the default client frame limit even
@@ -204,6 +209,12 @@ pub struct ServiceConfig {
     /// off otherwise. Logging is pure observation — response bytes are
     /// identical either way.
     pub log_json: bool,
+    /// Trained cost-model file ([`crate::model::CostModel::save`]
+    /// format) backing the `advise` request's model tier. `None` — and
+    /// any file that fails to load or validate — falls back to the
+    /// structural heuristic: a missing or corrupt model degrades advice
+    /// quality, never availability.
+    pub model_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -222,6 +233,7 @@ impl Default for ServiceConfig {
             cache_dir: None,
             worker_delay: None,
             log_json: std::env::var("SPADE_LOG").is_ok_and(|v| v == "json"),
+            model_path: None,
         }
     }
 }
@@ -276,6 +288,9 @@ struct Inner {
     cache: Option<ResultCache>,
     /// Queryable catalog of what the cache holds (`Some` iff `cache`).
     dataset: Option<DatasetIndex>,
+    /// Trained cost model for the `advise` request's model tier;
+    /// `None` (cold or corrupt model file) falls back to the heuristic.
+    model: Option<CostModel>,
     metrics: ServiceMetrics,
     shutdown: AtomicBool,
     queue_depth: AtomicUsize,
@@ -399,12 +414,29 @@ impl Service {
             None => None,
         };
         let dataset = cache.as_ref().map(DatasetIndex::load);
+        // A model that fails to load is a warning, not a bind failure:
+        // the advise tiers below the model keep the request available.
+        let model = config
+            .model_path
+            .as_ref()
+            .and_then(|path| match CostModel::load(path) {
+                Ok(m) => Some(m),
+                Err(e) => {
+                    eprintln!(
+                        "spade-serve: cost model {} unusable ({e}); \
+                         advise falls back to the heuristic",
+                        path.display()
+                    );
+                    None
+                }
+            });
         Ok(Service {
             listener,
             inner: Arc::new(Inner {
                 config,
                 cache,
                 dataset,
+                model,
                 metrics: ServiceMetrics::new(),
                 shutdown: AtomicBool::new(false),
                 queue_depth: AtomicUsize::new(0),
@@ -629,6 +661,7 @@ fn process_frame(
         Request::Shutdown => "shutdown",
         Request::Work { cmd, .. } => cmd,
         Request::Batch { .. } => "batch",
+        Request::Advise { .. } => "advise",
     };
     log_event(inner, rid, "request", &[("cmd", cmd_name.into())]);
     let (response, ok) = match parsed {
@@ -674,6 +707,12 @@ fn process_frame(
             cache_key,
         } => work_response(inner, work_tx, rid, id.as_ref(), cmd, kind, cache_key),
         Request::Batch { jobs } => batch_response(inner, work_tx, rid, id.as_ref(), jobs),
+        Request::Advise {
+            benchmark,
+            scale,
+            k,
+            pes,
+        } => advise_response(inner, id.as_ref(), benchmark, scale, k, pes),
     };
     inner.metrics.count_request(cmd_name, ok);
     log_event(
@@ -781,6 +820,73 @@ fn work_response(
                     )
                 }
             }
+        }
+    }
+}
+
+/// Answers one `advise` request on the connection thread: generate the
+/// matrix, run the three-tier advisor with whatever model the daemon
+/// loaded at bind time, and report the selected plan with its tier and
+/// selection latency. Never touches the admission queue — plan advice
+/// stays available even when every simulation worker is busy.
+fn advise_response(
+    inner: &Arc<Inner>,
+    id: Option<&JsonValue>,
+    benchmark: Benchmark,
+    scale: Scale,
+    k: usize,
+    pes: usize,
+) -> (String, bool) {
+    let a = benchmark.generate(scale);
+    let config = SystemConfig::scaled(pes);
+    let ranker = inner
+        .model
+        .as_ref()
+        .map(|m| m as &dyn spade_core::advisor::PlanRanker);
+    // The timer starts after matrix generation: the histogram measures
+    // plan *selection*, the thing the cost model accelerates.
+    let started = Instant::now();
+    match advise_tiered(&a, k, &config, ranker) {
+        Ok(advice) => {
+            let latency_us = started.elapsed().as_micros() as u64;
+            inner
+                .metrics
+                .count_advise(advice.source.as_str(), latency_us);
+            inner.served_ok.fetch_add(1, Ordering::Relaxed);
+            let mut fields = vec![
+                ("ok", JsonValue::from(true)),
+                ("cmd", "advise".into()),
+                ("protocol", PROTOCOL_VERSION.into()),
+            ];
+            if let Some(id) = id {
+                fields.push(("id", id.clone()));
+            }
+            fields.push((
+                "result",
+                JsonValue::object([
+                    ("benchmark", benchmark.short_name().into()),
+                    ("k", k.into()),
+                    ("pes", pes.into()),
+                    ("source", advice.source.as_str().into()),
+                    ("plan", plan_json(&advice.plan)),
+                    (
+                        "predicted_cycles",
+                        advice
+                            .predicted_cycles
+                            .map_or(JsonValue::Null, JsonValue::from),
+                    ),
+                    ("latency_us", latency_us.into()),
+                ]),
+            ));
+            (JsonValue::object(fields).render(), true)
+        }
+        Err(e) => {
+            inner.served_err.fetch_add(1, Ordering::Relaxed);
+            let message = e.to_string();
+            (
+                error_response(id, Some("advise"), error_kind(&message), &message, None),
+                false,
+            )
         }
     }
 }
@@ -1126,6 +1232,15 @@ enum Request {
     Batch {
         jobs: Vec<Result<RunSpec, String>>,
     },
+    /// Millisecond plan selection for one (benchmark, scale, k, pes):
+    /// the three-tier advisor, answered on the connection thread — never
+    /// a simulation worker, so advice stays available under full load.
+    Advise {
+        benchmark: Benchmark,
+        scale: Scale,
+        k: usize,
+        pes: usize,
+    },
 }
 
 /// Parses one frame into a request, applying the same validation the CLI
@@ -1157,6 +1272,12 @@ fn parse_request(
         "query" => parse_query(&doc)?,
         "trace" => parse_trace(&doc, default_deadline)?,
         "batch" => parse_batch(&doc, default_deadline)?,
+        "advise" => Request::Advise {
+            benchmark: parse_wire_benchmark(&doc)?,
+            scale: parse_wire_scale(&doc)?,
+            k: parse_wire_k(&doc)?,
+            pes: parse_wire_pes(&doc)?,
+        },
         other => return Err(format!("unknown cmd {other:?}")),
     };
     Ok((id, req))
@@ -2214,6 +2335,38 @@ impl DatasetIndex {
         let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         JsonValue::Array(entries.values().map(EntryMeta::to_json).collect())
     }
+}
+
+/// Exports the cache catalog as one JSON document — the dataset a cost
+/// model is trained from (`spade-cli dataset export` / `model train`).
+/// Loads the catalog exactly the way the daemon does at bind time
+/// ([`DatasetIndex::load`]): rows from a current `index.json` are
+/// trusted, anything the index is stale or missing for is rebuilt from
+/// the entry payloads on disk, and entries that fail their checksum are
+/// quarantined and *skipped* — the export reports how many in
+/// `skipped_quarantined` (with a stderr warning) instead of failing.
+///
+/// # Errors
+///
+/// Fails only when the cache directory cannot be opened or created.
+pub fn export_dataset(cache_dir: &Path) -> io::Result<JsonValue> {
+    let cache = ResultCache::open(cache_dir)?;
+    let dataset = DatasetIndex::load(&cache);
+    let entries = dataset.to_json();
+    let skipped = cache.stats().quarantined;
+    if skipped > 0 {
+        eprintln!(
+            "spade-dataset: skipped {skipped} quarantined entr{} during export",
+            if skipped == 1 { "y" } else { "ies" }
+        );
+    }
+    let count = entries.as_array().map_or(0, <[JsonValue]>::len);
+    Ok(JsonValue::object([
+        ("dataset_version", 1u64.into()),
+        ("total", count.into()),
+        ("skipped_quarantined", skipped.into()),
+        ("entries", entries),
+    ]))
 }
 
 // ---------------------------------------------------------------------------

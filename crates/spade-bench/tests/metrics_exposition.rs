@@ -23,6 +23,10 @@ fn exposition() -> String {
     m.count_request("query", true);
     m.count_request("trace", true);
     m.count_request("batch", true);
+    m.count_request("advise", true);
+    m.count_advise("model", 120); // interior bucket
+    m.count_advise("heuristic", 40); // first bucket
+    m.count_advise("exhaustive", 30_000); // overflow
     m.count_batch_job("ok");
     m.count_batch_job("ok");
     m.count_batch_job("cached");

@@ -321,7 +321,7 @@ fn status_and_ping_report_live_state() {
     let (addr, handle) = spawn_service(test_config(None));
     let mut client = ServiceClient::connect(&addr).expect("connect");
     let ping = parse(&client.request_line("{\"cmd\":\"ping\"}").expect("ping"));
-    assert_eq!(ping.get("protocol").and_then(JsonValue::as_u64), Some(3));
+    assert_eq!(ping.get("protocol").and_then(JsonValue::as_u64), Some(4));
     let status = parse(&client.request_line("{\"cmd\":\"status\"}").expect("status"));
     for field in [
         "uptime_ms",
@@ -425,7 +425,7 @@ fn metrics_scrape_reflects_requests_and_cache_traffic() {
             .expect("metrics"),
     );
     assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
-    assert_eq!(resp.get("protocol").and_then(JsonValue::as_u64), Some(3));
+    assert_eq!(resp.get("protocol").and_then(JsonValue::as_u64), Some(4));
     let snap = spade_bench::metrics::MetricsSnapshot::from_json(
         resp.get("result").expect("metrics result"),
     )
@@ -1324,5 +1324,203 @@ fn index_flushes_during_normal_operation_not_only_at_drain() {
         );
     }
     shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Advise: plan selection on the connection thread
+// ---------------------------------------------------------------------------
+
+/// Synthetic training set with an exactly log-linear cycle law
+/// (`cycles = 1000 · row_panel`), so the fitted model passes its own
+/// confidence gate without running a single simulation.
+fn synthetic_model() -> spade_bench::model::CostModel {
+    use spade_bench::model::{CostModel, TrainingRow};
+    use spade_core::RMatrixPolicy;
+    use spade_matrix::analysis::MatrixFeatures;
+    use spade_matrix::generators::{Benchmark, Scale};
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let a = b.generate(Scale::Tiny);
+        let f = MatrixFeatures::compute(&a).as_vec();
+        for rp in [64usize, 256, 1024] {
+            for cp in [a.num_cols().max(1), 512] {
+                for r_policy in [RMatrixPolicy::Cache, RMatrixPolicy::BypassVictim] {
+                    rows.push(TrainingRow {
+                        benchmark: b.short_name().to_string(),
+                        features: f.clone(),
+                        row_panel: rp,
+                        col_panel: cp,
+                        r_policy,
+                        barriers: false,
+                        k: 16,
+                        pes: 4,
+                        cycles: (rp as u64) * 1000,
+                    });
+                }
+            }
+        }
+    }
+    CostModel::fit(&rows).expect("fit synthetic model")
+}
+
+fn assert_advise_ok(resp: &JsonValue, expect_source: &str) {
+    assert_eq!(
+        resp.get("ok").and_then(JsonValue::as_bool),
+        Some(true),
+        "advise reply {}",
+        resp.render()
+    );
+    let result = resp.get("result").expect("advise result");
+    assert_eq!(
+        result.get("source").and_then(JsonValue::as_str),
+        Some(expect_source),
+        "advise tier in {}",
+        result.render()
+    );
+    let plan = result.get("plan").expect("advised plan");
+    assert!(plan
+        .get("row_panel_size")
+        .and_then(JsonValue::as_u64)
+        .is_some());
+    assert!(plan
+        .get("col_panel_size")
+        .and_then(JsonValue::as_u64)
+        .is_some());
+    assert!(result
+        .get("latency_us")
+        .and_then(JsonValue::as_u64)
+        .is_some());
+}
+
+#[test]
+fn advise_answers_while_every_worker_is_busy() {
+    let config = ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        worker_delay: Some(Duration::from_secs(3)),
+        ..test_config(None)
+    };
+    let (addr, handle) = spawn_service(config);
+
+    // Occupy the single worker and the single queue slot; a sim-queued
+    // advise would now block for seconds or bounce with `overloaded`.
+    let slow = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(&addr).expect("connect slow");
+        c.request_line(r#"{"cmd":"run","benchmark":"myc","k":16,"pes":4,"no_cache":true}"#)
+            .expect("slow run")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let queued = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(&addr).expect("connect queued");
+        c.request_line(r#"{"cmd":"run","benchmark":"kro","k":16,"pes":4,"no_cache":true}"#)
+            .expect("queued run")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The daemon is saturated, yet advise answers promptly — it rides
+    // the connection thread, not the admission queue.
+    let mut c = ServiceClient::connect(&addr).expect("connect advise");
+    let started = std::time::Instant::now();
+    let resp = parse(
+        &c.request_line(r#"{"cmd":"advise","benchmark":"pac","k":16,"pes":4,"scale":"tiny"}"#)
+            .expect("advise under load"),
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "advise must not wait for the 3 s worker delay"
+    );
+    assert_advise_ok(&resp, "heuristic");
+
+    let slow = parse(&slow.join().expect("slow thread"));
+    let queued = parse(&queued.join().expect("queued thread"));
+    assert_eq!(slow.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(queued.get("ok").and_then(JsonValue::as_bool), Some(true));
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
+fn cold_or_corrupt_model_degrades_advise_to_heuristic_not_error() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_model_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create model dir");
+
+    // Cold: the configured model file does not exist.
+    let config = ServiceConfig {
+        model_path: Some(dir.join("missing.model")),
+        ..test_config(None)
+    };
+    let (addr, handle) = spawn_service(config);
+    let mut c = ServiceClient::connect(&addr).expect("connect");
+    let resp = parse(
+        &c.request_line(r#"{"cmd":"advise","benchmark":"myc","k":16,"pes":4,"scale":"tiny"}"#)
+            .expect("advise cold"),
+    );
+    assert_advise_ok(&resp, "heuristic");
+    shutdown_and_join(&addr, handle);
+
+    // Corrupt: a valid model file with flipped bytes must fail its
+    // checksum and degrade, not error.
+    let corrupt = dir.join("corrupt.model");
+    synthetic_model().save(&corrupt).expect("save model");
+    let mut bytes = std::fs::read(&corrupt).expect("read model");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&corrupt, &bytes).expect("corrupt model");
+    let config = ServiceConfig {
+        model_path: Some(corrupt),
+        ..test_config(None)
+    };
+    let (addr, handle) = spawn_service(config);
+    let mut c = ServiceClient::connect(&addr).expect("connect corrupt");
+    let resp = parse(
+        &c.request_line(r#"{"cmd":"advise","benchmark":"myc","k":16,"pes":4,"scale":"tiny"}"#)
+            .expect("advise corrupt"),
+    );
+    assert_advise_ok(&resp, "heuristic");
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loaded_model_drives_advise_and_lands_in_metrics() {
+    let dir = std::env::temp_dir().join(format!("spade_svc_model_ok_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create model dir");
+    let path = dir.join("trained.model");
+    synthetic_model().save(&path).expect("save model");
+
+    let config = ServiceConfig {
+        model_path: Some(path),
+        ..test_config(None)
+    };
+    let (addr, handle) = spawn_service(config);
+    let mut c = ServiceClient::connect(&addr).expect("connect");
+    let resp = parse(
+        &c.request_line(r#"{"cmd":"advise","benchmark":"myc","k":16,"pes":4,"scale":"tiny"}"#)
+            .expect("advise with model"),
+    );
+    assert_advise_ok(&resp, "model");
+    assert!(
+        resp.get("result")
+            .and_then(|r| r.get("predicted_cycles"))
+            .and_then(JsonValue::as_f64)
+            .is_some_and(f64::is_finite),
+        "model tier reports its prediction: {}",
+        resp.render()
+    );
+
+    // The counter and histogram from the satellite land in the
+    // exposition (and therefore in any scrape).
+    let summary = shutdown_and_join(&addr, handle);
+    let prom = summary.metrics.to_prometheus();
+    assert!(
+        prom.contains("spade_advise_total{source=\"model\"} 1"),
+        "advise counter missing from exposition:\n{prom}"
+    );
+    assert!(
+        prom.contains("spade_advise_latency_microseconds_count 1"),
+        "advise latency histogram missing from exposition:\n{prom}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

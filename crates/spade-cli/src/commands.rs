@@ -5,14 +5,16 @@ use std::io::BufReader;
 use std::sync::Arc;
 use std::time::Instant;
 
+use spade_bench::model::{CostModel, TrainingRow};
 use spade_bench::parallel::{self, Job, JobOutput, ParallelRunner};
 use spade_bench::service;
 use spade_bench::suite::Workload;
+use spade_core::advisor::PlanRanker;
 use spade_core::{
     advisor, BarrierPolicy, CMatrixPolicy, ExecutionPlan, JsonValue, PlanSearchSpace, Primitive,
     RMatrixPolicy, RunReport, SystemConfig, TelemetrySeries,
 };
-use spade_matrix::analysis::MatrixStats;
+use spade_matrix::analysis::{MatrixFeatures, MatrixStats};
 use spade_matrix::generators::{Benchmark, Scale};
 use spade_matrix::{mm, Coo};
 use spade_sim::Cycle;
@@ -31,13 +33,15 @@ pub const USAGE: &str = "usage:
                    [--scale ...] [--window 256] [--out <file.trace.json>]
                    [--shards N]
   spade-cli advise --benchmark <name> [--k 32] [--pes 56] [--scale ...]
+                   [--fast|--exact] [--model FILE] [--top-n 5] [--exhaustive]
+                   [--format json|text]
   spade-cli search --benchmark <name> [--k 32] [--pes 56] [--scale ...] [--full]
                    [--format json|text] [--telemetry <window>] [--shards N]
                    [--deadline-cycles N]
   spade-cli mm     --file <matrix.mtx> [--k 32] [--pes 56] [--format json|text]
   spade-cli serve  [--addr 127.0.0.1:7700] [--cache-dir DIR] [--workers N]
                    [--queue 32] [--max-connections 32] [--deadline-cycles N]
-                   [--read-timeout-ms 500] [--log-json]
+                   [--read-timeout-ms 500] [--log-json] [--model FILE]
   spade-cli client --addr <host:port> --request '<json>'
   spade-cli client ping|status|metrics|shutdown --addr <host:port>
                    [--format json|text] [--prom (metrics only)]
@@ -60,6 +64,14 @@ pub const USAGE: &str = "usage:
   spade-cli bench-perf [--scale tiny|small|default|large] [--k 32] [--pes 56]
                    [--mem-ops 200000] [--gate-speedup X] [--gate-mem-speedup X]
                    [--shards 4] [--gate-shard-speedup X] [--out BENCH_sim.json]
+  spade-cli client advise --addr <host:port> --benchmark <name> [--k 32]
+                   [--pes 56] [--scale ...] [--format json|text]
+  spade-cli dataset export --cache-dir DIR [--out FILE]
+  spade-cli model train --dataset FILE [--scale tiny|small|default|large]
+                   [--out spade.model] [--report FILE]
+  spade-cli bench-advise [--scale ...] [--k 32] [--pes 56]
+                   [--out BENCH_sim.json] [--model-out FILE] [--report-out FILE]
+                   [--gate-advise-speedup X] [--gate-advise-quality X]
 
 benchmarks: asi liv ork pap del kro myc pac roa ser";
 
@@ -84,6 +96,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "serve" => serve(rest),
         "client" => client(rest),
         "bench-perf" => bench_perf(rest),
+        "bench-advise" => bench_advise(rest),
+        "dataset" => dataset(rest),
+        "model" => model_cmd(rest),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -485,15 +500,94 @@ fn trace_cmd(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads the `--model` file when given. A file that fails to load or
+/// validate degrades to `None` with a stderr warning, mirroring the
+/// daemon: a broken model costs advice quality, never availability.
+fn load_model_flag(args: &Args) -> Option<CostModel> {
+    let path = args.get("model")?;
+    match CostModel::load(std::path::Path::new(path)) {
+        Ok(m) => Some(m),
+        Err(e) => {
+            eprintln!("warning: cost model {path} unusable ({e}); falling back to the heuristic");
+            None
+        }
+    }
+}
+
+/// `spade-cli advise`: three-tier plan selection. The default (`--fast`)
+/// path never simulates — a trained `--model` (when it loads and is
+/// confident) ranks the candidate plans in microseconds, the structural
+/// heuristic answers otherwise. `--exact` is the demoted verification
+/// path: candidates are *simulated* (model-pruned to `--top-n` unless
+/// `--exhaustive`) and the measured optimum is reported as the
+/// `exhaustive` tier.
 fn advise_cmd(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["fast", "exact", "exhaustive", "json"])?;
+    if args.has("fast") && args.has("exact") {
+        return Err("--fast and --exact are mutually exclusive".into());
+    }
     let bench = parse_benchmark(&args)?;
     let scale = parse_scale(&args)?;
     let k = parse_k(&args)?;
+    let json = parse_format(&args)?;
     let system_config = parse_system(&args)?;
+    let top_n: usize = args.get_parsed("top-n", spade_bench::runner::PRUNE_TOP_N)?;
     let a = bench.generate(scale);
     let stats = MatrixStats::compute(&a);
-    let plan = advisor::advise(&a, k, &system_config).map_err(|e| e.to_string())?;
+    let model = load_model_flag(&args);
+    let started = Instant::now();
+    let (plan, source, predicted, measured) = if args.has("exact") {
+        let w = Workload::from_matrix(bench.short_name().to_string(), a.clone(), k);
+        let ranker = if args.has("exhaustive") {
+            None
+        } else {
+            model.as_ref().map(|m| m as &dyn PlanRanker)
+        };
+        let (plan, report) = spade_bench::runner::find_opt_pruned(
+            &system_config,
+            &w,
+            Primitive::Spmm,
+            true,
+            ranker,
+            top_n,
+        );
+        (plan, "exhaustive", None, Some(report.cycles))
+    } else {
+        let ranker = model.as_ref().map(|m| m as &dyn PlanRanker);
+        let advice =
+            advisor::advise_tiered(&a, k, &system_config, ranker).map_err(|e| e.to_string())?;
+        (
+            advice.plan,
+            advice.source.as_str(),
+            advice.predicted_cycles,
+            None,
+        )
+    };
+    let latency_us = started.elapsed().as_secs_f64() * 1e6;
+    if json {
+        let features = MatrixFeatures::from_stats(&a, &stats);
+        let mut fields = vec![
+            ("benchmark", JsonValue::from(bench.short_name())),
+            ("scale", format!("{scale:?}").to_lowercase().into()),
+            ("k", k.into()),
+            ("pes", system_config.num_pes.into()),
+            ("source", source.into()),
+            ("latency_us", latency_us.into()),
+            ("plan", plan_json(&plan)),
+            (
+                "features",
+                JsonValue::object(features.to_pairs().into_iter().map(|(n, v)| (n, v.into()))),
+            ),
+        ];
+        if let Some(p) = predicted {
+            fields.push(("predicted_cycles", p.into()));
+        }
+        if let Some(c) = measured {
+            fields.push(("measured_cycles", c.into()));
+        }
+        println!("{}", JsonValue::object(fields).render());
+        return Ok(());
+    }
     println!(
         "{}: {} rows, {} nnz, RU={}",
         bench.short_name(),
@@ -509,6 +603,12 @@ fn advise_cmd(argv: &[String]) -> Result<(), String> {
         plan.c_policy,
         plan.barriers.is_enabled()
     );
+    let note = match (predicted, measured) {
+        (Some(p), _) => format!(", predicted {p:.0} cycles"),
+        (_, Some(c)) => format!(", measured {c} cycles"),
+        _ => String::new(),
+    };
+    println!("source: {source} ({latency_us:.0} \u{3bc}s{note})");
     Ok(())
 }
 
@@ -663,6 +763,9 @@ fn serve(argv: &[String]) -> Result<(), String> {
         args.get_parsed("read-timeout-ms", config.read_timeout.as_millis() as u64)?;
     config.read_timeout = std::time::Duration::from_millis(timeout_ms.max(1));
     config.cache_dir = args.get("cache-dir").map(std::path::PathBuf::from);
+    // `--model` arms the advise request's model tier; a file that fails
+    // to load logs a warning at bind and the heuristic answers instead.
+    config.model_path = args.get("model").map(std::path::PathBuf::from);
     // `--log-json` turns the request log spans on explicitly; the
     // SPADE_LOG=json environment default (already in `config`) stays
     // effective either way.
@@ -719,6 +822,7 @@ fn client(argv: &[String]) -> Result<(), String> {
         Some("run") => client_job(rest, "run"),
         Some("search") => client_job(rest, "search"),
         Some("trace") => client_trace(rest),
+        Some("advise") => client_advise(rest),
         Some(other) => Err(format!("client: unknown subcommand '{other}'")),
     }
 }
@@ -1350,6 +1454,61 @@ fn client_job(argv: &[String], cmd: &'static str) -> Result<(), String> {
     Ok(())
 }
 
+/// `client advise`: millisecond plan selection from the daemon. Advise
+/// is answered on the connection thread, so it works even when every
+/// simulation worker is busy.
+fn client_advise(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["json"])?;
+    let json = parse_format(&args)?;
+    let mut fields: Vec<(&str, JsonValue)> = vec![("cmd", "advise".into())];
+    fields.push((
+        "benchmark",
+        args.get("benchmark")
+            .ok_or("--benchmark is required")?
+            .into(),
+    ));
+    if let Some(v) = args.get("scale") {
+        fields.push(("scale", v.into()));
+    }
+    for flag in ["k", "pes"] {
+        if let Some(v) = args.get(flag) {
+            fields.push((flag, parse_flag_u64(flag, v)?.into()));
+        }
+    }
+    let (addr, mut client) = client_connect(&args, spade_sim::json::MAX_FRAME_BYTES)?;
+    let (response, doc) =
+        client_roundtrip(&mut client, &addr, &JsonValue::object(fields).render())?;
+    if json {
+        println!("{response}");
+        return Ok(());
+    }
+    let result = doc.get("result").ok_or("response has no result")?;
+    let plan = result.get("plan").ok_or("result has no plan")?;
+    println!(
+        "{} k={} pes={}: RP={} CP={} rMatrix={} barriers={} ({} tier, {} \u{3bc}s)",
+        result
+            .get("benchmark")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?"),
+        ju(result, "k"),
+        ju(result, "pes"),
+        ju(plan, "row_panel_size"),
+        ju(plan, "col_panel_size"),
+        plan.get("r_policy")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?"),
+        plan.get("barriers")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+        result
+            .get("source")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?"),
+        ju(result, "latency_us"),
+    );
+    Ok(())
+}
+
 /// `client trace`: run (or cache-serve) a traced job on the daemon and
 /// write the Chrome-trace JSON locally — byte-identical to what
 /// `spade-cli trace` produces for the same job. Trace responses are one
@@ -1583,6 +1742,239 @@ fn bench_perf(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `spade-cli dataset`: operations over the daemon's result-cache
+/// catalog as a dataset.
+fn dataset(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("export") => dataset_export(&argv[1..]),
+        Some(other) => Err(format!("dataset: unknown subcommand '{other}' (export)")),
+        None => Err("dataset: expected 'export' subcommand".into()),
+    }
+}
+
+/// `dataset export`: the cache catalog as one JSON document, the input
+/// to `model train`. Rebuilds from entry payloads when `index.json` is
+/// stale and skips (with a counted warning) entries that fail their
+/// checksum — a damaged cache degrades the dataset, never the export.
+fn dataset_export(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let dir = args.get("cache-dir").ok_or("--cache-dir is required")?;
+    let doc =
+        service::export_dataset(std::path::Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+    let rendered = doc.render();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "wrote {path}: {} entries ({} quarantined skipped)",
+                doc.get("total").and_then(JsonValue::as_u64).unwrap_or(0),
+                doc.get("skipped_quarantined")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0)
+            );
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `spade-cli model`: fit and inspect plan-selection cost models.
+fn model_cmd(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("train") => model_train(&argv[1..]),
+        Some(other) => Err(format!("model: unknown subcommand '{other}' (train)")),
+        None => Err("model: expected 'train' subcommand".into()),
+    }
+}
+
+/// Recovers an [`RMatrixPolicy`] from the `r_policy` string the plan
+/// JSON carries (the enum's `Debug` rendering).
+fn policy_from_name(name: &str) -> Option<RMatrixPolicy> {
+    match name {
+        "Cache" => Some(RMatrixPolicy::Cache),
+        "Bypass" => Some(RMatrixPolicy::Bypass),
+        "BypassVictim" => Some(RMatrixPolicy::BypassVictim),
+        _ => None,
+    }
+}
+
+/// `model train`: fit a cost model from an exported dataset. Matrix
+/// features are recomputed by regenerating each benchmark at `--scale`
+/// (cache entries don't carry the matrix), so train against a dataset
+/// swept at that same scale. Unusable entries (foreign benchmarks,
+/// missing plans, sddmm rows) are skipped with a count, not an error.
+fn model_train(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let dataset_path = args.get("dataset").ok_or("--dataset is required")?;
+    let scale = parse_scale(&args)?;
+    let out = args.get("out").unwrap_or("spade.model");
+    let text = std::fs::read_to_string(dataset_path).map_err(|e| format!("{dataset_path}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("{dataset_path}: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or("dataset has no \"entries\" array")?;
+    let mut features: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut rows: Vec<TrainingRow> = Vec::new();
+    let mut skipped = 0usize;
+    for entry in entries {
+        let usable = (|| {
+            let name = entry.get("benchmark")?.as_str()?;
+            if entry.get("kernel")?.as_str()? != "spmm" {
+                return None;
+            }
+            let bench = lookup_benchmark(name).ok()?;
+            let plan = entry.get("plan")?;
+            let feats = features
+                .entry(name.to_string())
+                .or_insert_with(|| MatrixFeatures::compute(&bench.generate(scale)).as_vec())
+                .clone();
+            Some(TrainingRow {
+                benchmark: name.to_string(),
+                features: feats,
+                row_panel: plan.get("row_panel_size")?.as_usize()?,
+                col_panel: plan.get("col_panel_size")?.as_usize()?,
+                r_policy: policy_from_name(plan.get("r_policy")?.as_str()?)?,
+                barriers: plan.get("barriers")?.as_bool()?,
+                k: entry.get("k")?.as_usize()?,
+                pes: entry.get("pes")?.as_usize()?,
+                cycles: entry.get("cycles")?.as_u64()?,
+            })
+        })();
+        match usable {
+            Some(row) => rows.push(row),
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!("warning: {skipped} dataset entries were not usable as training rows");
+    }
+    let model = CostModel::fit(&rows)?;
+    println!(
+        "fitted on {} rows ({} held out): holdout MARE {:.3}{}",
+        model.accuracy.train_rows,
+        model.accuracy.holdout_rows,
+        model.accuracy.holdout_mare,
+        if model.confident() {
+            ""
+        } else {
+            " — NOT confident; advise will use the heuristic"
+        }
+    );
+    for (bench, n, mare) in &model.accuracy.per_benchmark {
+        println!("  {bench:<6} {n:>5} rows  MARE {mare:.3}");
+    }
+    model.save(std::path::Path::new(out))?;
+    println!("wrote {out}");
+    if let Some(report) = args.get("report") {
+        std::fs::write(report, model.accuracy.to_json().render())
+            .map_err(|e| format!("{report}: {e}"))?;
+        println!("wrote {report}");
+    }
+    Ok(())
+}
+
+/// Merges `section` under `key` into the JSON document at `path`,
+/// preserving every other key — `bench-perf` and `bench-advise` write
+/// the same summary file from different CI legs. A missing or
+/// unparseable file starts a fresh document.
+fn merge_bench_section(path: &str, key: &str, section: JsonValue) -> String {
+    let mut fields: Vec<(String, JsonValue)> = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| JsonValue::parse(&t).ok())
+    {
+        Some(JsonValue::Object(fields)) => fields,
+        _ => Vec::new(),
+    };
+    match fields.iter_mut().find(|(k, _)| k == key) {
+        Some(slot) => slot.1 = section,
+        None => fields.push((key.to_string(), section)),
+    }
+    JsonValue::Object(fields).render()
+}
+
+/// `bench-advise`: measures plan-selection latency and quality across
+/// the Figure 9 suite — the timed quick `find_opt` sweep per benchmark
+/// versus the tiered advise scored by a leave-one-benchmark-out model —
+/// and merges the `bench_advise` section into the bench summary JSON.
+/// `--model-out`/`--report-out` save the full-sweep model and its
+/// accuracy report as artifacts; `--gate-advise-speedup` (floor on the
+/// advise speedup geomean) and `--gate-advise-quality` (ceiling on the
+/// selected-plan cycles / Opt cycles geomean) turn the run into a
+/// regression gate, failing after the summary is written.
+fn bench_advise(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let scale = parse_scale(&args)?;
+    let k = parse_k(&args)?;
+    let pes: usize = args.get_parsed("pes", 56)?;
+    if pes == 0 || !pes.is_multiple_of(4) {
+        return Err("--pes must be a positive multiple of 4".into());
+    }
+    let gate_speedup: f64 = args.get_parsed("gate-advise-speedup", 0.0)?;
+    let gate_quality: f64 = args.get_parsed("gate-advise-quality", 0.0)?;
+    let out = args.get("out").unwrap_or("BENCH_sim.json").to_string();
+    let runner = ParallelRunner::from_env();
+    let bench = spade_bench::perf::run_advise_bench(scale, k, pes, &runner)?;
+    println!(
+        "{:<6} {:>12} {:>12} {:>7} {:>10} {:>11} {:>12} {:>9}",
+        "name",
+        "opt cyc",
+        "advised cyc",
+        "quality",
+        "source",
+        "advise \u{3bc}s",
+        "find-opt \u{3bc}s",
+        "speedup"
+    );
+    for r in &bench.rows {
+        println!(
+            "{:<6} {:>12} {:>12} {:>7.3} {:>10} {:>11.1} {:>12.0} {:>8.0}x",
+            r.workload,
+            r.opt_cycles,
+            r.advised_cycles,
+            r.quality(),
+            r.source,
+            r.advise_us,
+            r.find_opt_us,
+            r.speedup()
+        );
+    }
+    println!(
+        "advise geomean: quality {:.3}, speedup {:.0}x; model holdout MARE {:.3}",
+        bench.geomean_quality(),
+        bench.geomean_speedup(),
+        bench.model.accuracy.holdout_mare
+    );
+    let merged = merge_bench_section(&out, "bench_advise", bench.to_json());
+    std::fs::write(&out, merged).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    if let Some(path) = args.get("model-out") {
+        bench.model.save(std::path::Path::new(path))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.get("report-out") {
+        std::fs::write(path, bench.model.accuracy.to_json().render())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if gate_quality > 0.0 && bench.geomean_quality() > gate_quality {
+        return Err(format!(
+            "gate failed: advised-plan quality geomean {:.3} exceeds the \
+             allowed {gate_quality:.2}\u{d7} of exhaustive Opt",
+            bench.geomean_quality()
+        ));
+    }
+    if gate_speedup > 0.0 && bench.geomean_speedup() < gate_speedup {
+        return Err(format!(
+            "gate failed: advise speedup geomean {:.1}x is below the \
+             required {gate_speedup:.0}x",
+            bench.geomean_speedup()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1761,6 +2153,139 @@ mod tests {
         ]))
         .unwrap();
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn advise_fast_and_exact_run() {
+        dispatch(&argv(&[
+            "advise",
+            "--benchmark",
+            "myc",
+            "--k",
+            "16",
+            "--pes",
+            "4",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "advise",
+            "--benchmark",
+            "myc",
+            "--k",
+            "16",
+            "--pes",
+            "4",
+            "--exact",
+            "--exhaustive",
+        ]))
+        .unwrap();
+        let err = dispatch(&argv(&[
+            "advise",
+            "--benchmark",
+            "myc",
+            "--fast",
+            "--exact",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    /// The full offline loop: a swept cache (with a stale index and one
+    /// corrupt entry) → `dataset export` → `model train` → `advise
+    /// --model`. Pins the satellite contract: a stale `index.json` is
+    /// rebuilt from entry payloads and quarantined entries are skipped
+    /// with a count, never a failure.
+    #[test]
+    fn dataset_export_model_train_advise_roundtrip() {
+        use spade_bench::cache::ResultCache;
+        let dir = std::env::temp_dir().join(format!("spade_cli_dataset_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let mut i = 0usize;
+        for bench in ["MYC", "KRO"] {
+            for k in [16u64, 32, 48] {
+                for rp in [64u64, 256, 1024] {
+                    for cp in [512u64, 4096] {
+                        for rpol in ["Cache", "BypassVictim"] {
+                            let payload = format!(
+                                "{{\"benchmark\":\"{bench}\",\"kernel\":\"spmm\",\"k\":{k},\
+                                 \"pes\":4,\"plan\":{{\"row_panel_size\":{rp},\
+                                 \"col_panel_size\":{cp},\"r_policy\":\"{rpol}\",\
+                                 \"c_policy\":\"Cache\",\"barriers\":false}},\
+                                 \"report\":{{\"cycles\":{},\"dram_accesses\":7}}}}",
+                                rp * 1000 + k
+                            );
+                            cache.put(&format!("e{i:03x}"), payload.as_bytes()).unwrap();
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Stale index: garbage forces the rebuild-from-payloads path.
+        std::fs::write(dir.join("index.json"), "not json at all").unwrap();
+        // One damaged entry: must be quarantined and skipped, not fatal.
+        let victim = dir.join("e000.entry");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let ds = dir.join("dataset.json");
+        dispatch(&argv(&[
+            "dataset",
+            "export",
+            "--cache-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            ds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let doc = JsonValue::parse(&std::fs::read_to_string(&ds).unwrap()).unwrap();
+        assert_eq!(doc.get("total").and_then(JsonValue::as_u64), Some(71));
+        assert_eq!(
+            doc.get("skipped_quarantined").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+
+        let model_path = dir.join("spade.model");
+        let report_path = dir.join("accuracy.json");
+        dispatch(&argv(&[
+            "model",
+            "train",
+            "--dataset",
+            ds.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--out",
+            model_path.to_str().unwrap(),
+            "--report",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = JsonValue::parse(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        assert!(report
+            .get("holdout_mare")
+            .and_then(JsonValue::as_f64)
+            .is_some());
+
+        dispatch(&argv(&[
+            "advise",
+            "--benchmark",
+            "myc",
+            "--k",
+            "16",
+            "--pes",
+            "4",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl Daemon {
             .expect("banner has serving address")
             .parse()
             .expect("banner address parses");
-        assert_eq!(doc.get("protocol").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(doc.get("protocol").and_then(JsonValue::as_u64), Some(4));
         Daemon {
             child,
             addr,

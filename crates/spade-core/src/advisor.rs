@@ -19,10 +19,150 @@
 //!   VRF (low average degree per row panel), and hurts when the reused
 //!   working set overflows the victim cache (Table 6).
 
-use spade_matrix::analysis::{MatrixStats, RestructuringUtility};
+use spade_matrix::analysis::{MatrixFeatures, MatrixStats, RestructuringUtility};
 use spade_matrix::{Coo, TilingConfig, CACHE_LINE_BYTES, FLOATS_PER_LINE};
 
-use crate::{BarrierPolicy, CMatrixPolicy, ExecutionPlan, RMatrixPolicy, SpadeError, SystemConfig};
+use crate::{
+    BarrierPolicy, CMatrixPolicy, ExecutionPlan, PlanSearchSpace, RMatrixPolicy, SpadeError,
+    SystemConfig,
+};
+
+/// Which tier of the advise policy produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdviseSource {
+    /// A fitted cost model ranked the candidate plans.
+    Model,
+    /// The structural heuristic ([`advise`]) picked the plan.
+    Heuristic,
+    /// Exhaustive simulation (`find_opt`) picked the plan.
+    Exhaustive,
+}
+
+impl AdviseSource {
+    /// Stable lower-case name, used in wire responses and metric labels.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AdviseSource::Model => "model",
+            AdviseSource::Heuristic => "heuristic",
+            AdviseSource::Exhaustive => "exhaustive",
+        }
+    }
+}
+
+impl std::fmt::Display for AdviseSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The outcome of [`advise_tiered`]: a plan plus where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advice {
+    /// The selected execution plan.
+    pub plan: ExecutionPlan,
+    /// Which tier selected it.
+    pub source: AdviseSource,
+    /// The model's cycle prediction for the plan, when the model tier ran.
+    pub predicted_cycles: Option<f64>,
+}
+
+/// A fitted cost model's view, as the advisor needs it: rank candidate
+/// plans by predicted cycles without simulating.
+///
+/// Implemented by `spade-bench`'s trained `CostModel`; defined here so the
+/// advisor stays free of the training machinery (spade-core cannot depend
+/// on spade-bench).
+pub trait PlanRanker {
+    /// `true` when the model trusts its own predictions enough to drive
+    /// plan selection (trained on enough rows, acceptable holdout error,
+    /// matching feature-vector version). Unconfident rankers are skipped
+    /// and the heuristic tier answers instead.
+    fn confident(&self) -> bool;
+
+    /// Ranks `plans` for a matrix with structural `features`, dense row
+    /// size `k` and `pes` processing elements. Returns `(index into
+    /// plans, predicted cycles)` sorted ascending by predicted cycles
+    /// (ties broken by index), or `None` when the model cannot score
+    /// these inputs.
+    fn rank(
+        &self,
+        features: &MatrixFeatures,
+        k: usize,
+        pes: usize,
+        plans: &[ExecutionPlan],
+    ) -> Option<Vec<(usize, f64)>>;
+}
+
+/// The candidate plans the model tier ranks: the quick Table-3 space plus
+/// the structural heuristic's pick and SPADE Base, deduplicated. Base is
+/// always present, so a sane ranker can never do worse than the worst
+/// candidate and an exhaustive sweep over this list contains the
+/// heuristic answer.
+///
+/// # Errors
+///
+/// Returns [`SpadeError::Matrix`] only for degenerate shapes (zero
+/// columns).
+pub fn advise_candidates(
+    a: &Coo,
+    k: usize,
+    system: &SystemConfig,
+) -> Result<Vec<ExecutionPlan>, SpadeError> {
+    let mut plans = PlanSearchSpace::quick(k).enumerate(a);
+    let heuristic = advise(a, k, system)?;
+    if !plans.contains(&heuristic) {
+        plans.push(heuristic);
+    }
+    let base = ExecutionPlan::spmm_base(a)?;
+    if !plans.contains(&base) {
+        plans.push(base);
+    }
+    Ok(plans)
+}
+
+/// Three-tier plan selection (the `advise --fast` policy):
+///
+/// 1. **Model** — when `ranker` is present and [`PlanRanker::confident`],
+///    rank the [`advise_candidates`] list and return the top plan with
+///    its predicted cycles.
+/// 2. **Heuristic** — otherwise fall back to the structural [`advise`].
+/// 3. **Exhaustive** — full simulation is *not* run here; callers that
+///    want `find_opt` ground truth invoke it explicitly (it is demoted
+///    to an offline verification path).
+///
+/// # Errors
+///
+/// Returns [`SpadeError::Matrix`] only for degenerate shapes (zero
+/// columns).
+pub fn advise_tiered(
+    a: &Coo,
+    k: usize,
+    system: &SystemConfig,
+    ranker: Option<&dyn PlanRanker>,
+) -> Result<Advice, SpadeError> {
+    if let Some(model) = ranker {
+        if model.confident() {
+            let features = MatrixFeatures::compute(a);
+            let candidates = advise_candidates(a, k, system)?;
+            if let Some(ranked) = model.rank(&features, k, system.num_pes, &candidates) {
+                if let Some(&(best, predicted)) = ranked.first() {
+                    if best < candidates.len() && predicted.is_finite() {
+                        return Ok(Advice {
+                            plan: candidates[best],
+                            source: AdviseSource::Model,
+                            predicted_cycles: Some(predicted),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(Advice {
+        plan: advise(a, k, system)?,
+        source: AdviseSource::Heuristic,
+        predicted_cycles: None,
+    })
+}
 
 /// Picks an execution plan for `a` with dense row size `k` on `system`,
 /// from structure alone (no simulation).
@@ -52,6 +192,13 @@ pub fn advise(a: &Coo, k: usize, system: &SystemConfig) -> Result<ExecutionPlan,
     if stats.degree_skew > 50.0 {
         row_panel = (row_panel / 2).max(1);
     }
+    // Low-RU matrices are SPADE Base's home turf (§7.A): finer row panels
+    // buy no locality and only add scheduling grains, so never go below
+    // Base's 256 there. This keeps the advise floor at Base for the
+    // matrices where restructuring cannot help.
+    if ru == RestructuringUtility::Low {
+        row_panel = row_panel.max(256);
+    }
 
     // Column panel: low-RU matrices keep the full width (tiling buys
     // nothing, §7.A); otherwise size the panel so one cMatrix slice fits
@@ -79,7 +226,8 @@ pub fn advise(a: &Coo, k: usize, system: &SystemConfig) -> Result<ExecutionPlan,
     // overflow hazard).
     let vc_bytes = system.mem.victim.map(|v| v.size_bytes).unwrap_or(0);
     let panel_r_bytes = row_panel * dense_row_bytes;
-    let r_policy = if vc_bytes > 0 && panel_r_bytes <= vc_bytes / 2 {
+    let low_reuse = stats.avg_degree < 4.0;
+    let r_policy = if low_reuse && vc_bytes > 0 && panel_r_bytes <= vc_bytes / 2 {
         RMatrixPolicy::BypassVictim
     } else {
         RMatrixPolicy::Cache
@@ -154,6 +302,79 @@ mod tests {
             let mut sys = SpadeSystem::new(SystemConfig::scaled(8));
             run_spmm_checked(&mut sys, &a, &dense, &plan);
         }
+    }
+
+    /// A ranker that always prefers the last candidate, for wiring tests.
+    struct LastPlanRanker {
+        confident: bool,
+    }
+
+    impl PlanRanker for LastPlanRanker {
+        fn confident(&self) -> bool {
+            self.confident
+        }
+        fn rank(
+            &self,
+            _features: &MatrixFeatures,
+            _k: usize,
+            _pes: usize,
+            plans: &[ExecutionPlan],
+        ) -> Option<Vec<(usize, f64)>> {
+            Some(
+                (0..plans.len())
+                    .rev()
+                    .enumerate()
+                    .map(|(rank, idx)| (idx, 1000.0 + rank as f64))
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn advise_candidates_include_heuristic_and_base() {
+        let a = Benchmark::Myc.generate(Scale::Tiny);
+        let sys = system();
+        let candidates = advise_candidates(&a, 32, &sys).unwrap();
+        let heuristic = advise(&a, 32, &sys).unwrap();
+        let base = ExecutionPlan::spmm_base(&a).unwrap();
+        assert!(candidates.contains(&heuristic));
+        assert!(candidates.contains(&base));
+        let mut dedup = candidates.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), candidates.len(), "candidates contain dupes");
+    }
+
+    #[test]
+    fn tiered_advise_uses_model_when_confident() {
+        let a = Benchmark::Kro.generate(Scale::Tiny);
+        let sys = system();
+        let advice =
+            advise_tiered(&a, 32, &sys, Some(&LastPlanRanker { confident: true })).unwrap();
+        assert_eq!(advice.source, AdviseSource::Model);
+        assert_eq!(advice.predicted_cycles, Some(1000.0));
+        let candidates = advise_candidates(&a, 32, &sys).unwrap();
+        assert_eq!(advice.plan, *candidates.last().unwrap());
+    }
+
+    #[test]
+    fn tiered_advise_falls_back_when_not_confident() {
+        let a = Benchmark::Kro.generate(Scale::Tiny);
+        let sys = system();
+        let advice =
+            advise_tiered(&a, 32, &sys, Some(&LastPlanRanker { confident: false })).unwrap();
+        assert_eq!(advice.source, AdviseSource::Heuristic);
+        assert_eq!(advice.plan, advise(&a, 32, &sys).unwrap());
+        assert_eq!(advice.predicted_cycles, None);
+        let no_model = advise_tiered(&a, 32, &sys, None).unwrap();
+        assert_eq!(no_model.source, AdviseSource::Heuristic);
+        assert_eq!(no_model.plan, advice.plan);
+    }
+
+    #[test]
+    fn advise_source_names_are_wire_stable() {
+        assert_eq!(AdviseSource::Model.as_str(), "model");
+        assert_eq!(AdviseSource::Heuristic.as_str(), "heuristic");
+        assert_eq!(AdviseSource::Exhaustive.to_string(), "exhaustive");
     }
 
     #[test]

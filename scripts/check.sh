@@ -56,6 +56,20 @@ cargo build --release -q -p spade-cli
   --gate-speedup 1.3 --gate-mem-speedup 1.05 \
   --shards 4 --gate-shard-speedup 1.5 --out "$bench_out" >/dev/null
 
+echo "== bench-advise quality gate (release)"
+# Millisecond plan selection vs the simulated ground truth: per-benchmark
+# leave-one-out cost models, selection latency vs quick find_opt (gated
+# >= 100x — advise never simulates) and selected-plan cycles vs the
+# exhaustive optimum (gated <= 1.05x geomean). Model and accuracy report
+# land next to the summary for inspection.
+advise_model=$(mktemp /tmp/spade_advise.XXXXXX.model)
+advise_report=$(mktemp /tmp/spade_advise_acc.XXXXXX.json)
+trap 'rm -f "$smoke" "$bench_out" "$advise_model" "$advise_report"' EXIT
+./target/release/spade-cli bench-advise --scale tiny --k 32 --pes 8 \
+  --gate-advise-speedup 100 --gate-advise-quality 1.05 \
+  --out "$bench_out" --model-out "$advise_model" \
+  --report-out "$advise_report" >/dev/null
+
 echo "== daemon smoke (serve/client, cache hit, SIGTERM drain)"
 # A real `spade-cli serve` process driven over TCP: cold run, cache hit
 # byte-identity, malformed-frame rejection, concurrent burst, graceful

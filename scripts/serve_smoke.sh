@@ -73,10 +73,8 @@ METRICS_OUT=${METRICS_OUT:-/tmp/spade_serve_metrics.json}
   || fail "metrics request failed"
 # After the cold+warm pair: two ok run requests, one cache hit.
 PROM=$("$CLI" client metrics --addr "$ADDR" --prom) || fail "prom render failed"
-echo "$PROM" | grep -q 'spade_requests_total{cmd="run",outcome="ok"} 2' \
-  || fail "run counter not at 2 after warm pass: $(echo "$PROM" | grep requests_total)"
-echo "$PROM" | grep -q 'spade_cache_hits_total 1' \
-  || fail "cache hit counter not at 1 after warm pass: $(echo "$PROM" | grep cache)"
+case "$PROM" in *'spade_requests_total{cmd="run",outcome="ok"} 2'*) ;; *) fail "run counter not at 2 after warm pass: $PROM" ;; esac
+case "$PROM" in *'spade_cache_hits_total 1'*) ;; *) fail "cache hit counter not at 1 after warm pass: $PROM" ;; esac
 echo "   snapshot written to $METRICS_OUT"
 
 echo "== dataset query (catalog must list the cached run)"
@@ -91,10 +89,8 @@ case "$BATCH" in *'"total":2'*) ;; *) fail "batch total != 2: $BATCH" ;; esac
 case "$BATCH" in *'"succeeded":2'*) ;; *) fail "batch jobs failed: $BATCH" ;; esac
 case "$BATCH" in *'"cached":1'*) ;; *) fail "warm myc job was not a cache hit: $BATCH" ;; esac
 PROM=$("$CLI" client metrics --addr "$ADDR" --prom) || fail "prom render failed"
-echo "$PROM" | grep -q 'spade_batch_jobs_total{outcome="ok"} 1' \
-  || fail "batch ok counter not at 1: $(echo "$PROM" | grep batch_jobs)"
-echo "$PROM" | grep -q 'spade_batch_jobs_total{outcome="cached"} 1' \
-  || fail "batch cached counter not at 1: $(echo "$PROM" | grep batch_jobs)"
+case "$PROM" in *'spade_batch_jobs_total{outcome="ok"} 1'*) ;; *) fail "batch ok counter not at 1: $PROM" ;; esac
+case "$PROM" in *'spade_batch_jobs_total{outcome="cached"} 1'*) ;; *) fail "batch cached counter not at 1: $PROM" ;; esac
 
 echo "== aggregation (server-side group-by over the cache dataset)"
 AGG=$("$CLI" client agg --addr "$ADDR" --group-by benchmark --kind run --format json) \
@@ -102,6 +98,16 @@ AGG=$("$CLI" client agg --addr "$ADDR" --group-by benchmark --kind run --format 
 case "$AGG" in *'"groups_matched":2'*) ;; *) fail "agg groups != 2: $AGG" ;; esac
 case "$AGG" in *'"best":'*) ;; *) fail "agg groups carry no best entry: $AGG" ;; esac
 "$CLI" client best-plans --addr "$ADDR" >/dev/null || fail "best-plans failed"
+
+echo "== advise (plan selection on the connection thread, counted by tier)"
+ADVISE=$("$CLI" client advise --addr "$ADDR" --benchmark myc --k 16 --pes 4 \
+  --scale tiny --format json) || fail "advise request failed"
+# No --model was passed to serve, so the heuristic tier must answer.
+case "$ADVISE" in *'"source":"heuristic"'*) ;; *) fail "advise did not fall back to heuristic: $ADVISE" ;; esac
+case "$ADVISE" in *'"row_panel_size"'*) ;; *) fail "advise reply carries no plan: $ADVISE" ;; esac
+PROM=$("$CLI" client metrics --addr "$ADDR" --prom) || fail "prom render failed"
+case "$PROM" in *'spade_advise_total{source="heuristic"} 1'*) ;; *) fail "advise counter not at 1: $PROM" ;; esac
+case "$PROM" in *'spade_advise_latency_microseconds_count 1'*) ;; *) fail "advise latency histogram empty: $PROM" ;; esac
 
 echo "== malformed frame (daemon answers, stays up, client exits 1)"
 if BAD=$(client 'this is not json'); then
